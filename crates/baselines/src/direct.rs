@@ -1,0 +1,177 @@
+//! The bare foundation model baseline ("GPT-4" row of Table 3a).
+//!
+//! §4.2.1: "The same subset of metrics used in DIN-SQL prompt are used
+//! in the prompt of this approach as well, without any examples." With
+//! no few-shot exemplars the model falls back to its naive priors:
+//! bare selectors, missing aggregations, missing unit factors — and
+//! with names only (no vendor descriptions) it frequently picks or
+//! fabricates the wrong counter entirely.
+
+use crate::interface::{NlQuerySystem, SystemAnswer};
+use dio_llm::{CompletionRequest, ContextItem, FoundationModel, PromptBuilder, TaskKind, TokenUsage};
+use dio_sandbox::{Sandbox, SafetyPolicy};
+use dio_tsdb::MetricStore;
+
+/// The bare-model baseline.
+pub struct DirectModelBaseline {
+    schema: Vec<String>,
+    model: Box<dyn FoundationModel>,
+    sandbox: Sandbox,
+    max_output_tokens: usize,
+}
+
+impl DirectModelBaseline {
+    /// Build over the schema sample, model, and store.
+    pub fn new(schema: Vec<String>, model: Box<dyn FoundationModel>, store: MetricStore) -> Self {
+        DirectModelBaseline {
+            schema,
+            model,
+            sandbox: Sandbox::new(store, SafetyPolicy::default()),
+            max_output_tokens: 1000,
+        }
+    }
+
+    /// Produce the Figure-1a-style conversational (non-executable)
+    /// response for a question — what the bare chat model says when
+    /// asked to answer directly instead of emitting a query.
+    pub fn chat_response(&self, question: &str) -> String {
+        let prompt = PromptBuilder::new()
+            .system("You are a helpful assistant.")
+            .context(self.schema_items())
+            .question(question)
+            .task(TaskKind::AnswerDirectly)
+            .build(self.model.context_window(), self.max_output_tokens);
+        match self.model.complete(&CompletionRequest {
+            prompt,
+            max_tokens: self.max_output_tokens,
+            temperature: 0.0,
+        }) {
+            Ok(c) => c.text,
+            Err(e) => format!("(model error: {e})"),
+        }
+    }
+
+    fn schema_items(&self) -> Vec<ContextItem> {
+        self.schema
+            .iter()
+            .map(|n| ContextItem {
+                name: n.clone(),
+                text: String::new(),
+                relevance: 0.0,
+            })
+            .collect()
+    }
+}
+
+impl NlQuerySystem for DirectModelBaseline {
+    fn system_name(&self) -> String {
+        format!("bare model ({})", self.model.name())
+    }
+
+    fn answer(&mut self, question: &str, ts: i64) -> SystemAnswer {
+        let mut usage = TokenUsage::default();
+        let prompt = PromptBuilder::new()
+            .system(
+                "You translate operator analytics questions to PromQL. The CONTEXT lists the \
+                 available metric names.",
+            )
+            .context(self.schema_items())
+            .question(question)
+            .task(TaskKind::GeneratePromql)
+            .build(self.model.context_window(), self.max_output_tokens);
+        let query = match self.model.complete(&CompletionRequest {
+            prompt,
+            max_tokens: self.max_output_tokens,
+            temperature: 0.0,
+        }) {
+            Ok(c) => {
+                usage.add(c.usage);
+                c.text.trim().to_string()
+            }
+            Err(e) => format!("# model error: {e}"),
+        };
+        let cost_cents = self.model.pricing().cost_cents(usage);
+        match self.sandbox.execute(&query, ts) {
+            Ok(o) => SystemAnswer {
+                query: o.canonical_query,
+                numeric_answer: o.value.as_scalar_like(),
+                values: o.value.numeric_values(),
+                error: None,
+                usage,
+                cost_cents,
+            },
+            Err(e) => SystemAnswer {
+                query,
+                numeric_answer: None,
+                values: Vec::new(),
+                error: Some(e.to_string()),
+                usage,
+                cost_cents,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dio_llm::{ModelProfile, SimulatedModel};
+    use dio_tsdb::{Labels, Sample};
+
+    fn store() -> MetricStore {
+        let mut st = MetricStore::new();
+        for inst in ["amf-0", "amf-1"] {
+            let l = Labels::from_pairs([
+                ("__name__", "amfcc_n2_paging_attempt"),
+                ("instance", inst),
+            ]);
+            for k in 0..=10i64 {
+                st.append(l.clone(), Sample::new(k * 60_000, k as f64 * 50.0))
+                    .unwrap();
+            }
+        }
+        st
+    }
+
+    fn baseline(schema: Vec<String>) -> DirectModelBaseline {
+        DirectModelBaseline::new(
+            schema,
+            Box::new(SimulatedModel::new(ModelProfile::gpt4_sim())),
+            store(),
+        )
+    }
+
+    #[test]
+    fn bare_selector_fails_multi_instance_retrieval() {
+        // Without few-shot, the naive answer is a bare selector, which
+        // returns two samples — not a single numeric answer.
+        let mut b = baseline(vec!["amfcc_n2_paging_attempt".into()]);
+        let a = b.answer("How many paging attempts did the AMF handle?", 600_000);
+        // Either a bare selector (2 values) or, when naive luck strikes,
+        // the right sum. The naive path dominates.
+        if a.numeric_answer.is_none() {
+            assert_eq!(a.values.len(), 2);
+        }
+    }
+
+    #[test]
+    fn chat_response_is_hedged_prose() {
+        let b = baseline(vec!["amfcc_n2_paging_attempt".into()]);
+        let text = b.chat_response("How many PDU sessions are active?");
+        assert!(text.contains("estimate") || text.contains("access"));
+    }
+
+    #[test]
+    fn name_reports_model() {
+        let b = baseline(vec![]);
+        assert!(b.system_name().contains("bare model"));
+    }
+
+    #[test]
+    fn cost_is_accounted() {
+        let mut b = baseline(vec!["amfcc_n2_paging_attempt".into()]);
+        let a = b.answer("How many paging attempts?", 600_000);
+        assert!(a.usage.prompt_tokens > 0);
+        assert!(a.cost_cents > 0.0);
+    }
+}

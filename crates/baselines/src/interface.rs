@@ -1,0 +1,49 @@
+//! The common evaluation surface.
+
+use dio_llm::TokenUsage;
+use serde::{Deserialize, Serialize};
+
+/// A system's answer to one benchmark question.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemAnswer {
+    /// The query the system produced (empty when it answered directly).
+    pub query: String,
+    /// Single numeric answer, when execution produced one.
+    pub numeric_answer: Option<f64>,
+    /// All numeric values (multi-sample results).
+    pub values: Vec<f64>,
+    /// Execution/parse/policy failure, if any.
+    pub error: Option<String>,
+    /// Token usage.
+    pub usage: TokenUsage,
+    /// Cost in US cents.
+    pub cost_cents: f64,
+}
+
+/// Anything that can answer natural-language questions over the
+/// operator store: DIO copilot and both baselines.
+pub trait NlQuerySystem {
+    /// System label used in result tables.
+    fn system_name(&self) -> String;
+
+    /// Answer a question with data evaluated at `ts`.
+    fn answer(&mut self, question: &str, ts: i64) -> SystemAnswer;
+}
+
+impl NlQuerySystem for dio_copilot::DioCopilot {
+    fn system_name(&self) -> String {
+        format!("DIO copilot ({})", self.model_name())
+    }
+
+    fn answer(&mut self, question: &str, ts: i64) -> SystemAnswer {
+        let r = self.ask(question, ts);
+        SystemAnswer {
+            query: r.query,
+            numeric_answer: r.numeric_answer,
+            values: r.values,
+            error: r.error,
+            usage: r.usage,
+            cost_cents: r.cost_cents,
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Microbenchmarks for the embedding substrate: corpus fitting and
+//! per-text embedding throughput (the §3.2 offline pass and the online
+//! query-embedding cost).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dio_catalog::generator::{generate_catalog, CatalogConfig};
+use dio_embed::{Embedder, EmbedderConfig};
+use std::hint::black_box;
+
+fn corpus() -> Vec<String> {
+    let catalog = generate_catalog(&CatalogConfig {
+        slice_variants: false,
+        sbi_counters: false,
+        ..CatalogConfig::default()
+    });
+    catalog
+        .metrics
+        .iter()
+        .map(|m| m.text_sample())
+        .collect()
+}
+
+fn bench_embed(c: &mut Criterion) {
+    let texts = corpus();
+    let embedder = Embedder::fit(&EmbedderConfig::default(), texts.iter().map(|s| s.as_str()));
+    let question = "What is the initial registration procedure success rate at the AMF?";
+
+    c.bench_function("embed/fit_corpus_2k_docs", |b| {
+        b.iter_batched(
+            || texts.clone(),
+            |t| Embedder::fit(&EmbedderConfig::default(), t.iter().map(|s| s.as_str())),
+            BatchSize::LargeInput,
+        )
+    });
+
+    c.bench_function("embed/embed_question", |b| {
+        b.iter(|| embedder.embed(black_box(question)))
+    });
+
+    c.bench_function("embed/embed_description", |b| {
+        b.iter(|| embedder.embed(black_box(&texts[0])))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_embed
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! End-to-end copilot latency: one `ask` through retrieval, the
+//! simulated model, sandboxed execution, and dashboard generation —
+//! the per-question cost of the whole Figure 2 architecture.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dio_benchmark::{fewshot_exemplars, OperatorWorld, WorldConfig};
+use dio_copilot::{CopilotBuilder, CopilotConfig};
+use dio_llm::{ModelProfile, SimulatedModel};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let world = OperatorWorld::build(WorldConfig::small());
+    let exemplars = fewshot_exemplars(&world.catalog);
+    let mut copilot = CopilotBuilder::new(world.domain_db(), world.store.clone())
+        .model(Box::new(SimulatedModel::new(ModelProfile::gpt4_sim())))
+        .config(CopilotConfig {
+            generate_dashboards: false,
+            ..CopilotConfig::default()
+        })
+        .exemplars(exemplars)
+        .build();
+    let ts = world.eval_ts;
+
+    c.bench_function("pipeline/ask_success_rate", |b| {
+        b.iter(|| {
+            copilot.ask(
+                black_box("What is the initial registration procedure success rate at the AMF?"),
+                ts,
+            )
+        })
+    });
+
+    c.bench_function("pipeline/ask_current_gauge", |b| {
+        b.iter(|| {
+            copilot.ask(
+                black_box("How many PDU sessions are currently active at the SMF?"),
+                ts,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Microbenchmarks for the PromQL engine: parsing, instant queries,
+//! and range queries over the synthesised operator store.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dio_benchmark::{OperatorWorld, WorldConfig};
+use std::hint::black_box;
+
+fn bench_promql(c: &mut Criterion) {
+    let world = OperatorWorld::build(WorldConfig::small());
+    let engine = world.reference_engine();
+    let ts = world.eval_ts;
+    let rate_q = "sum(rate(amfcc_n1_initial_registration_attempt[5m]))";
+    let ratio_q = "100 * sum(amfcc_n1_initial_registration_success) / sum(amfcc_n1_initial_registration_attempt)";
+
+    c.bench_function("promql/parse_ratio", |b| {
+        b.iter(|| dio_promql::parse(black_box(ratio_q)).unwrap())
+    });
+
+    c.bench_function("promql/instant_sum", |b| {
+        b.iter(|| {
+            engine
+                .instant_query(black_box("sum(amfcc_n1_initial_registration_attempt)"), ts)
+                .unwrap()
+        })
+    });
+
+    c.bench_function("promql/instant_rate", |b| {
+        b.iter(|| engine.instant_query(black_box(rate_q), ts).unwrap())
+    });
+
+    c.bench_function("promql/instant_ratio", |b| {
+        b.iter(|| engine.instant_query(black_box(ratio_q), ts).unwrap())
+    });
+
+    c.bench_function("promql/range_rate_60steps", |b| {
+        b.iter(|| {
+            engine
+                .range_query(black_box(rate_q), ts - 3_600_000, ts, 60_000)
+                .unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_promql
+}
+criterion_main!(benches);

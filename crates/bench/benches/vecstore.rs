@@ -1,0 +1,61 @@
+//! Microbenchmarks for the vector store (the FAISS substitute): exact
+//! flat search vs approximate IVF probing over a catalog-scale corpus.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dio_embed::{Embedder, EmbedderConfig, Vector};
+use dio_catalog::generator::{generate_catalog, CatalogConfig};
+use dio_vecstore::{FlatIndex, IvfConfig, IvfIndex, VectorIndex};
+use std::hint::black_box;
+
+fn vectors() -> (Vec<Vector>, Vector) {
+    let catalog = generate_catalog(&CatalogConfig::default());
+    let texts: Vec<String> = catalog.metrics.iter().map(|m| m.text_sample()).collect();
+    let embedder = Embedder::fit(&EmbedderConfig::default(), texts.iter().map(|s| s.as_str()));
+    let vectors: Vec<Vector> = texts.iter().map(|t| embedder.embed(t)).collect();
+    let query = embedder.embed("How many PDU sessions are currently active at the SMF?");
+    (vectors, query)
+}
+
+fn bench_vecstore(c: &mut Criterion) {
+    let (vectors, query) = vectors();
+    let n = vectors.len();
+    let flat = FlatIndex::from_vectors(384, vectors.clone());
+    let ivf = IvfIndex::train(
+        384,
+        IvfConfig {
+            nlist: 64,
+            nprobe: 4,
+            ..IvfConfig::default()
+        },
+        vectors.clone(),
+    );
+
+    c.bench_function(&format!("vecstore/flat_top29_n{n}"), |b| {
+        b.iter(|| flat.search(black_box(&query), 29))
+    });
+
+    c.bench_function(&format!("vecstore/ivf_nprobe4_top29_n{n}"), |b| {
+        b.iter(|| ivf.search(black_box(&query), 29))
+    });
+
+    c.bench_function("vecstore/ivf_train_nlist64", |b| {
+        b.iter(|| {
+            IvfIndex::train(
+                384,
+                IvfConfig {
+                    nlist: 64,
+                    nprobe: 4,
+                    ..IvfConfig::default()
+                },
+                vectors.clone(),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_vecstore
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! **Ablation: context size.** Sweeps the number of retrieved context
+//! samples (the paper fixes it at 29, "the top 29 most similar text
+//! samples are appended"). Shows the curated-context claim end-to-end:
+//! zero context collapses accuracy, and returns saturate around the
+//! paper's choice.
+//!
+//! ```text
+//! cargo run --release -p dio-bench --bin ablation_context_k
+//! ```
+
+use dio_bench::Experiment;
+use dio_benchmark::evaluate;
+use dio_copilot::CopilotConfig;
+
+fn main() {
+    eprintln!("building world…");
+    let exp = Experiment::standard();
+
+    println!("\nAblation — retrieved context samples (paper setting: 29)\n");
+    println!("{:>6} | {:>6}", "top-k", "EX (%)");
+    println!("-------+-------");
+    for k in [0usize, 5, 10, 29, 50, 100] {
+        let mut dio = exp.copilot_with_config(
+            Experiment::gpt4(),
+            CopilotConfig {
+                top_k: k,
+                generate_dashboards: false,
+                ..CopilotConfig::default()
+            },
+        );
+        let r = evaluate(&mut dio, &exp.questions, exp.world.eval_ts);
+        println!("{:>6} | {:>6.1}", k, r.ex_percent);
+    }
+}

@@ -1,0 +1,44 @@
+//! **Ablation: network-specific embedding model** (§5.3). The paper
+//! proposes that a telecom-tuned embedder would beat a generic one on
+//! operator jargon; our embedder's domain lexicon is exactly that
+//! lever, so we can measure it: domain-tuned vs generic embedder,
+//! overall and on paraphrased questions specifically.
+//!
+//! ```text
+//! cargo run --release -p dio-bench --bin ablation_embedding
+//! ```
+
+use dio_bench::Experiment;
+use dio_benchmark::evaluate;
+use dio_copilot::CopilotConfig;
+
+fn main() {
+    eprintln!("building world…");
+    let exp = Experiment::standard();
+
+    println!("\nAblation — §5.3 network-specific embedding model\n");
+    println!(
+        "{:<22} | {:>6} | {:>12} | {:>12}",
+        "embedder", "EX (%)", "plain EX (%)", "para EX (%)"
+    );
+    println!("{:-<22}-+--------+--------------+-------------", "");
+    for (label, domain) in [("telecom-tuned", true), ("generic", false)] {
+        let mut dio = exp.copilot_with_config(
+            Experiment::gpt4(),
+            CopilotConfig {
+                domain_embedder: domain,
+                generate_dashboards: false,
+                ..CopilotConfig::default()
+            },
+        );
+        let r = evaluate(&mut dio, &exp.questions, exp.world.eval_ts);
+        let (pc, pt, qc, qt) = r.plain_vs_paraphrase;
+        println!(
+            "{:<22} | {:>6.1} | {:>12.1} | {:>12.1}",
+            label,
+            r.ex_percent,
+            pc as f64 * 100.0 / pt.max(1) as f64,
+            qc as f64 * 100.0 / qt.max(1) as f64,
+        );
+    }
+}

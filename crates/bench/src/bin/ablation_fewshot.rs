@@ -1,0 +1,38 @@
+//! **Ablation: few-shot exemplar count.** The paper uses 20 expert
+//! tuples and attributes much of the bare-model gap to their absence
+//! ("using just the base foundation model … without few-shot learning
+//! performs poorly"). This sweep shows accuracy versus exemplar count.
+//!
+//! ```text
+//! cargo run --release -p dio-bench --bin ablation_fewshot
+//! ```
+
+use dio_baselines::NlQuerySystem;
+use dio_bench::Experiment;
+use dio_benchmark::evaluate;
+use dio_copilot::{CopilotBuilder, CopilotConfig};
+
+fn main() {
+    eprintln!("building world…");
+    let exp = Experiment::standard();
+
+    println!("\nAblation — few-shot exemplars in the prompt (paper setting: 20)\n");
+    println!("{:>9} | {:>6} | {:>11}", "exemplars", "EX (%)", "cents/query");
+    println!("----------+--------+------------");
+    for n in [0usize, 1, 5, 10, 20] {
+        let mut dio = CopilotBuilder::new(exp.world.domain_db(), exp.world.store.clone())
+            .model(Experiment::gpt4())
+            .config(CopilotConfig {
+                generate_dashboards: false,
+                ..CopilotConfig::default()
+            })
+            .exemplars(exp.exemplars.iter().take(n).cloned().collect())
+            .build();
+        let r = evaluate(&mut dio, &exp.questions, exp.world.eval_ts);
+        let _ = dio.system_name();
+        println!(
+            "{:>9} | {:>6.1} | {:>11.2}",
+            n, r.ex_percent, r.mean_cost_cents
+        );
+    }
+}

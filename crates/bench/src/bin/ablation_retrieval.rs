@@ -1,0 +1,42 @@
+//! **Ablation: retrieval quality.** Compares exact flat search (the
+//! paper's FAISS setup), approximate IVF search at several probe
+//! widths, and random context — quantifying how much of DIO's accuracy
+//! the semantic-search component carries (§3.2's core contribution).
+//!
+//! ```text
+//! cargo run --release -p dio-bench --bin ablation_retrieval
+//! ```
+
+use dio_bench::Experiment;
+use dio_benchmark::evaluate;
+use dio_copilot::{CopilotConfig, RetrievalMode};
+
+fn main() {
+    eprintln!("building world…");
+    let exp = Experiment::standard();
+
+    let modes: Vec<(&str, RetrievalMode)> = vec![
+        ("flat (exact)", RetrievalMode::Flat),
+        ("ivf nlist=64 nprobe=16", RetrievalMode::Ivf { nlist: 64, nprobe: 16 }),
+        ("ivf nlist=64 nprobe=4", RetrievalMode::Ivf { nlist: 64, nprobe: 4 }),
+        ("ivf nlist=64 nprobe=1", RetrievalMode::Ivf { nlist: 64, nprobe: 1 }),
+        ("hnsw (graph search)", RetrievalMode::Hnsw { ef_search: 64 }),
+        ("random context", RetrievalMode::Random { seed: 7 }),
+    ];
+
+    println!("\nAblation — retrieval quality (paper: exact FAISS cosine search)\n");
+    println!("{:<24} | {:>6}", "mode", "EX (%)");
+    println!("{:-<24}-+-------", "");
+    for (label, mode) in modes {
+        let mut dio = exp.copilot_with_config(
+            Experiment::gpt4(),
+            CopilotConfig {
+                retrieval: mode,
+                generate_dashboards: false,
+                ..CopilotConfig::default()
+            },
+        );
+        let r = evaluate(&mut dio, &exp.questions, exp.world.eval_ts);
+        println!("{:<24} | {:>6.1}", label, r.ex_percent);
+    }
+}

@@ -1,0 +1,37 @@
+//! **Ablation: one inference vs explicit two-stage prompting.** The
+//! paper describes metric identification (§3.2) and code generation
+//! (§3.3) as separate roles; this measures the cost/accuracy trade of
+//! issuing them as two model calls versus folding both into a single
+//! prompt (the default).
+//!
+//! ```text
+//! cargo run --release -p dio-bench --bin ablation_two_stage
+//! ```
+
+use dio_bench::Experiment;
+use dio_benchmark::evaluate;
+use dio_copilot::CopilotConfig;
+
+fn main() {
+    eprintln!("building world…");
+    let exp = Experiment::standard();
+
+    println!("\nAblation — merged single-call vs explicit two-stage prompting\n");
+    println!("{:<22} | {:>6} | {:>11}", "pipeline", "EX (%)", "cents/query");
+    println!("{:-<22}-+--------+------------", "");
+    for (label, two_stage) in [("merged (default)", false), ("two-stage", true)] {
+        let mut dio = exp.copilot_with_config(
+            Experiment::gpt4(),
+            CopilotConfig {
+                two_stage,
+                generate_dashboards: false,
+                ..CopilotConfig::default()
+            },
+        );
+        let r = evaluate(&mut dio, &exp.questions, exp.world.eval_ts);
+        println!(
+            "{:<22} | {:>6.1} | {:>11.2}",
+            label, r.ex_percent, r.mean_cost_cents
+        );
+    }
+}

@@ -1,0 +1,230 @@
+//! Execution accuracy (EX) evaluation (paper §4.2.2).
+//!
+//! "Execution accuracy (EX), which measures the percentage of times an
+//! approach produced an answer that is numerically matching the
+//! reference answer."
+
+use crate::questions::BenchmarkQuestion;
+use dio_baselines::NlQuerySystem;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Relative tolerance for "numerically matching". Generated and
+/// reference queries run through the same engine, so correct queries
+/// match to machine precision; the tolerance only absorbs benign
+/// floating-point reassociation.
+pub const REL_TOLERANCE: f64 = 1e-9;
+
+/// One question's outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuestionOutcome {
+    /// Question id.
+    pub id: usize,
+    /// Whether the produced answer matched the reference numerically.
+    pub correct: bool,
+    /// The system's query.
+    pub query: String,
+    /// The system's numeric answer, if any.
+    pub numeric: Option<f64>,
+    /// The reference numeric answer.
+    pub reference: f64,
+    /// Error string if the system failed outright.
+    pub error: Option<String>,
+}
+
+/// Aggregated evaluation report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalReport {
+    /// System label.
+    pub system: String,
+    /// Number of questions evaluated.
+    pub total: usize,
+    /// Number answered correctly.
+    pub correct: usize,
+    /// EX in percent.
+    pub ex_percent: f64,
+    /// EX per task shape.
+    pub per_shape: BTreeMap<String, (usize, usize)>,
+    /// EX split by phrasing: (plain correct, plain total, para correct,
+    /// para total).
+    pub plain_vs_paraphrase: (usize, usize, usize, usize),
+    /// Mean inference cost per query in US cents.
+    pub mean_cost_cents: f64,
+    /// Per-question outcomes.
+    pub outcomes: Vec<QuestionOutcome>,
+}
+
+/// Do two numeric answers match?
+pub fn numeric_match(answer: f64, reference: f64) -> bool {
+    if !answer.is_finite() || !reference.is_finite() {
+        return false;
+    }
+    let scale = reference.abs().max(answer.abs()).max(1e-300);
+    (answer - reference).abs() <= REL_TOLERANCE * scale
+}
+
+/// Evaluate a system over the benchmark.
+pub fn evaluate(
+    system: &mut dyn NlQuerySystem,
+    questions: &[BenchmarkQuestion],
+    eval_ts: i64,
+) -> EvalReport {
+    let mut outcomes = Vec::with_capacity(questions.len());
+    let mut per_shape: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+    let mut plain = (0usize, 0usize);
+    let mut para = (0usize, 0usize);
+    let mut cost_total = 0.0;
+
+    for q in questions {
+        let a = system.answer(&q.text, eval_ts);
+        let correct = a
+            .numeric_answer
+            .map(|v| numeric_match(v, q.reference.numeric))
+            .unwrap_or(false);
+        cost_total += a.cost_cents;
+
+        let entry = per_shape.entry(q.shape.clone()).or_insert((0, 0));
+        entry.1 += 1;
+        if correct {
+            entry.0 += 1;
+        }
+        match q.phrasing {
+            crate::questions::Phrasing::Plain => {
+                plain.1 += 1;
+                if correct {
+                    plain.0 += 1;
+                }
+            }
+            crate::questions::Phrasing::Paraphrase => {
+                para.1 += 1;
+                if correct {
+                    para.0 += 1;
+                }
+            }
+        }
+
+        outcomes.push(QuestionOutcome {
+            id: q.id,
+            correct,
+            query: a.query,
+            numeric: a.numeric_answer,
+            reference: q.reference.numeric,
+            error: a.error,
+        });
+    }
+
+    let correct = outcomes.iter().filter(|o| o.correct).count();
+    let total = outcomes.len();
+    EvalReport {
+        system: system.system_name(),
+        total,
+        correct,
+        ex_percent: if total == 0 {
+            0.0
+        } else {
+            correct as f64 * 100.0 / total as f64
+        },
+        per_shape,
+        plain_vs_paraphrase: (plain.0, plain.1, para.0, para.1),
+        mean_cost_cents: if total == 0 {
+            0.0
+        } else {
+            cost_total / total as f64
+        },
+        outcomes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::questions::{Phrasing, Reference};
+    use dio_baselines::SystemAnswer;
+    use dio_llm::TokenUsage;
+
+    /// A stub system that answers a fixed fraction correctly.
+    struct Stub {
+        right: Vec<bool>,
+        i: usize,
+    }
+
+    impl NlQuerySystem for Stub {
+        fn system_name(&self) -> String {
+            "stub".into()
+        }
+        fn answer(&mut self, _q: &str, _ts: i64) -> SystemAnswer {
+            let right = self.right[self.i % self.right.len()];
+            self.i += 1;
+            SystemAnswer {
+                query: "sum(m)".into(),
+                numeric_answer: Some(if right { 10.0 } else { 5.0 }),
+                values: vec![],
+                error: None,
+                usage: TokenUsage {
+                    prompt_tokens: 100,
+                    completion_tokens: 10,
+                },
+                cost_cents: 2.0,
+            }
+        }
+    }
+
+    fn questions(n: usize) -> Vec<BenchmarkQuestion> {
+        (0..n)
+            .map(|id| BenchmarkQuestion {
+                id,
+                text: format!("question {id}"),
+                shape: if id % 2 == 0 { "TotalCount" } else { "RatePerSecond" }.into(),
+                phrasing: if id % 2 == 0 {
+                    Phrasing::Plain
+                } else {
+                    Phrasing::Paraphrase
+                },
+                reference: Reference {
+                    metrics: vec!["m".into()],
+                    promql: "sum(m)".into(),
+                    numeric: 10.0,
+                },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn numeric_match_tolerances() {
+        assert!(numeric_match(10.0, 10.0));
+        assert!(numeric_match(10.0 + 1e-12, 10.0));
+        assert!(!numeric_match(10.1, 10.0));
+        assert!(!numeric_match(f64::NAN, 10.0));
+        assert!(!numeric_match(10.0, f64::INFINITY));
+        assert!(numeric_match(0.0, 0.0));
+    }
+
+    #[test]
+    fn report_aggregates_correctly() {
+        let mut s = Stub {
+            right: vec![true, false],
+            i: 0,
+        };
+        let qs = questions(10);
+        let r = evaluate(&mut s, &qs, 0);
+        assert_eq!(r.total, 10);
+        assert_eq!(r.correct, 5);
+        assert_eq!(r.ex_percent, 50.0);
+        assert_eq!(r.mean_cost_cents, 2.0);
+        // Even ids (plain, TotalCount) were the correct ones.
+        assert_eq!(r.per_shape["TotalCount"], (5, 5));
+        assert_eq!(r.per_shape["RatePerSecond"], (0, 5));
+        assert_eq!(r.plain_vs_paraphrase, (5, 5, 0, 5));
+    }
+
+    #[test]
+    fn empty_benchmark_gives_zero() {
+        let mut s = Stub {
+            right: vec![true],
+            i: 0,
+        };
+        let r = evaluate(&mut s, &[], 0);
+        assert_eq!(r.ex_percent, 0.0);
+        assert_eq!(r.mean_cost_cents, 0.0);
+    }
+}

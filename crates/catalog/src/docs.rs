@@ -1,0 +1,118 @@
+//! Vendor-documentation rendering and segmentation.
+//!
+//! §4 of the paper: "The text from the documentation for different
+//! metrics, made available by the vNF provider, is extracted and
+//! segmented into text samples containing the names and detailed
+//! description of each of the counters." This module simulates both
+//! directions: it renders the generated catalog into a monolithic
+//! vendor-manual text, and segments such text back into per-metric
+//! [`DocSample`]s.
+
+use crate::generator::Catalog;
+use serde::{Deserialize, Serialize};
+
+/// One segmented text sample: a metric (or function) name plus its
+/// detailed description — the unit of embedding and retrieval.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DocSample {
+    /// The counter or function name.
+    pub name: String,
+    /// The descriptive text.
+    pub text: String,
+}
+
+impl DocSample {
+    /// The string fed to the embedder.
+    pub fn embedding_text(&self) -> String {
+        format!("{}: {}", self.name, self.text)
+    }
+}
+
+/// Render the catalog as a vendor manual: one section per metric, with a
+/// header line and the description body.
+pub fn render_manual(catalog: &Catalog) -> String {
+    let mut out = String::new();
+    for m in &catalog.metrics {
+        out.push_str("## ");
+        out.push_str(&m.name);
+        out.push('\n');
+        out.push_str(&m.description);
+        out.push_str("\n\n");
+    }
+    out
+}
+
+/// Segment a vendor manual (as produced by [`render_manual`], or any
+/// text using `## <counter-name>` headers) into per-metric samples.
+pub fn segment_manual(manual: &str) -> Vec<DocSample> {
+    let mut samples = Vec::new();
+    let mut current_name: Option<String> = None;
+    let mut current_text = String::new();
+    for line in manual.lines() {
+        if let Some(header) = line.strip_prefix("## ") {
+            if let Some(name) = current_name.take() {
+                samples.push(DocSample {
+                    name,
+                    text: current_text.trim().to_string(),
+                });
+            }
+            current_name = Some(header.trim().to_string());
+            current_text.clear();
+        } else if current_name.is_some() {
+            current_text.push_str(line);
+            current_text.push('\n');
+        }
+    }
+    if let Some(name) = current_name {
+        samples.push(DocSample {
+            name,
+            text: current_text.trim().to_string(),
+        });
+    }
+    samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_catalog, CatalogConfig};
+
+    #[test]
+    fn render_then_segment_round_trips() {
+        let catalog = generate_catalog(&CatalogConfig {
+            slice_variants: false,
+            sbi_counters: false,
+            ..CatalogConfig::default()
+        });
+        let manual = render_manual(&catalog);
+        let samples = segment_manual(&manual);
+        assert_eq!(samples.len(), catalog.len());
+        for (s, m) in samples.iter().zip(&catalog.metrics) {
+            assert_eq!(s.name, m.name);
+            assert_eq!(s.text, m.description);
+        }
+    }
+
+    #[test]
+    fn segment_handles_empty_and_garbage() {
+        assert!(segment_manual("").is_empty());
+        assert!(segment_manual("no headers here\njust prose\n").is_empty());
+    }
+
+    #[test]
+    fn segment_handles_trailing_section() {
+        let samples = segment_manual("## a\ntext a\n## b\ntext b");
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[1].name, "b");
+        assert_eq!(samples[1].text, "text b");
+    }
+
+    #[test]
+    fn embedding_text_prefixes_name() {
+        let s = DocSample {
+            name: "m1".into(),
+            text: "does things".into(),
+        };
+        assert_eq!(s.embedding_text(), "m1: does things");
+    }
+}

@@ -1,0 +1,114 @@
+//! 5G-core network functions covered by the catalog.
+
+use serde::{Deserialize, Serialize};
+
+/// The network functions the paper's vNF provider covers (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum NetworkFunction {
+    /// Access and Mobility Management Function.
+    Amf,
+    /// Session Management Function.
+    Smf,
+    /// NF Repository Function.
+    Nrf,
+    /// Non-3GPP Inter-Working Function.
+    N3iwf,
+    /// Network Slice Selection Function.
+    Nssf,
+    /// User Plane Function.
+    Upf,
+}
+
+impl NetworkFunction {
+    /// All covered NFs in canonical order.
+    pub const ALL: [NetworkFunction; 6] = [
+        NetworkFunction::Amf,
+        NetworkFunction::Smf,
+        NetworkFunction::Nrf,
+        NetworkFunction::N3iwf,
+        NetworkFunction::Nssf,
+        NetworkFunction::Upf,
+    ];
+
+    /// Lower-case abbreviation used as the metric-name prefix.
+    pub fn abbrev(&self) -> &'static str {
+        match self {
+            NetworkFunction::Amf => "amf",
+            NetworkFunction::Smf => "smf",
+            NetworkFunction::Nrf => "nrf",
+            NetworkFunction::N3iwf => "n3iwf",
+            NetworkFunction::Nssf => "nssf",
+            NetworkFunction::Upf => "upf",
+        }
+    }
+
+    /// Upper-case abbreviation used in descriptions.
+    pub fn upper(&self) -> &'static str {
+        match self {
+            NetworkFunction::Amf => "AMF",
+            NetworkFunction::Smf => "SMF",
+            NetworkFunction::Nrf => "NRF",
+            NetworkFunction::N3iwf => "N3IWF",
+            NetworkFunction::Nssf => "NSSF",
+            NetworkFunction::Upf => "UPF",
+        }
+    }
+
+    /// Spelled-out name.
+    pub fn full_name(&self) -> &'static str {
+        match self {
+            NetworkFunction::Amf => "Access and Mobility Management Function",
+            NetworkFunction::Smf => "Session Management Function",
+            NetworkFunction::Nrf => "NF Repository Function",
+            NetworkFunction::N3iwf => "Non-3GPP Inter-Working Function",
+            NetworkFunction::Nssf => "Network Slice Selection Function",
+            NetworkFunction::Upf => "User Plane Function",
+        }
+    }
+
+    /// Parse from an abbreviation (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "amf" => Some(NetworkFunction::Amf),
+            "smf" => Some(NetworkFunction::Smf),
+            "nrf" => Some(NetworkFunction::Nrf),
+            "n3iwf" => Some(NetworkFunction::N3iwf),
+            "nssf" => Some(NetworkFunction::Nssf),
+            "upf" => Some(NetworkFunction::Upf),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for NetworkFunction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.upper())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abbrev_round_trips_through_parse() {
+        for nf in NetworkFunction::ALL {
+            assert_eq!(NetworkFunction::parse(nf.abbrev()), Some(nf));
+            assert_eq!(NetworkFunction::parse(nf.upper()), Some(nf));
+        }
+        assert_eq!(NetworkFunction::parse("xyz"), None);
+    }
+
+    #[test]
+    fn display_is_upper() {
+        assert_eq!(NetworkFunction::Amf.to_string(), "AMF");
+        assert_eq!(NetworkFunction::N3iwf.to_string(), "N3IWF");
+    }
+
+    #[test]
+    fn all_contains_six_distinct() {
+        let mut v = NetworkFunction::ALL.to_vec();
+        v.dedup();
+        assert_eq!(v.len(), 6);
+    }
+}

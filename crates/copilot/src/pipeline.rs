@@ -1,0 +1,594 @@
+//! The end-to-end DIO copilot pipeline.
+
+use crate::answer::{CopilotResponse, RelevantMetric};
+use crate::config::CopilotConfig;
+use crate::extractor::ContextExtractor;
+use crate::trace::PipelineTrace;
+use dio_catalog::DomainDb;
+use dio_dashboard::{generate_dashboard, PanelSpecHint, TimeRange};
+use dio_feedback::{Contribution, IssueId, IssueTracker, TrackerError};
+use dio_llm::{
+    CompletionRequest, ContextItem, CostMeter, FewShotExample, FoundationModel, ModelProfile,
+    PromptBuilder, SimulatedModel, TaskKind, TokenUsage,
+};
+use dio_sandbox::{Sandbox, SafetyPolicy, SandboxError};
+use dio_tsdb::MetricStore;
+
+/// Builder for [`DioCopilot`].
+pub struct CopilotBuilder {
+    db: DomainDb,
+    store: MetricStore,
+    config: CopilotConfig,
+    model: Option<Box<dyn FoundationModel>>,
+    exemplars: Vec<FewShotExample>,
+    policy: SafetyPolicy,
+}
+
+impl CopilotBuilder {
+    /// Start from a domain DB and a metrics store.
+    pub fn new(db: DomainDb, store: MetricStore) -> Self {
+        CopilotBuilder {
+            db,
+            store,
+            config: CopilotConfig::default(),
+            model: None,
+            exemplars: Vec::new(),
+            policy: SafetyPolicy::default(),
+        }
+    }
+
+    /// Override the configuration.
+    pub fn config(mut self, config: CopilotConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Use a specific foundation model (defaults to the GPT-4
+    /// simulation).
+    pub fn model(mut self, model: Box<dyn FoundationModel>) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// Provide few-shot exemplars (the paper uses 20 expert tuples).
+    pub fn exemplars(mut self, exemplars: Vec<FewShotExample>) -> Self {
+        self.exemplars = exemplars;
+        self
+    }
+
+    /// Override the sandbox policy.
+    pub fn policy(mut self, policy: SafetyPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Build the copilot (runs the offline embedding pass).
+    pub fn build(self) -> DioCopilot {
+        let extractor = ContextExtractor::build_with_mode(
+            &self.db,
+            self.config.domain_embedder,
+            self.config.retrieval,
+        );
+        let model = self
+            .model
+            .unwrap_or_else(|| Box::new(SimulatedModel::new(ModelProfile::gpt4_sim())));
+        DioCopilot {
+            extractor,
+            sandbox: Sandbox::new(self.store, self.policy),
+            db: self.db,
+            config: self.config,
+            model,
+            exemplars: self.exemplars,
+            tracker: IssueTracker::new(),
+            meter: CostMeter::new(),
+        }
+    }
+}
+
+/// The assembled copilot.
+pub struct DioCopilot {
+    config: CopilotConfig,
+    db: DomainDb,
+    extractor: ContextExtractor,
+    model: Box<dyn FoundationModel>,
+    sandbox: Sandbox,
+    exemplars: Vec<FewShotExample>,
+    tracker: IssueTracker,
+    meter: CostMeter,
+}
+
+impl DioCopilot {
+    /// The domain database.
+    pub fn db(&self) -> &DomainDb {
+        &self.db
+    }
+
+    /// The issue tracker.
+    pub fn tracker(&self) -> &IssueTracker {
+        &self.tracker
+    }
+
+    /// Current few-shot pool.
+    pub fn exemplars(&self) -> &[FewShotExample] {
+        &self.exemplars
+    }
+
+    /// Accumulated cost meter.
+    pub fn meter(&self) -> &CostMeter {
+        &self.meter
+    }
+
+    /// The query engine (for rendering dashboards etc.).
+    pub fn engine(&self) -> &dio_promql::Engine {
+        self.sandbox.engine()
+    }
+
+    /// The context extractor.
+    pub fn extractor(&self) -> &ContextExtractor {
+        &self.extractor
+    }
+
+    /// The model in use.
+    pub fn model_name(&self) -> &str {
+        self.model.name()
+    }
+
+    /// Answer a question, evaluating data at timestamp `ts`.
+    pub fn ask(&mut self, question: &str, ts: i64) -> CopilotResponse {
+        let mut trace = PipelineTrace::default();
+        let mut usage = TokenUsage::default();
+
+        // Stage 1: context extraction (offline index, online search).
+        let hits = trace.time("retrieve", || {
+            self.extractor.retrieve(question, self.config.top_k)
+        });
+
+        let context_items: Vec<ContextItem> = hits
+            .iter()
+            .map(|h| ContextItem {
+                name: h.sample.name.clone(),
+                text: first_sentence(&h.sample.text),
+                relevance: h.score,
+            })
+            .collect();
+
+        // Stage 2: relevant-metric identification. By default this is
+        // folded into the generation prompt (one inference, §4.2.5 cost
+        // envelope); `two_stage: true` issues the explicit
+        // identify-then-generate calls.
+        let window = self.model.context_window();
+        // Reserve completion room, but never starve the prompt on a
+        // small-window model (text-curie-001 still needs its truncated
+        // context to see *something*).
+        let reserved = self.config.max_output_tokens.min(window / 4);
+        let identified: Vec<String> = if self.config.two_stage {
+            let identify_prompt = PromptBuilder::new()
+                .system(SYSTEM_PROMPT)
+                .context(context_items.clone())
+                .question(question)
+                .task(TaskKind::IdentifyMetrics)
+                .build(window, reserved);
+            trace.time("identify", || {
+                match self.model.complete(&CompletionRequest {
+                    prompt: identify_prompt,
+                    max_tokens: self.config.max_output_tokens,
+                    temperature: self.config.temperature,
+                }) {
+                    Ok(c) => {
+                        usage.add(c.usage);
+                        c.text
+                            .split(',')
+                            .map(|s| s.trim().to_string())
+                            .filter(|s| !s.is_empty() && s != "none")
+                            .collect()
+                    }
+                    Err(_) => Vec::new(),
+                }
+            })
+        } else {
+            Vec::new()
+        };
+
+        // Stage 3: few-shot code generation over the selected metrics
+        // (two-stage) or the full retrieved context (merged).
+        let selected_items: Vec<ContextItem> = context_items
+            .iter()
+            .filter(|c| identified.contains(&c.name))
+            .cloned()
+            .collect();
+        let mut gen_builder = PromptBuilder::new()
+            .system(SYSTEM_PROMPT)
+            .context(if selected_items.is_empty() {
+                // Merged mode, or an empty two-stage selection: use the
+                // full retrieved context.
+                context_items.clone()
+            } else {
+                selected_items
+            })
+            .examples(
+                self.exemplars
+                    .iter()
+                    .take(self.config.max_exemplars)
+                    .cloned(),
+            )
+            .question(question)
+            .task(TaskKind::GeneratePromql);
+        for f in self.db.functions().take(4) {
+            gen_builder = gen_builder.function(&f.name, first_sentence(&f.description));
+        }
+        let gen_prompt = gen_builder.build(window, reserved);
+        let query = trace.time("generate", || {
+            match self.model.complete(&CompletionRequest {
+                prompt: gen_prompt,
+                max_tokens: self.config.max_output_tokens,
+                temperature: self.config.temperature,
+            }) {
+                Ok(c) => {
+                    usage.add(c.usage);
+                    c.text.trim().to_string()
+                }
+                Err(e) => format!("# model error: {e}"),
+            }
+        });
+
+        // Stage 4: sandboxed execution.
+        let (numeric_answer, values, error, canonical) = trace.time("execute", || {
+            match self.sandbox.execute(&query, ts) {
+                Ok(out) => (
+                    out.value.as_scalar_like(),
+                    out.value.numeric_values(),
+                    None,
+                    Some(out.canonical_query),
+                ),
+                Err(e) => {
+                    let msg = match &e {
+                        SandboxError::Parse(m) => format!("parse error: {m}"),
+                        SandboxError::Refused(v) => format!("policy refusal: {v}"),
+                        SandboxError::Eval(m) => format!("evaluation error: {m}"),
+                    };
+                    (None, Vec::new(), Some(msg), None)
+                }
+            }
+        });
+
+        // Relevant metrics for the rendered response: the identified
+        // set, falling back to whatever the query references.
+        let mut shown = identified.clone();
+        if shown.is_empty() {
+            if let Ok(expr) = dio_promql::parse(&query) {
+                shown = expr.metric_names();
+            }
+        }
+        let relevant_metrics: Vec<RelevantMetric> = shown
+            .iter()
+            .filter_map(|n| {
+                self.db.metric(n).map(|m| RelevantMetric {
+                    name: m.name.clone(),
+                    description: first_sentence(&m.description),
+                })
+            })
+            .collect();
+
+        // Stage 5: dashboard generation.
+        let dashboard = if self.config.generate_dashboards {
+            let hints: Vec<PanelSpecHint> = shown
+                .iter()
+                .filter_map(|n| self.db.metric(n))
+                .map(|m| PanelSpecHint {
+                    name: m.name.clone(),
+                    title: format!("{} ({})", m.procedure_display, m.name),
+                    is_counter: m.counter_type.is_counter(),
+                })
+                .collect();
+            let range = TimeRange::last(ts, self.config.dashboard_span_ms, 60);
+            Some(trace.time("dashboard", || {
+                generate_dashboard(question, &hints, canonical.as_deref(), range)
+            }))
+        } else {
+            None
+        };
+
+        let cost_cents = self.model.pricing().cost_cents(usage);
+        self.meter.record(usage, self.model.pricing());
+
+        let final_query = canonical.unwrap_or(query);
+        CopilotResponse {
+            question: question.to_string(),
+            relevant_metrics,
+            explanation: dio_promql::explain_query(&final_query),
+            query: final_query,
+            numeric_answer,
+            values,
+            error,
+            dashboard,
+            usage,
+            cost_cents,
+            trace,
+        }
+    }
+
+    /// File an expert-help issue for a response (the raise-hand button).
+    pub fn request_expert_help(&mut self, response: &CopilotResponse) -> IssueId {
+        self.tracker.raise_hand(
+            &response.question,
+            response
+                .relevant_metrics
+                .iter()
+                .map(|m| m.name.clone())
+                .collect(),
+            &response.render(),
+        )
+    }
+
+    /// Resolve an issue with an expert contribution. The contribution
+    /// merges into the domain DB (attributed), exemplars extend the
+    /// few-shot pool, and the retrieval index is rebuilt so new context
+    /// is immediately searchable.
+    pub fn resolve_issue(
+        &mut self,
+        id: IssueId,
+        expert_id: &str,
+        contribution: Contribution,
+    ) -> Result<(), TrackerError> {
+        let exemplar = self
+            .tracker
+            .resolve(id, expert_id, contribution, &mut self.db)?;
+        if let Some((question, metrics, promql)) = exemplar {
+            self.exemplars.push(FewShotExample {
+                question,
+                metrics,
+                promql,
+            });
+        }
+        self.extractor = ContextExtractor::build_with_mode(
+            &self.db,
+            self.config.domain_embedder,
+            self.config.retrieval,
+        );
+        Ok(())
+    }
+}
+
+/// System prompt shared by both stages.
+const SYSTEM_PROMPT: &str = "You are DIO copilot, a natural language interface for retrieval \
+and analytics tasks on 5G operator data. Use only metrics from CONTEXT. Answer with PromQL.";
+
+/// First sentence of a description (keeps prompts within the paper's
+/// cost envelope while preserving the discriminative tokens).
+fn first_sentence(text: &str) -> String {
+    match text.find(". ") {
+        Some(i) => text[..=i].to_string(),
+        None => text.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dio_catalog::generator::{generate_catalog, CatalogConfig};
+    use dio_catalog::types::MetricRole;
+    use dio_tsdb::{Labels, SeriesSpec, SynthConfig, Synthesizer};
+
+    /// A small world: compact catalog + synthesised data for a handful
+    /// of procedures.
+    fn world() -> (DomainDb, MetricStore, i64) {
+        let catalog = generate_catalog(&CatalogConfig {
+            slice_variants: false,
+            sbi_counters: false,
+            ..CatalogConfig::default()
+        });
+        let synth_cfg = SynthConfig {
+            start_ms: 0,
+            end_ms: 2 * 3600 * 1000,
+            step_ms: 60_000,
+        };
+        let mut store = MetricStore::new();
+        let synth = Synthesizer::new(synth_cfg);
+        let mut specs = Vec::new();
+        for m in &catalog.metrics {
+            if m.nf != dio_catalog::NetworkFunction::Amf {
+                continue;
+            }
+            let labels = Labels::from_pairs([
+                ("__name__", m.name.as_str()),
+                ("instance", "amf-0"),
+            ]);
+            let seed = 1000;
+            let spec = match m.role {
+                MetricRole::ActiveGauge => SeriesSpec::gauge(labels, m.traffic.base_rate, seed),
+                _ => SeriesSpec::counter(labels, m.traffic.base_rate.max(0.01), seed),
+            };
+            specs.push(spec);
+        }
+        synth.populate(&specs, &mut store);
+        (DomainDb::from_catalog(catalog), store, 2 * 3600 * 1000)
+    }
+
+    fn exemplars() -> Vec<FewShotExample> {
+        vec![
+            FewShotExample {
+                question: "What is the paging success rate at the AMF?".into(),
+                metrics: vec![
+                    "amfcc_n2_paging_success".into(),
+                    "amfcc_n2_paging_attempt".into(),
+                ],
+                promql: "100 * sum(amfcc_n2_paging_success) / sum(amfcc_n2_paging_attempt)"
+                    .into(),
+            },
+            FewShotExample {
+                question: "How many service requests did the AMF handle?".into(),
+                metrics: vec!["amfcc_n1_service_request_attempt".into()],
+                promql: "sum(amfcc_n1_service_request_attempt)".into(),
+            },
+            FewShotExample {
+                question: "How many authentication procedures per second is the AMF running?"
+                    .into(),
+                metrics: vec!["amfsec_n1_authentication_attempt".into()],
+                promql: "sum(rate(amfsec_n1_authentication_attempt[5m]))".into(),
+            },
+        ]
+    }
+
+    fn copilot() -> (DioCopilot, i64) {
+        let (db, store, ts) = world();
+        (
+            CopilotBuilder::new(db, store)
+                .exemplars(exemplars())
+                .build(),
+            ts,
+        )
+    }
+
+    #[test]
+    fn answers_count_question_numerically() {
+        let (mut cp, ts) = copilot();
+        let r = cp.ask(
+            "How many initial registration attempts did the AMF handle?",
+            ts,
+        );
+        assert!(
+            r.query.contains("amfcc_n1_initial_registration_attempt"),
+            "query: {}",
+            r.query
+        );
+        assert!(r.error.is_none(), "error: {:?}", r.error);
+        let v = r.numeric_answer.expect("numeric answer");
+        assert!(v > 0.0);
+        assert!(r.cost_cents > 0.0);
+        assert_eq!(r.trace.stages.len(), 4);
+    }
+
+    #[test]
+    fn answers_success_rate_with_ratio_query() {
+        let (mut cp, ts) = copilot();
+        let r = cp.ask(
+            "What is the initial registration procedure success rate at the AMF?",
+            ts,
+        );
+        assert!(r.query.contains("100 *"), "query: {}", r.query);
+        assert!(r.query.contains("_success"), "query: {}", r.query);
+        assert!(r.query.contains("_attempt"), "query: {}", r.query);
+        let v = r.numeric_answer.expect("numeric answer");
+        // Synthetic success counters share the attempt seed, so the
+        // rate is a plausible percentage.
+        assert!((0.0..=100.0).contains(&v), "rate {v}");
+    }
+
+    #[test]
+    fn response_lists_relevant_metrics_with_descriptions() {
+        let (mut cp, ts) = copilot();
+        let r = cp.ask("How many paging attempts were there?", ts);
+        assert!(!r.relevant_metrics.is_empty());
+        assert!(r.relevant_metrics[0].description.contains("The"));
+        let rendered = r.render();
+        assert!(rendered.contains("Relevant metrics"));
+    }
+
+    #[test]
+    fn dashboard_is_generated_when_enabled() {
+        let (mut cp, ts) = copilot();
+        let r = cp.ask("How many authentication requests per second?", ts);
+        let d = r.dashboard.expect("dashboard");
+        assert!(!d.panels.is_empty());
+    }
+
+    #[test]
+    fn dashboards_can_be_disabled() {
+        let (db, store, ts) = world();
+        let mut cp = CopilotBuilder::new(db, store)
+            .config(CopilotConfig {
+                generate_dashboards: false,
+                ..CopilotConfig::default()
+            })
+            .exemplars(exemplars())
+            .build();
+        let r = cp.ask("How many paging attempts were there?", ts);
+        assert!(r.dashboard.is_none());
+    }
+
+    #[test]
+    fn asks_are_deterministic() {
+        let (mut cp1, ts) = copilot();
+        let (mut cp2, _) = copilot();
+        let q = "What is the service request success rate?";
+        let a = cp1.ask(q, ts);
+        let b = cp2.ask(q, ts);
+        assert_eq!(a.query, b.query);
+        assert_eq!(a.numeric_answer, b.numeric_answer);
+    }
+
+    #[test]
+    fn meter_accumulates_over_queries() {
+        let (mut cp, ts) = copilot();
+        cp.ask("How many paging attempts?", ts);
+        cp.ask("How many service requests?", ts);
+        assert_eq!(cp.meter().queries(), 2);
+        assert!(cp.meter().mean_cents_per_query() > 0.0);
+    }
+
+    #[test]
+    fn feedback_loop_grows_exemplars_and_reindexes() {
+        let (mut cp, ts) = copilot();
+        let r = cp.ask("What is the LCS NI-LR procedure success rate?", ts);
+        let issue = cp.request_expert_help(&r);
+        let before = cp.exemplars().len();
+        cp.resolve_issue(
+            issue,
+            "expert:alice",
+            Contribution::Exemplar {
+                question: "What is the LCS NI-LR procedure success rate?".into(),
+                metrics: vec![
+                    "amflcs_lcs_ni_lr_success".into(),
+                    "amflcs_lcs_ni_lr_attempt".into(),
+                ],
+                promql: "100 * sum(amflcs_lcs_ni_lr_success) / sum(amflcs_lcs_ni_lr_attempt)"
+                    .into(),
+            },
+        )
+        .unwrap();
+        assert_eq!(cp.exemplars().len(), before + 1);
+        assert_eq!(cp.tracker().len(), 1);
+    }
+
+    #[test]
+    fn note_contribution_becomes_retrievable() {
+        let (mut cp, ts) = copilot();
+        let r = cp.ask("How do I inspect the frobnicator wobble index?", ts);
+        let issue = cp.request_expert_help(&r);
+        cp.resolve_issue(
+            issue,
+            "expert:bob",
+            Contribution::Note {
+                title: "frobnicator-wobble".into(),
+                text: "The frobnicator wobble index is tracked by amfcc_n2_paging_attempt \
+                       in this deployment."
+                    .into(),
+            },
+        )
+        .unwrap();
+        let hits = cp
+            .extractor()
+            .retrieve("frobnicator wobble index", 5);
+        assert!(hits
+            .iter()
+            .any(|h| h.sample.name == "note:frobnicator-wobble"));
+    }
+
+    #[test]
+    fn cost_is_in_the_papers_ballpark() {
+        // §4.2.5: average 4.25 cents per query with GPT-4 pricing.
+        let (mut cp, ts) = copilot();
+        for q in [
+            "How many initial registration attempts did the AMF handle?",
+            "What is the paging success rate?",
+            "How many authentication requests per second?",
+        ] {
+            cp.ask(q, ts);
+        }
+        let mean = cp.meter().mean_cents_per_query();
+        assert!(
+            (1.5..=8.0).contains(&mean),
+            "mean cost {mean}¢ outside plausible band"
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Per-stage pipeline timing (the measurable counterpart of the
+//! paper's Figure 2 architecture diagram).
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One stage's wall-clock timing.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageTiming {
+    /// Stage name (`retrieve`, `identify`, `generate`, `execute`,
+    /// `dashboard`).
+    pub stage: String,
+    /// Duration in microseconds.
+    pub micros: u128,
+}
+
+/// Trace of one `ask` invocation.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PipelineTrace {
+    /// Stage timings in execution order.
+    pub stages: Vec<StageTiming>,
+}
+
+impl PipelineTrace {
+    /// Time a closure and record it as `stage`.
+    pub fn time<T>(&mut self, stage: &str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.stages.push(StageTiming {
+            stage: stage.to_string(),
+            micros: start.elapsed().as_micros(),
+        });
+        out
+    }
+
+    /// Total traced time in microseconds.
+    pub fn total_micros(&self) -> u128 {
+        self.stages.iter().map(|s| s.micros).sum()
+    }
+
+    /// Timing of one stage, if recorded.
+    pub fn stage(&self, name: &str) -> Option<&StageTiming> {
+        self.stages.iter().find(|s| s.stage == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_stages_in_order() {
+        let mut t = PipelineTrace::default();
+        let x = t.time("retrieve", || 42);
+        assert_eq!(x, 42);
+        t.time("generate", || ());
+        assert_eq!(t.stages.len(), 2);
+        assert_eq!(t.stages[0].stage, "retrieve");
+        assert_eq!(t.stages[1].stage, "generate");
+        assert!(t.stage("retrieve").is_some());
+        assert!(t.stage("missing").is_none());
+        assert!(t.total_micros() >= t.stages[0].micros);
+    }
+}

@@ -1,0 +1,133 @@
+//! Turning relevant metrics into a dashboard.
+
+use crate::model::{Dashboard, Panel, PanelKind, Target, TimeRange};
+
+/// What the generator needs to know about a metric to panel it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PanelSpecHint {
+    /// Metric name.
+    pub name: String,
+    /// Short human description (panel title).
+    pub title: String,
+    /// True for monotone counters (get `rate()` panels), false for
+    /// gauges (plotted directly).
+    pub is_counter: bool,
+}
+
+/// Build a dashboard for a question: one time-series panel per relevant
+/// metric plus a stat panel for the direct answer expression.
+pub fn generate_dashboard(
+    question: &str,
+    metrics: &[PanelSpecHint],
+    answer_expr: Option<&str>,
+    range: TimeRange,
+) -> Dashboard {
+    let mut panels = Vec::new();
+    if let Some(expr) = answer_expr {
+        panels.push(Panel {
+            title: "answer".to_string(),
+            kind: PanelKind::Stat,
+            targets: vec![Target {
+                expr: expr.to_string(),
+                legend: "answer".to_string(),
+            }],
+            unit: String::new(),
+        });
+    }
+    for m in metrics {
+        let (expr, unit, legend) = if m.is_counter {
+            (
+                format!("sum(rate({}[5m]))", m.name),
+                "ops/s".to_string(),
+                format!("{} per second", m.name),
+            )
+        } else {
+            (
+                format!("sum({})", m.name),
+                "level".to_string(),
+                m.name.clone(),
+            )
+        };
+        panels.push(Panel {
+            title: m.title.clone(),
+            kind: PanelKind::Timeseries,
+            targets: vec![Target { expr, legend }],
+            unit,
+        });
+    }
+    Dashboard {
+        title: dashboard_title(question),
+        question: question.to_string(),
+        panels,
+        range,
+    }
+}
+
+/// A short title derived from the question.
+fn dashboard_title(question: &str) -> String {
+    let words: Vec<&str> = question.split_whitespace().take(8).collect();
+    let mut t = words.join(" ");
+    if question.split_whitespace().count() > 8 {
+        t.push('…');
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hints() -> Vec<PanelSpecHint> {
+        vec![
+            PanelSpecHint {
+                name: "amfcc_n1_initial_registration_attempt".into(),
+                title: "initial registration attempts".into(),
+                is_counter: true,
+            },
+            PanelSpecHint {
+                name: "smfpdu_active_pdu_sessions_current".into(),
+                title: "active PDU sessions".into(),
+                is_counter: false,
+            },
+        ]
+    }
+
+    #[test]
+    fn counters_get_rate_panels_gauges_do_not() {
+        let d = generate_dashboard(
+            "how are registrations doing",
+            &hints(),
+            None,
+            TimeRange::last(600_000, 300_000, 30),
+        );
+        assert_eq!(d.panels.len(), 2);
+        assert!(d.panels[0].targets[0].expr.contains("rate("));
+        assert!(!d.panels[1].targets[0].expr.contains("rate("));
+        assert_eq!(d.panels[1].targets[0].expr, "sum(smfpdu_active_pdu_sessions_current)");
+    }
+
+    #[test]
+    fn answer_stat_panel_comes_first() {
+        let d = generate_dashboard(
+            "what is the success rate",
+            &hints(),
+            Some("100 * sum(s) / sum(a)"),
+            TimeRange::last(0, 1000, 10),
+        );
+        assert_eq!(d.panels.len(), 3);
+        assert_eq!(d.panels[0].kind, PanelKind::Stat);
+        assert_eq!(d.panels[0].targets[0].expr, "100 * sum(s) / sum(a)");
+    }
+
+    #[test]
+    fn long_questions_truncate_in_title() {
+        let d = generate_dashboard(
+            "what is the mean duration of the initial registration procedure across instances today",
+            &[],
+            None,
+            TimeRange::last(0, 1000, 10),
+        );
+        assert!(d.title.ends_with('…'));
+        assert!(d.title.split_whitespace().count() <= 8);
+    }
+}

@@ -1,0 +1,126 @@
+//! Dashboard data model (Grafana-like).
+
+use serde::{Deserialize, Serialize};
+
+/// Visualisation type of a panel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum PanelKind {
+    /// Time-series line chart.
+    Timeseries,
+    /// Single-value stat.
+    Stat,
+}
+
+/// One query target within a panel.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Target {
+    /// PromQL expression.
+    pub expr: String,
+    /// Legend template.
+    pub legend: String,
+}
+
+/// One dashboard panel.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Panel {
+    /// Panel title.
+    pub title: String,
+    /// Visualisation type.
+    pub kind: PanelKind,
+    /// Query targets.
+    pub targets: Vec<Target>,
+    /// Y-axis unit hint (e.g. `ops/s`, `percent`).
+    pub unit: String,
+}
+
+/// Time range of the dashboard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimeRange {
+    /// Start (ms since epoch).
+    pub from_ms: i64,
+    /// End (ms since epoch).
+    pub to_ms: i64,
+    /// Panel resolution (ms per point).
+    pub step_ms: i64,
+}
+
+impl TimeRange {
+    /// A range ending at `now` spanning `span_ms`, with ~`points`
+    /// samples per series.
+    pub fn last(now: i64, span_ms: i64, points: usize) -> Self {
+        let step = (span_ms / points.max(1) as i64).max(1);
+        TimeRange {
+            from_ms: now - span_ms,
+            to_ms: now,
+            step_ms: step,
+        }
+    }
+}
+
+/// A generated dashboard.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dashboard {
+    /// Dashboard title.
+    pub title: String,
+    /// The question that produced it.
+    pub question: String,
+    /// Panels in display order.
+    pub panels: Vec<Panel>,
+    /// Time range.
+    pub range: TimeRange,
+}
+
+impl Dashboard {
+    /// Serialise to a Grafana-like JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("dashboard serialises")
+    }
+
+    /// Parse back from JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dashboard() -> Dashboard {
+        Dashboard {
+            title: "Registration KPIs".into(),
+            question: "what is the registration success rate".into(),
+            panels: vec![Panel {
+                title: "registration attempts".into(),
+                kind: PanelKind::Timeseries,
+                targets: vec![Target {
+                    expr: "sum(rate(amfcc_n1_initial_registration_attempt[5m]))".into(),
+                    legend: "attempts/s".into(),
+                }],
+                unit: "ops/s".into(),
+            }],
+            range: TimeRange::last(600_000, 300_000, 30),
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let d = dashboard();
+        let j = d.to_json();
+        assert!(j.contains("\"timeseries\""));
+        let back = Dashboard::from_json(&j).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn time_range_last() {
+        let r = TimeRange::last(1_000_000, 600_000, 60);
+        assert_eq!(r.from_ms, 400_000);
+        assert_eq!(r.to_ms, 1_000_000);
+        assert_eq!(r.step_ms, 10_000);
+        // Degenerate points count.
+        let r = TimeRange::last(100, 50, 0);
+        assert!(r.step_ms >= 1);
+    }
+}

@@ -1,0 +1,171 @@
+//! Vector similarity measures and top-k helpers.
+
+use crate::vector::Vector;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Dot product. Panics if dimensions differ.
+pub fn dot(a: &Vector, b: &Vector) -> f32 {
+    assert_eq!(a.dims(), b.dims(), "vector dimension mismatch");
+    a.0.iter().zip(b.0.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// Cosine similarity in `[-1, 1]`. Zero vectors yield 0.
+pub fn cosine(a: &Vector, b: &Vector) -> f32 {
+    let (na, nb) = (a.norm(), b.norm());
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// Euclidean distance.
+pub fn euclidean(a: &Vector, b: &Vector) -> f32 {
+    assert_eq!(a.dims(), b.dims(), "vector dimension mismatch");
+    a.0.iter()
+        .zip(b.0.iter())
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f32>()
+        .sqrt()
+}
+
+/// One scored search hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scored {
+    /// Index of the hit in the searched collection.
+    pub index: usize,
+    /// Similarity score (higher is closer).
+    pub score: f32,
+}
+
+// Min-heap entry so the heap root is always the *worst* kept hit.
+#[derive(PartialEq)]
+struct HeapItem(Scored);
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse on score: BinaryHeap is a max-heap, we want min-on-score.
+        other
+            .0
+            .score
+            .partial_cmp(&self.0.score)
+            .unwrap_or(Ordering::Equal)
+            // Tie-break: on equal scores the *highest* index is the
+            // greatest heap element, so it is evicted first and the
+            // earliest indices are kept deterministically.
+            .then_with(|| self.0.index.cmp(&other.0.index))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Top-k by a caller-provided scoring function, sorted by descending
+/// score (ties broken by ascending index). Runs in `O(n log k)`.
+pub fn top_k_by<F>(n: usize, k: usize, mut score_fn: F) -> Vec<Scored>
+where
+    F: FnMut(usize) -> f32,
+{
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut heap: BinaryHeap<HeapItem> = BinaryHeap::with_capacity(k + 1);
+    for index in 0..n {
+        let score = score_fn(index);
+        if score.is_nan() {
+            continue;
+        }
+        heap.push(HeapItem(Scored { index, score }));
+        if heap.len() > k {
+            heap.pop();
+        }
+    }
+    let mut out: Vec<Scored> = heap.into_iter().map(|h| h.0).collect();
+    out.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| a.index.cmp(&b.index))
+    });
+    out
+}
+
+/// Top-k most cosine-similar vectors to `query` among `candidates`.
+pub fn top_k_cosine(query: &Vector, candidates: &[Vector], k: usize) -> Vec<Scored> {
+    top_k_by(candidates.len(), k, |i| cosine(query, &candidates[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: &[f32]) -> Vector {
+        Vector(x.to_vec())
+    }
+
+    #[test]
+    fn cosine_of_identical_is_one() {
+        let a = v(&[1.0, 2.0, 3.0]);
+        assert!((cosine(&a, &a) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_of_orthogonal_is_zero() {
+        assert!(cosine(&v(&[1.0, 0.0]), &v(&[0.0, 1.0])).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_of_opposite_is_minus_one() {
+        assert!((cosine(&v(&[1.0, 1.0]), &v(&[-1.0, -1.0])) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_with_zero_vector_is_zero() {
+        assert_eq!(cosine(&v(&[0.0, 0.0]), &v(&[1.0, 2.0])), 0.0);
+    }
+
+    #[test]
+    fn euclidean_matches_hand_computation() {
+        assert!((euclidean(&v(&[0.0, 0.0]), &v(&[3.0, 4.0])) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn top_k_returns_sorted_best() {
+        let cands = vec![
+            v(&[1.0, 0.0]),
+            v(&[0.9, 0.1]),
+            v(&[0.0, 1.0]),
+            v(&[-1.0, 0.0]),
+        ];
+        let hits = top_k_cosine(&v(&[1.0, 0.0]), &cands, 2);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].index, 0);
+        assert_eq!(hits[1].index, 1);
+        assert!(hits[0].score >= hits[1].score);
+    }
+
+    #[test]
+    fn top_k_zero_is_empty() {
+        assert!(top_k_cosine(&v(&[1.0]), &[v(&[1.0])], 0).is_empty());
+    }
+
+    #[test]
+    fn top_k_larger_than_n_returns_all() {
+        let cands = vec![v(&[1.0, 0.0]), v(&[0.0, 1.0])];
+        let hits = top_k_cosine(&v(&[1.0, 1.0]), &cands, 10);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn top_k_ties_break_by_index() {
+        let cands = vec![v(&[1.0, 0.0]), v(&[1.0, 0.0]), v(&[1.0, 0.0])];
+        let hits = top_k_cosine(&v(&[1.0, 0.0]), &cands, 2);
+        assert_eq!(hits[0].index, 0);
+        assert_eq!(hits[1].index, 1);
+    }
+}

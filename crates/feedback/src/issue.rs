@@ -1,0 +1,94 @@
+//! Repository-style issues.
+
+use serde::{Deserialize, Serialize};
+
+/// Issue identifier.
+pub type IssueId = u64;
+
+/// Issue lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IssueState {
+    /// Awaiting an expert.
+    Open,
+    /// Resolved with a contribution.
+    Resolved,
+    /// Closed without a contribution.
+    Closed,
+}
+
+/// The structured body the raise-hand button files (paper §3.4: "This
+/// issue will contain the question, context, and response").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IssueBody {
+    /// The user's question.
+    pub question: String,
+    /// The retrieved context shown to the model (metric names).
+    pub context_metrics: Vec<String>,
+    /// The copilot's response (query + answer rendering).
+    pub response: String,
+}
+
+/// A comment on an issue.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Comment {
+    /// Author id (user or expert).
+    pub author: String,
+    /// Comment text.
+    pub text: String,
+}
+
+/// One issue.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Issue {
+    /// Identifier.
+    pub id: IssueId,
+    /// Short title.
+    pub title: String,
+    /// Structured body.
+    pub body: IssueBody,
+    /// Lifecycle state.
+    pub state: IssueState,
+    /// Labels (e.g. `needs-expert`, `amf`).
+    pub labels: Vec<String>,
+    /// Discussion.
+    pub comments: Vec<Comment>,
+    /// Resolving expert, when resolved.
+    pub resolved_by: Option<String>,
+}
+
+impl Issue {
+    /// A fresh open issue.
+    pub fn new(id: IssueId, title: impl Into<String>, body: IssueBody) -> Self {
+        Issue {
+            id,
+            title: title.into(),
+            body,
+            state: IssueState::Open,
+            labels: vec!["needs-expert".to_string()],
+            comments: Vec::new(),
+            resolved_by: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_issue_is_open_and_labelled() {
+        let i = Issue::new(
+            7,
+            "copilot missed LCS metrics",
+            IssueBody {
+                question: "what is the LCS NI-LR success rate".into(),
+                context_metrics: vec!["amflcs_lcs_ni_lr_attempt".into()],
+                response: "unable to answer confidently".into(),
+            },
+        );
+        assert_eq!(i.id, 7);
+        assert_eq!(i.state, IssueState::Open);
+        assert_eq!(i.labels, vec!["needs-expert"]);
+        assert!(i.resolved_by.is_none());
+    }
+}

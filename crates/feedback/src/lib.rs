@@ -1,0 +1,32 @@
+//! # dio-feedback
+//!
+//! The expert-feedback loop (paper §3.4).
+//!
+//! "Upon receiving a response, the user can optionally request expert
+//! assistance by clicking a designated raised-hand button, which will
+//! create a GitHub repository issue. … The expert data obtained through
+//! this process is then added to the domain-specific database and
+//! attributed to the relevant expert as its source." GitHub is an
+//! external service, so this crate embeds the equivalent tracker:
+//!
+//! * [`IssueTracker`] — issues with question/context/response bodies,
+//!   comments, labels, and lifecycle;
+//! * [`ExpertRegistry`] — "only a select few pre-identified experts can
+//!   resolve these issues";
+//! * [`Contribution`] — metric docs, function definitions, exemplars,
+//!   and free-form notes that resolution merges into the
+//!   [`dio_catalog::DomainDb`], with attribution;
+//! * [`voting`] — the Stack-Overflow-style voting mechanism §3.4 leaves
+//!   as future work, implemented here as an extension.
+
+pub mod contribution;
+pub mod experts;
+pub mod issue;
+pub mod tracker;
+pub mod voting;
+
+pub use contribution::Contribution;
+pub use experts::{Expert, ExpertRegistry};
+pub use issue::{Issue, IssueBody, IssueId, IssueState};
+pub use tracker::{IssueTracker, TrackerError};
+pub use voting::{Vote, VotingBoard};

@@ -1,0 +1,192 @@
+//! Contribution voting — the Stack-Overflow-style mechanism §3.4 calls
+//! out as future work ("the system leaves the possibility to expand the
+//! pool of experts or adopting a voting mechanism"), implemented here
+//! as an extension: proposed contributions accumulate votes and are
+//! accepted (merged into the domain DB) once they reach a threshold.
+
+use crate::contribution::Contribution;
+use dio_catalog::DomainDb;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One vote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Vote {
+    /// +1.
+    Up,
+    /// −1.
+    Down,
+}
+
+/// A contribution awaiting votes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Proposal {
+    /// Proposal id.
+    pub id: u64,
+    /// The proposed contribution.
+    pub contribution: Contribution,
+    /// Proposing author (need not be a pre-identified expert — that is
+    /// the point of the extension).
+    pub author: String,
+    /// Voter → vote (one vote per voter, latest wins).
+    pub votes: BTreeMap<String, Vote>,
+    /// Whether it has been accepted and merged.
+    pub accepted: bool,
+}
+
+impl Proposal {
+    /// Net score (+1 per up, −1 per down).
+    pub fn score(&self) -> i64 {
+        self.votes
+            .values()
+            .map(|v| match v {
+                Vote::Up => 1,
+                Vote::Down => -1,
+            })
+            .sum()
+    }
+}
+
+/// The voting board.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VotingBoard {
+    proposals: Vec<Proposal>,
+    /// Net score required for acceptance.
+    pub threshold: i64,
+}
+
+impl Default for VotingBoard {
+    fn default() -> Self {
+        VotingBoard {
+            proposals: Vec::new(),
+            threshold: 3,
+        }
+    }
+}
+
+impl VotingBoard {
+    /// Board with the default threshold of 3.
+    pub fn new() -> Self {
+        VotingBoard::default()
+    }
+
+    /// Propose a contribution; returns its id.
+    pub fn propose(&mut self, contribution: Contribution, author: &str) -> u64 {
+        let id = self.proposals.len() as u64;
+        self.proposals.push(Proposal {
+            id,
+            contribution,
+            author: author.to_string(),
+            votes: BTreeMap::new(),
+            accepted: false,
+        });
+        id
+    }
+
+    /// Record a vote. If the proposal crosses the threshold it is
+    /// merged into `db` (attributed to its author) and marked accepted.
+    /// Returns whether the proposal is now accepted. Unknown ids and
+    /// already-accepted proposals return `None`.
+    pub fn vote(
+        &mut self,
+        id: u64,
+        voter: &str,
+        vote: Vote,
+        db: &mut DomainDb,
+    ) -> Option<bool> {
+        let threshold = self.threshold;
+        let p = self.proposals.get_mut(id as usize)?;
+        if p.accepted {
+            return None;
+        }
+        p.votes.insert(voter.to_string(), vote);
+        if p.score() >= threshold {
+            p.contribution.apply(db, &p.author);
+            p.accepted = true;
+        }
+        Some(p.accepted)
+    }
+
+    /// Look up a proposal.
+    pub fn get(&self, id: u64) -> Option<&Proposal> {
+        self.proposals.get(id as usize)
+    }
+
+    /// Pending (not yet accepted) proposals.
+    pub fn pending(&self) -> Vec<&Proposal> {
+        self.proposals.iter().filter(|p| !p.accepted).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dio_catalog::generator::{generate_catalog, CatalogConfig};
+
+    fn db() -> DomainDb {
+        DomainDb::from_catalog(generate_catalog(&CatalogConfig {
+            slice_variants: false,
+            sbi_counters: false,
+            ..CatalogConfig::default()
+        }))
+    }
+
+    fn note() -> Contribution {
+        Contribution::Note {
+            title: "voted-note".into(),
+            text: "community guidance".into(),
+        }
+    }
+
+    #[test]
+    fn acceptance_at_threshold_merges() {
+        let mut board = VotingBoard::new();
+        let mut d = db();
+        let before = d.note_count();
+        let id = board.propose(note(), "user:community");
+        assert_eq!(board.vote(id, "v1", Vote::Up, &mut d), Some(false));
+        assert_eq!(board.vote(id, "v2", Vote::Up, &mut d), Some(false));
+        assert_eq!(board.vote(id, "v3", Vote::Up, &mut d), Some(true));
+        assert_eq!(d.note_count(), before + 1);
+        assert!(board.get(id).unwrap().accepted);
+        assert!(board.pending().is_empty());
+    }
+
+    #[test]
+    fn downvotes_subtract() {
+        let mut board = VotingBoard::new();
+        let mut d = db();
+        let id = board.propose(note(), "a");
+        board.vote(id, "v1", Vote::Up, &mut d);
+        board.vote(id, "v2", Vote::Down, &mut d);
+        assert_eq!(board.get(id).unwrap().score(), 0);
+    }
+
+    #[test]
+    fn revoting_replaces_previous_vote() {
+        let mut board = VotingBoard::new();
+        let mut d = db();
+        let id = board.propose(note(), "a");
+        board.vote(id, "v1", Vote::Down, &mut d);
+        board.vote(id, "v1", Vote::Up, &mut d);
+        assert_eq!(board.get(id).unwrap().score(), 1);
+        assert_eq!(board.get(id).unwrap().votes.len(), 1);
+    }
+
+    #[test]
+    fn accepted_proposals_reject_further_votes() {
+        let mut board = VotingBoard::new();
+        board.threshold = 1;
+        let mut d = db();
+        let id = board.propose(note(), "a");
+        assert_eq!(board.vote(id, "v1", Vote::Up, &mut d), Some(true));
+        assert_eq!(board.vote(id, "v2", Vote::Up, &mut d), None);
+    }
+
+    #[test]
+    fn unknown_id_is_none() {
+        let mut board = VotingBoard::new();
+        let mut d = db();
+        assert_eq!(board.vote(42, "v", Vote::Up, &mut d), None);
+    }
+}

@@ -1,0 +1,242 @@
+//! Parsing the rendered prompt back into sections.
+//!
+//! The simulated model receives only the prompt *text* — the same
+//! contract a real API model has. This module recovers the structured
+//! sections from the markers the [`PromptBuilder`] emits.
+//!
+//! [`PromptBuilder`]: crate::prompt::PromptBuilder
+
+use crate::model::TaskKind;
+use crate::prompt::{markers, FewShotExample};
+
+/// A context entry as seen by the model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedItem {
+    /// Counter/function name.
+    pub name: String,
+    /// Description (may be empty when the prompt only lists names).
+    pub text: String,
+}
+
+/// The structured view of a prompt.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ParsedPrompt {
+    /// System instruction.
+    pub system: String,
+    /// CONTEXT items.
+    pub context: Vec<ParsedItem>,
+    /// FUNCTIONS items.
+    pub functions: Vec<ParsedItem>,
+    /// Few-shot examples.
+    pub examples: Vec<FewShotExample>,
+    /// The user question.
+    pub question: String,
+    /// Task directive, if recognised.
+    pub task: Option<TaskKind>,
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum Section {
+    None,
+    System,
+    Context,
+    Functions,
+    Examples,
+    Question,
+    Task,
+}
+
+/// Parse a prompt rendered by the builder. Unknown lines are ignored,
+/// so the parser is robust to prompts hand-built by the baselines.
+pub fn parse_prompt(text: &str) -> ParsedPrompt {
+    let mut out = ParsedPrompt::default();
+    let mut section = Section::None;
+    let mut pending_example: Option<FewShotExample> = None;
+
+    for line in text.lines() {
+        match line.trim_end() {
+            l if l == markers::SYSTEM => {
+                section = Section::System;
+                continue;
+            }
+            l if l == markers::CONTEXT => {
+                section = Section::Context;
+                continue;
+            }
+            l if l == markers::FUNCTIONS => {
+                section = Section::Functions;
+                continue;
+            }
+            l if l == markers::EXAMPLES => {
+                section = Section::Examples;
+                continue;
+            }
+            l if l == markers::QUESTION => {
+                section = Section::Question;
+                continue;
+            }
+            l if l == markers::TASK => {
+                section = Section::Task;
+                continue;
+            }
+            _ => {}
+        }
+        match section {
+            Section::None => {}
+            Section::System => {
+                if !line.trim().is_empty() {
+                    if !out.system.is_empty() {
+                        out.system.push(' ');
+                    }
+                    out.system.push_str(line.trim());
+                }
+            }
+            Section::Context | Section::Functions => {
+                if let Some(rest) = line.strip_prefix(markers::ITEM) {
+                    let (name, text) = match rest.split_once(": ") {
+                        Some((n, t)) => (n.trim().to_string(), t.trim().to_string()),
+                        None => (rest.trim().to_string(), String::new()),
+                    };
+                    let item = ParsedItem { name, text };
+                    if section == Section::Context {
+                        out.context.push(item);
+                    } else {
+                        out.functions.push(item);
+                    }
+                }
+            }
+            Section::Examples => {
+                if let Some(q) = line.strip_prefix(markers::EX_Q) {
+                    if let Some(ex) = pending_example.take() {
+                        out.examples.push(ex);
+                    }
+                    pending_example = Some(FewShotExample {
+                        question: q.trim().to_string(),
+                        metrics: Vec::new(),
+                        promql: String::new(),
+                    });
+                } else if let Some(m) = line.strip_prefix(markers::EX_METRICS) {
+                    if let Some(ex) = pending_example.as_mut() {
+                        ex.metrics = m
+                            .split(',')
+                            .map(|s| s.trim().to_string())
+                            .filter(|s| !s.is_empty())
+                            .collect();
+                    }
+                } else if let Some(p) = line.strip_prefix(markers::EX_PROMQL) {
+                    if let Some(ex) = pending_example.as_mut() {
+                        ex.promql = p.trim().to_string();
+                    }
+                }
+            }
+            Section::Question => {
+                if !line.trim().is_empty() {
+                    if !out.question.is_empty() {
+                        out.question.push(' ');
+                    }
+                    out.question.push_str(line.trim());
+                }
+            }
+            Section::Task => {
+                if out.task.is_none() && !line.trim().is_empty() {
+                    out.task = TaskKind::from_directive(line.trim());
+                }
+            }
+        }
+    }
+    if let Some(ex) = pending_example.take() {
+        out.examples.push(ex);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prompt::{ContextItem, PromptBuilder};
+
+    fn build_and_parse() -> ParsedPrompt {
+        let p = PromptBuilder::new()
+            .system("You are DIO copilot.")
+            .context(vec![
+                ContextItem {
+                    name: "amfcc_reg_attempt".into(),
+                    text: "The number of registration attempts.".into(),
+                    relevance: 0.9,
+                },
+                ContextItem {
+                    name: "amfcc_reg_success".into(),
+                    text: "The number of successful registrations.".into(),
+                    relevance: 0.8,
+                },
+            ])
+            .function("success_rate", "computes the success rate")
+            .examples(vec![FewShotExample {
+                question: "how many paging attempts".into(),
+                metrics: vec!["amfcc_paging_attempt".into()],
+                promql: "sum(amfcc_paging_attempt)".into(),
+            }])
+            .question("what is the registration success rate")
+            .task(TaskKind::GeneratePromql)
+            .build(32_000, 1000);
+        parse_prompt(&p.text)
+    }
+
+    #[test]
+    fn round_trips_all_sections() {
+        let p = build_and_parse();
+        assert_eq!(p.system, "You are DIO copilot.");
+        assert_eq!(p.context.len(), 2);
+        assert_eq!(p.context[0].name, "amfcc_reg_attempt");
+        assert!(p.context[0].text.contains("registration attempts"));
+        assert_eq!(p.functions.len(), 1);
+        assert_eq!(p.examples.len(), 1);
+        assert_eq!(p.examples[0].metrics, vec!["amfcc_paging_attempt"]);
+        assert_eq!(p.examples[0].promql, "sum(amfcc_paging_attempt)");
+        assert_eq!(p.question, "what is the registration success rate");
+        assert_eq!(p.task, Some(TaskKind::GeneratePromql));
+    }
+
+    #[test]
+    fn names_only_context_parses() {
+        let text = format!(
+            "{}\nschema\n\n{}\n{}metric_a\n{}metric_b\n\n{}\nq\n\n{}\n{}\n",
+            markers::SYSTEM,
+            markers::CONTEXT,
+            markers::ITEM,
+            markers::ITEM,
+            markers::QUESTION,
+            markers::TASK,
+            TaskKind::GeneratePromql.directive(),
+        );
+        let p = parse_prompt(&text);
+        assert_eq!(p.context.len(), 2);
+        assert_eq!(p.context[0].name, "metric_a");
+        assert!(p.context[0].text.is_empty());
+    }
+
+    #[test]
+    fn empty_prompt_parses_empty() {
+        let p = parse_prompt("");
+        assert!(p.context.is_empty());
+        assert!(p.question.is_empty());
+        assert_eq!(p.task, None);
+    }
+
+    #[test]
+    fn multiple_examples_parse() {
+        let text = format!(
+            "{}\n{}q1\n{}m1\n{}sum(m1)\n{}q2\n{}m2, m3\n{}avg(m2)\n",
+            markers::EXAMPLES,
+            markers::EX_Q,
+            markers::EX_METRICS,
+            markers::EX_PROMQL,
+            markers::EX_Q,
+            markers::EX_METRICS,
+            markers::EX_PROMQL,
+        );
+        let p = parse_prompt(&text);
+        assert_eq!(p.examples.len(), 2);
+        assert_eq!(p.examples[1].metrics, vec!["m2", "m3"]);
+    }
+}

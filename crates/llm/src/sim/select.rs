@@ -1,0 +1,561 @@
+//! Metric selection against the prompt's CONTEXT.
+//!
+//! This is the simulated counterpart of the paper's §3.2 second stage:
+//! "the foundation model is prompted to identify the metrics in the
+//! context that are most relevant to answering the user question",
+//! leveraging "named entity recognition and natural language
+//! understanding". The simulation scores each context item by weighted
+//! token overlap with the question; capability tiers differ in
+//! paraphrase bridging (lexicon expansion weight) and in how reliably
+//! they resolve near-ties between confusable metrics.
+
+use crate::sim::noise;
+use crate::sim::parse::ParsedItem;
+use crate::sim::reason::{QuestionAnalysis, RoleNeed};
+use dio_embed::tokenize::{content_words, words};
+use dio_embed::Lexicon;
+use std::collections::{HashMap, HashSet};
+
+/// Tier-dependent selection behaviour.
+#[derive(Debug, Clone)]
+pub struct SelectionConfig {
+    /// Weight of lexicon-expanded (synonym) tokens in `[0, 1]`.
+    pub paraphrase_strength: f64,
+    /// Probability of resolving a near-tie to the best candidate.
+    pub selection_strength: f64,
+    /// Model name, part of the deterministic noise context.
+    pub model_name: String,
+}
+
+/// One role's selection outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Selection {
+    /// The role this fills.
+    pub role: RoleNeed,
+    /// Chosen metric name; `None` when nothing in context was plausible.
+    pub name: Option<String>,
+    /// Coverage score of the choice in `[0, 1]`.
+    pub confidence: f64,
+}
+
+/// Below this question-coverage the model does not trust any candidate
+/// (and the caller falls back to fabrication).
+pub const CONFIDENCE_FLOOR: f64 = 0.34;
+
+/// Confidence floor for items that carry a bare name with no
+/// description (the baselines' schema-only context).
+pub const NAME_ONLY_FLOOR: f64 = 0.52;
+
+/// Near-tie margin: a runner-up within this factor of the best is
+/// "confusable".
+const TIE_MARGIN: f64 = 0.90;
+
+/// A question token with its lexicon expansions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QToken {
+    /// The original content word.
+    pub text: String,
+    /// Synonyms/expansions from the telecom lexicon.
+    pub expansions: Vec<String>,
+}
+
+/// Select one metric per role.
+pub fn select_metrics(
+    analysis: &QuestionAnalysis,
+    items: &[ParsedItem],
+    cfg: &SelectionConfig,
+    question: &str,
+) -> Vec<Selection> {
+    let df = doc_frequencies(items);
+    let n = items.len().max(1);
+
+    // Tokens of each mentioned failure cause, in mention order.
+    let cause_token_sets: Vec<Vec<String>> = analysis
+        .cause_phrases
+        .iter()
+        .map(|p| content_words(p))
+        .collect();
+
+    // Pre-tokenise items.
+    let item_tokens: Vec<HashSet<String>> = items.iter().map(item_token_set).collect();
+    let name_token_counts: Vec<usize> = items.iter().map(|i| words(&i.name).len()).collect();
+
+    let mut used: HashSet<usize> = HashSet::new();
+    let mut out = Vec::new();
+    for (role_idx, role) in analysis.roles.iter().enumerate() {
+        // Each role scores against the part of the question that names
+        // *its* entity: cause words belong to the failure counters, not
+        // to the attempt/success/duration counters of the procedure.
+        let role_tokens: Vec<String> = match role {
+            RoleNeed::FailureCause { index } => {
+                let own: &[String] = cause_token_sets
+                    .get(*index)
+                    .map(|v| v.as_slice())
+                    .unwrap_or(&[]);
+                analysis
+                    .phrase_tokens
+                    .iter()
+                    .filter(|t| {
+                        let in_own = own.contains(t);
+                        let in_other = cause_token_sets
+                            .iter()
+                            .enumerate()
+                            .any(|(j, set)| j != *index && set.contains(t));
+                        in_own || !in_other
+                    })
+                    .cloned()
+                    .collect()
+            }
+            RoleNeed::Any => analysis.phrase_tokens.clone(),
+            _ => analysis
+                .phrase_tokens
+                .iter()
+                .filter(|t| !cause_token_sets.iter().any(|set| set.contains(t)))
+                .cloned()
+                .collect(),
+        };
+        let weighted_q = expand_tokens(&role_tokens);
+
+        let mut scored: Vec<(usize, f64)> = Vec::new();
+        for (i, item) in items.iter().enumerate() {
+            if used.contains(&i) {
+                continue;
+            }
+            if !role_admits(role, &item.name) {
+                continue;
+            }
+            let mut score = coverage_score(
+                &weighted_q,
+                cfg.paraphrase_strength,
+                &item_tokens[i],
+                name_token_counts[i],
+                &df,
+                n,
+            );
+            if matches!(role, RoleNeed::Any) {
+                score *= any_role_bonus(&analysis.tokens, &item.name);
+            }
+            score *= entity_consistency_penalty(&analysis.tokens, &item.name);
+            if score > 0.0 {
+                scored.push((i, score));
+            }
+        }
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+
+        // A bare name (no description, as in the baselines' schema-only
+        // prompts) justifies less confidence than a documented metric:
+        // partial name overlap is a guess, not an identification.
+        let floor_for = |i: usize| {
+            if items[i].text.is_empty() {
+                NAME_ONLY_FLOOR
+            } else {
+                CONFIDENCE_FLOOR
+            }
+        };
+        let selection = match scored.first() {
+            Some(&(best_i, best_s)) if best_s >= floor_for(best_i) => {
+                // Near-tie confusion: a weaker model sometimes picks the
+                // runner-up when two metrics look alike.
+                let mut chosen = (best_i, best_s);
+                if let Some(&(second_i, second_s)) = scored.get(1) {
+                    if second_s >= best_s * TIE_MARGIN {
+                        let role_tag = format!("role{role_idx}");
+                        if !noise::coin(
+                            &[question, &cfg.model_name, &role_tag, "tie"],
+                            cfg.selection_strength,
+                        ) {
+                            chosen = (second_i, second_s);
+                        }
+                    }
+                }
+                used.insert(chosen.0);
+                Selection {
+                    role: *role,
+                    name: Some(items[chosen.0].name.clone()),
+                    confidence: chosen.1,
+                }
+            }
+            _ => Selection {
+                role: *role,
+                name: None,
+                confidence: scored.first().map(|s| s.1).unwrap_or(0.0),
+            },
+        };
+        out.push(selection);
+    }
+    out
+}
+
+/// Question tokens paired with their lexicon expansions.
+pub fn expand_tokens(tokens: &[String]) -> Vec<QToken> {
+    let lex = Lexicon::telecom();
+    tokens
+        .iter()
+        .map(|t| QToken {
+            text: t.clone(),
+            expansions: lex.expand(t).map(|e| e.to_vec()).unwrap_or_default(),
+        })
+        .collect()
+}
+
+/// Inflection variants of a word: the word itself plus light plural and
+/// past-tense strippings ("attempts" → "attempt", "forwarded" →
+/// "forward", "handled" → "handle").
+fn stems(word: &str) -> Vec<String> {
+    let mut out = vec![word.to_string()];
+    if word.len() > 3 && word.ends_with('s') && !word.ends_with("ss") && !word.ends_with("us") {
+        out.push(word[..word.len() - 1].to_string());
+    }
+    if word.len() > 4 && word.ends_with("ed") {
+        out.push(word[..word.len() - 2].to_string()); // forwarded -> forward
+        out.push(word[..word.len() - 1].to_string()); // handled -> handle
+    }
+    out
+}
+
+fn item_token_set(item: &ParsedItem) -> HashSet<String> {
+    let mut set: HashSet<String> = HashSet::new();
+    for t in words(&item.name).into_iter().chain(content_words(&item.text)) {
+        for s in stems(&t) {
+            set.insert(s);
+        }
+    }
+    set
+}
+
+fn token_matches(set: &HashSet<String>, token: &str) -> bool {
+    stems(token).iter().any(|s| set.contains(s))
+}
+
+/// Document frequency of tokens across items (names + descriptions).
+fn doc_frequencies(items: &[ParsedItem]) -> HashMap<String, usize> {
+    let mut df = HashMap::new();
+    for item in items {
+        for tok in item_token_set(item) {
+            *df.entry(tok).or_insert(0) += 1;
+        }
+    }
+    df
+}
+
+/// Weighted coverage of the question by the item. Each question token
+/// matches directly (full credit), via its stem (full credit), or via a
+/// lexicon expansion (credit scaled by paraphrase strength — how well
+/// the model bridges jargon). A mild specificity penalty on long metric
+/// names makes a plain `_attempt` counter outrank its
+/// `_attempt_snssai_embb` slice variant when the question does not
+/// mention a slice.
+fn coverage_score(
+    weighted_q: &[QToken],
+    paraphrase_strength: f64,
+    item_tokens: &HashSet<String>,
+    name_token_count: usize,
+    df: &HashMap<String, usize>,
+    n_items: usize,
+) -> f64 {
+    let mut matched = 0.0;
+    let mut total = 0.0;
+    for q in weighted_q {
+        let d = df.get(&q.text).copied().unwrap_or(0) as f64;
+        let rarity = if d == 0.0 {
+            // Corpus-unknown tokens (deployment names, ticket numbers…)
+            // carry little signal; a capable reader skims past them.
+            0.3
+        } else {
+            ((1.0 + n_items as f64) / (1.0 + d)).ln() + 0.2
+        };
+        total += rarity;
+        if token_matches(item_tokens, &q.text) {
+            matched += rarity;
+        } else if paraphrase_strength > 0.0
+            && q.expansions.iter().any(|e| token_matches(item_tokens, e))
+        {
+            matched += rarity * paraphrase_strength;
+        }
+    }
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let coverage = matched / total;
+    let penalty = 1.0 / (1.0 + 0.09 * name_token_count as f64);
+    coverage * penalty
+}
+
+/// Naming-convention prior for `Any`-role questions: "how many X
+/// *procedures*" conventionally reads the `_attempt` counter, "messages
+/// *sent*" the `_sent` counter, "*currently*" the `_current` gauge —
+/// the disambiguation a human expert applies between a procedure's
+/// attempt counter and its retry/duration/message siblings.
+fn any_role_bonus(tokens: &[String], name: &str) -> f64 {
+    let has = |t: &str| tokens.iter().any(|x| x == t);
+    let mut bonus = 1.0;
+    if (has("procedures") || has("procedure") || has("times") || has("try") || has("tries")
+        || has("attempts") || has("attempt") || has("handling") || has("handle") || has("handled")
+        || has("rate") || has("frequency"))
+        && name.ends_with("_attempt")
+    {
+        bonus *= 1.35;
+    }
+    if (has("sent") || has("send") || has("transmitted")) && name.ends_with("_sent") {
+        bonus *= 1.35;
+    }
+    if (has("received") || has("receive")) && name.ends_with("_received") {
+        bonus *= 1.35;
+    }
+    if (has("currently") || has("current") || has("moment")) && name.ends_with("_current") {
+        bonus *= 1.35;
+    }
+    bonus
+}
+
+/// Network-function prefixes recognised in metric names.
+const NF_PREFIXES: &[&str] = &["amf", "smf", "nrf", "nssf", "n3iwf", "upf"];
+
+/// Interface tags recognised in names and questions.
+const IFACE_TAGS: &[&str] = &["n1", "n2", "n3", "n4", "n6", "n7", "n9", "n11", "nwu"];
+
+/// Named-entity consistency: when the question names a network function
+/// ("… at the SMF") or a reference point ("… the N4 session …"), a
+/// candidate whose name belongs to a *different* NF or interface is
+/// penalised — basic named-entity recognition the paper credits the
+/// foundation model with.
+fn entity_consistency_penalty(tokens: &[String], name: &str) -> f64 {
+    let mut penalty = 1.0;
+    // NF check. Longest prefix match wins (`n3iwf` before `nrf`… they
+    // do not overlap, but be explicit about matching the name's start).
+    let name_nf = NF_PREFIXES
+        .iter()
+        .filter(|p| name.starts_with(**p))
+        .max_by_key(|p| p.len());
+    let mentioned_nfs: Vec<&str> = NF_PREFIXES
+        .iter()
+        .copied()
+        .filter(|p| tokens.iter().any(|t| t == p))
+        .collect();
+    if let Some(nf) = name_nf {
+        if !mentioned_nfs.is_empty() && !mentioned_nfs.contains(nf) {
+            penalty *= 0.55;
+        }
+    }
+    // Interface check: only penalise when the question names interfaces
+    // and the metric names a disjoint set.
+    let name_segs: Vec<&str> = name.split('_').collect();
+    let name_ifaces: Vec<&str> = IFACE_TAGS
+        .iter()
+        .copied()
+        .filter(|t| name_segs.contains(t))
+        .collect();
+    let q_ifaces: Vec<&str> = IFACE_TAGS
+        .iter()
+        .copied()
+        .filter(|t| tokens.iter().any(|x| x == t))
+        .collect();
+    if !q_ifaces.is_empty()
+        && !name_ifaces.is_empty()
+        && !q_ifaces.iter().any(|q| name_ifaces.contains(q))
+    {
+        penalty *= 0.6;
+    }
+    penalty
+}
+
+/// Does a metric name plausibly fill the role? (The model infers roles
+/// from naming conventions, as a human expert would.)
+fn role_admits(role: &RoleNeed, name: &str) -> bool {
+    let toks: Vec<String> = words(name);
+    let has = |t: &str| toks.iter().any(|x| x == t);
+    match role {
+        RoleNeed::Any => true,
+        RoleNeed::Success => has("success"),
+        RoleNeed::Attempt => has("attempt"),
+        RoleNeed::FailureCause { .. } => has("failure"),
+        RoleNeed::Duration => has("duration"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::reason::analyze;
+
+    fn item(name: &str, text: &str) -> ParsedItem {
+        ParsedItem {
+            name: name.to_string(),
+            text: text.to_string(),
+        }
+    }
+
+    fn registration_context() -> Vec<ParsedItem> {
+        vec![
+            item(
+                "amfcc_n1_initial_registration_attempt",
+                "The number of initial registration procedure attempts handled by AMF.",
+            ),
+            item(
+                "amfcc_n1_initial_registration_success",
+                "The number of initial registration procedures completed successfully by AMF.",
+            ),
+            item(
+                "amfcc_n1_initial_registration_attempt_snssai_embb",
+                "The number of initial registration procedure attempts at AMF for the eMBB slice.",
+            ),
+            item(
+                "amfcc_n1_mobility_registration_update_attempt",
+                "The number of mobility registration update procedure attempts handled by AMF.",
+            ),
+            item(
+                "smfpdu_n11_pdu_session_establishment_attempt",
+                "The number of PDU session establishment procedure attempts handled by SMF.",
+            ),
+        ]
+    }
+
+    fn strong_cfg() -> SelectionConfig {
+        SelectionConfig {
+            paraphrase_strength: 0.9,
+            selection_strength: 0.97,
+            model_name: "gpt-4-sim".into(),
+        }
+    }
+
+    #[test]
+    fn picks_success_and_attempt_for_rate_question() {
+        let q = "What is the initial registration procedure success rate at the AMF?";
+        let a = analyze(q);
+        let sel = select_metrics(&a, &registration_context(), &strong_cfg(), q);
+        assert_eq!(sel.len(), 2);
+        assert_eq!(
+            sel[0].name.as_deref(),
+            Some("amfcc_n1_initial_registration_success")
+        );
+        assert_eq!(
+            sel[1].name.as_deref(),
+            Some("amfcc_n1_initial_registration_attempt")
+        );
+    }
+
+    #[test]
+    fn prefers_plain_counter_over_slice_variant() {
+        let q = "How many initial registration attempts did the AMF handle?";
+        let a = analyze(q);
+        let sel = select_metrics(&a, &registration_context(), &strong_cfg(), q);
+        assert_eq!(
+            sel[0].name.as_deref(),
+            Some("amfcc_n1_initial_registration_attempt")
+        );
+    }
+
+    #[test]
+    fn slice_mention_flips_to_slice_variant() {
+        let q = "How many initial registration attempts were there on the eMBB slice?";
+        let a = analyze(q);
+        let sel = select_metrics(&a, &registration_context(), &strong_cfg(), q);
+        assert_eq!(
+            sel[0].name.as_deref(),
+            Some("amfcc_n1_initial_registration_attempt_snssai_embb")
+        );
+    }
+
+    #[test]
+    fn empty_context_selects_nothing() {
+        let q = "How many registration attempts were there?";
+        let a = analyze(q);
+        let sel = select_metrics(&a, &[], &strong_cfg(), q);
+        assert_eq!(sel[0].name, None);
+        assert_eq!(sel[0].confidence, 0.0);
+    }
+
+    #[test]
+    fn unrelated_context_is_below_confidence_floor() {
+        let q = "How many initial registration attempts did the AMF handle?";
+        let a = analyze(q);
+        let ctx = vec![item(
+            "upfup_n3_ul_bytes",
+            "The total number of octets forwarded in the uplink direction on the N3 reference point at UPF.",
+        )];
+        let sel = select_metrics(&a, &ctx, &strong_cfg(), q);
+        assert_eq!(sel[0].name, None);
+    }
+
+    #[test]
+    fn selection_is_deterministic() {
+        let q = "What is the initial registration success rate?";
+        let a = analyze(q);
+        let s1 = select_metrics(&a, &registration_context(), &strong_cfg(), q);
+        let s2 = select_metrics(&a, &registration_context(), &strong_cfg(), q);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn weak_model_confuses_near_ties_more_often() {
+        // Across many confusable question variants, the weak tier must
+        // flip to the runner-up strictly more often than the strong tier.
+        let ctx = registration_context();
+        let weak = SelectionConfig {
+            paraphrase_strength: 0.4,
+            selection_strength: 0.55,
+            model_name: "weak-sim".into(),
+        };
+        let mut strong_right = 0;
+        let mut weak_right = 0;
+        for i in 0..60 {
+            // Ambiguous phrasing: "registration attempts" without the
+            // "initial" qualifier near-ties with the mobility-update
+            // counter, so tie resolution is what separates the tiers.
+            let q = format!(
+                "How many registration attempts did the AMF handle in region {i}?"
+            );
+            let a = analyze(&q);
+            let s = select_metrics(&a, &ctx, &strong_cfg(), &q);
+            let w = select_metrics(&a, &ctx, &weak, &q);
+            if s[0].name.as_deref() == Some("amfcc_n1_initial_registration_attempt") {
+                strong_right += 1;
+            }
+            if w[0].name.as_deref() == Some("amfcc_n1_initial_registration_attempt") {
+                weak_right += 1;
+            }
+        }
+        assert!(
+            strong_right > weak_right,
+            "strong {strong_right} vs weak {weak_right}"
+        );
+    }
+
+    #[test]
+    fn paraphrase_strength_bridges_jargon() {
+        // "user plane function" spelled out vs the upf prefix.
+        let ctx = vec![
+            item(
+                "upfup_n3_ul_bytes",
+                "The total number of octets forwarded in the uplink direction on the N3 reference point at UPF.",
+            ),
+            item(
+                "nrfnfm_nf_heartbeat_attempt",
+                "The number of NF heartbeat procedures handled by NRF.",
+            ),
+        ];
+        let q = "How many octets did the user plane function forward upstream on N3?";
+        let a = analyze(q);
+        let strong = select_metrics(&a, &ctx, &strong_cfg(), q);
+        let no_para = SelectionConfig {
+            paraphrase_strength: 0.0,
+            ..strong_cfg()
+        };
+        let weak = select_metrics(&a, &ctx, &no_para, q);
+        assert_eq!(strong[0].name.as_deref(), Some("upfup_n3_ul_bytes"));
+        // Without paraphrase bridging the confidence must be lower.
+        assert!(strong[0].confidence >= weak[0].confidence);
+    }
+
+    #[test]
+    fn roles_not_double_assigned() {
+        let q = "What is the initial registration success rate?";
+        let a = analyze(q);
+        let sel = select_metrics(&a, &registration_context(), &strong_cfg(), q);
+        assert_ne!(sel[0].name, sel[1].name);
+    }
+}

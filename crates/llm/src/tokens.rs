@@ -1,0 +1,88 @@
+//! Approximate token counting.
+//!
+//! Real GPT models use byte-pair encodings averaging ~4 characters per
+//! token on English prose. This deterministic approximation reproduces
+//! that density closely enough for context-window budgeting and cost
+//! accounting: each whitespace-separated word contributes
+//! `ceil(len / 4)` tokens (snake_case counter names decompose into many
+//! tokens, exactly as BPE does), and each punctuation run contributes 1.
+
+/// Approximate BPE token count of a text.
+pub fn count_tokens(text: &str) -> usize {
+    let mut tokens = 0usize;
+    for word in text.split_whitespace() {
+        // Split the word into alphanumeric runs and punctuation runs.
+        let mut alnum_len = 0usize;
+        let mut prev_punct = false;
+        for ch in word.chars() {
+            if ch.is_alphanumeric() {
+                alnum_len += 1;
+                prev_punct = false;
+            } else {
+                if alnum_len > 0 {
+                    tokens += alnum_len.div_ceil(4);
+                    alnum_len = 0;
+                }
+                if !prev_punct {
+                    tokens += 1;
+                    prev_punct = true;
+                }
+            }
+        }
+        if alnum_len > 0 {
+            tokens += alnum_len.div_ceil(4);
+        }
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(count_tokens(""), 0);
+        assert_eq!(count_tokens("   \n\t"), 0);
+    }
+
+    #[test]
+    fn short_words_are_one_token() {
+        assert_eq!(count_tokens("the"), 1);
+        assert_eq!(count_tokens("a b c"), 3);
+    }
+
+    #[test]
+    fn long_words_split() {
+        assert_eq!(count_tokens("authentication"), 4); // 14 chars -> 4
+        assert_eq!(count_tokens("ab"), 1);
+        assert_eq!(count_tokens("abcd"), 1);
+        assert_eq!(count_tokens("abcde"), 2);
+    }
+
+    #[test]
+    fn counter_names_cost_many_tokens() {
+        // amfcc_n1_auth_request: runs amfcc(2) n1(1) auth(1) request(2)
+        // plus two underscore runs... underscores split runs: amfcc, _,
+        // n1, _, auth, _, request -> 2+1+1+1+1+1+2 = 9
+        let n = count_tokens("amfcc_n1_auth_request");
+        assert!(n >= 7, "expected counter name to be many tokens, got {n}");
+    }
+
+    #[test]
+    fn prose_density_is_plausible() {
+        let text = "The number of authentication requests sent by AMF. \
+                    The AUTHENTICATION REQUEST message is defined in section 8.2.1 of 3GPP TS 24.501.";
+        let words = text.split_whitespace().count();
+        let tokens = count_tokens(text);
+        // BPE ratio on prose is ~1.3 tokens/word.
+        assert!(tokens >= words, "tokens {tokens} < words {words}");
+        assert!(tokens <= words * 2, "tokens {tokens} > 2x words {words}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let t = "sum(rate(upfup_n3_ul_bytes[5m]))";
+        assert_eq!(count_tokens(t), count_tokens(t));
+    }
+}

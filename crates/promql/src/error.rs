@@ -1,0 +1,75 @@
+//! Parse and evaluation errors.
+
+use serde::{Deserialize, Serialize};
+
+/// A syntax error with position information.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub message: String,
+    /// Byte offset in the input where the error was detected.
+    pub position: usize,
+}
+
+impl ParseError {
+    /// Construct a parse error.
+    pub fn new(message: impl Into<String>, position: usize) -> Self {
+        ParseError {
+            message: message.into(),
+            position,
+        }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A query evaluation error.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EvalError {
+    /// Operator or function applied to the wrong value type.
+    TypeMismatch(String),
+    /// Unknown function name.
+    UnknownFunction(String),
+    /// Wrong number or type of function arguments.
+    BadArguments(String),
+    /// Many-to-many or unexpected many-to-one vector match.
+    VectorMatch(String),
+    /// Query exceeded a configured execution limit.
+    LimitExceeded(String),
+    /// Anything else.
+    Other(String),
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            EvalError::UnknownFunction(m) => write!(f, "unknown function: {m}"),
+            EvalError::BadArguments(m) => write!(f, "bad arguments: {m}"),
+            EvalError::VectorMatch(m) => write!(f, "vector matching error: {m}"),
+            EvalError::LimitExceeded(m) => write!(f, "limit exceeded: {m}"),
+            EvalError::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let p = ParseError::new("unexpected token", 7);
+        assert_eq!(p.to_string(), "parse error at 7: unexpected token");
+        let e = EvalError::UnknownFunction("frobnicate".into());
+        assert!(e.to_string().contains("frobnicate"));
+    }
+}

@@ -1,0 +1,823 @@
+//! PromQL recursive-descent / Pratt parser.
+
+use crate::ast::{AggOp, BinOp, Expr, GroupSide, Grouping, VectorMatching};
+use crate::error::ParseError;
+use crate::lexer::{lex, SpannedToken, Token};
+use dio_tsdb::{MatchOp, Matcher};
+
+/// Parse a PromQL expression into an AST.
+pub fn parse(input: &str) -> Result<Expr, ParseError> {
+    let tokens = lex(input)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        input_len: input.len(),
+    };
+    let expr = p.parse_expr(0)?;
+    if !p.at_end() {
+        return Err(ParseError::new(
+            format!("unexpected trailing input: {:?}", p.peek().unwrap().token),
+            p.peek().unwrap().offset,
+        ));
+    }
+    Ok(expr)
+}
+
+struct Parser {
+    tokens: Vec<SpannedToken>,
+    pos: usize,
+    input_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&SpannedToken> {
+        self.tokens.get(self.pos)
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn offset(&self) -> usize {
+        self.peek().map(|t| t.offset).unwrap_or(self.input_len)
+    }
+
+    fn next(&mut self) -> Option<SpannedToken> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: &Token, what: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if &t.token == tok => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(t) => Err(ParseError::new(
+                format!("expected {what}, found {:?}", t.token),
+                t.offset,
+            )),
+            None => Err(ParseError::new(
+                format!("expected {what}, found end of input"),
+                self.input_len,
+            )),
+        }
+    }
+
+    fn peek_ident(&self) -> Option<&str> {
+        match self.peek() {
+            Some(SpannedToken {
+                token: Token::Ident(s),
+                ..
+            }) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Pratt expression parser.
+    fn parse_expr(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek_binop() {
+                Some(op) if op.precedence() >= min_prec => op,
+                _ => break,
+            };
+            self.pos += 1; // consume operator
+
+            // `bool` modifier.
+            let mut bool_modifier = false;
+            if self.peek_ident() == Some("bool") {
+                if !op.is_comparison() {
+                    return Err(ParseError::new(
+                        "bool modifier only allowed on comparison operators",
+                        self.offset(),
+                    ));
+                }
+                bool_modifier = true;
+                self.pos += 1;
+            }
+
+            // Vector matching: on/ignoring + group_left/group_right.
+            let mut matching = VectorMatching::default();
+            match self.peek_ident() {
+                Some("on") => {
+                    self.pos += 1;
+                    matching.on = Some(true);
+                    matching.labels = self.parse_label_list()?;
+                }
+                Some("ignoring") => {
+                    self.pos += 1;
+                    matching.on = Some(false);
+                    matching.labels = self.parse_label_list()?;
+                }
+                _ => {}
+            }
+            match self.peek_ident() {
+                Some("group_left") => {
+                    self.pos += 1;
+                    let extra = self.parse_optional_label_list()?;
+                    matching.group = Some((GroupSide::Left, extra));
+                }
+                Some("group_right") => {
+                    self.pos += 1;
+                    let extra = self.parse_optional_label_list()?;
+                    matching.group = Some((GroupSide::Right, extra));
+                }
+                _ => {}
+            }
+
+            let next_min = if op.is_right_assoc() {
+                op.precedence()
+            } else {
+                op.precedence() + 1
+            };
+            let rhs = self.parse_expr(next_min)?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                bool_modifier,
+                matching,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn peek_binop(&self) -> Option<BinOp> {
+        match self.peek().map(|t| &t.token) {
+            Some(Token::Plus) => Some(BinOp::Add),
+            Some(Token::Minus) => Some(BinOp::Sub),
+            Some(Token::Star) => Some(BinOp::Mul),
+            Some(Token::Slash) => Some(BinOp::Div),
+            Some(Token::Percent) => Some(BinOp::Mod),
+            Some(Token::Caret) => Some(BinOp::Pow),
+            Some(Token::EqEq) => Some(BinOp::Eq),
+            Some(Token::NotEq) => Some(BinOp::Ne),
+            Some(Token::Gt) => Some(BinOp::Gt),
+            Some(Token::Lt) => Some(BinOp::Lt),
+            Some(Token::Gte) => Some(BinOp::Gte),
+            Some(Token::Lte) => Some(BinOp::Lte),
+            Some(Token::Ident(s)) => match s.as_str() {
+                "and" => Some(BinOp::And),
+                "or" => Some(BinOp::Or),
+                "unless" => Some(BinOp::Unless),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        if matches!(self.peek().map(|t| &t.token), Some(Token::Minus)) {
+            self.pos += 1;
+            let inner = self.parse_unary()?;
+            return Ok(Expr::Neg(Box::new(inner)));
+        }
+        if matches!(self.peek().map(|t| &t.token), Some(Token::Plus)) {
+            self.pos += 1;
+            return self.parse_unary();
+        }
+        self.parse_postfix()
+    }
+
+    /// Primary expression plus postfix `[range]` and `offset`.
+    fn parse_postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut expr = self.parse_primary()?;
+
+        // Range selector or subquery.
+        if matches!(self.peek().map(|t| &t.token), Some(Token::LBracket)) {
+            let off = self.offset();
+            self.pos += 1;
+            let range_ms = match self.next() {
+                Some(SpannedToken {
+                    token: Token::Duration(ms),
+                    ..
+                }) => ms,
+                Some(t) => {
+                    return Err(ParseError::new(
+                        format!("expected duration in range selector, found {:?}", t.token),
+                        t.offset,
+                    ))
+                }
+                None => return Err(ParseError::new("expected duration", self.input_len)),
+            };
+            if matches!(self.peek().map(|t| &t.token), Some(Token::Colon)) {
+                // Subquery: expr[range:step] with optional step.
+                self.pos += 1;
+                let step_ms = match self.peek().map(|t| &t.token) {
+                    Some(Token::Duration(ms)) => {
+                        let ms = *ms;
+                        self.pos += 1;
+                        Some(ms)
+                    }
+                    _ => None,
+                };
+                self.expect(&Token::RBracket, "']'")?;
+                if let Some(step) = step_ms {
+                    if step <= 0 {
+                        return Err(ParseError::new("subquery step must be positive", off));
+                    }
+                }
+                expr = Expr::Subquery {
+                    expr: Box::new(expr),
+                    range_ms,
+                    step_ms,
+                    offset_ms: 0,
+                };
+            } else {
+                self.expect(&Token::RBracket, "']'")?;
+                match &expr {
+                    Expr::VectorSelector { .. } => {}
+                    _ => {
+                        return Err(ParseError::new(
+                            "range selector only allowed on vector selectors (use [range:step] for subqueries)",
+                            off,
+                        ))
+                    }
+                }
+                expr = Expr::MatrixSelector {
+                    selector: Box::new(expr),
+                    range_ms,
+                };
+            }
+        }
+
+        // Offset modifier.
+        if self.peek_ident() == Some("offset") {
+            self.pos += 1;
+            let off_ms = match self.next() {
+                Some(SpannedToken {
+                    token: Token::Duration(ms),
+                    ..
+                }) => ms,
+                Some(t) => {
+                    return Err(ParseError::new(
+                        format!("expected duration after offset, found {:?}", t.token),
+                        t.offset,
+                    ))
+                }
+                None => return Err(ParseError::new("expected duration", self.input_len)),
+            };
+            apply_offset(&mut expr, off_ms, self.offset())?;
+        }
+
+        Ok(expr)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ParseError> {
+        let tok = match self.peek() {
+            Some(t) => t.clone(),
+            None => {
+                return Err(ParseError::new(
+                    "unexpected end of input",
+                    self.input_len,
+                ))
+            }
+        };
+        match tok.token {
+            Token::Number(n) => {
+                self.pos += 1;
+                Ok(Expr::NumberLiteral(n))
+            }
+            Token::Duration(ms) => {
+                // A bare duration outside [..] is a number of seconds in
+                // Prometheus (e.g. `5m` == 300); accept that.
+                self.pos += 1;
+                Ok(Expr::NumberLiteral(ms as f64 / 1000.0))
+            }
+            Token::Str(s) => {
+                self.pos += 1;
+                Ok(Expr::StringLiteral(s))
+            }
+            Token::LParen => {
+                self.pos += 1;
+                let inner = self.parse_expr(0)?;
+                self.expect(&Token::RParen, "')'")?;
+                Ok(Expr::Paren(Box::new(inner)))
+            }
+            Token::LBrace => {
+                // Selector with no metric name.
+                let matchers = self.parse_matchers()?;
+                Ok(Expr::VectorSelector {
+                    name: None,
+                    matchers,
+                    offset_ms: 0,
+                })
+            }
+            Token::Ident(name) => {
+                self.pos += 1;
+                // Aggregation?
+                if let Some(agg) = AggOp::parse(&name) {
+                    if self.is_agg_context() {
+                        return self.parse_aggregate(agg);
+                    }
+                }
+                // Function call?
+                if matches!(self.peek().map(|t| &t.token), Some(Token::LParen)) {
+                    return self.parse_call(name);
+                }
+                // Vector selector.
+                let matchers = if matches!(self.peek().map(|t| &t.token), Some(Token::LBrace)) {
+                    self.parse_matchers()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Expr::VectorSelector {
+                    name: Some(name),
+                    matchers,
+                    offset_ms: 0,
+                })
+            }
+            other => Err(ParseError::new(
+                format!("unexpected token {other:?}"),
+                tok.offset,
+            )),
+        }
+    }
+
+    /// After an aggregation keyword, the next token must be `(`, `by` or
+    /// `without` for it to actually be an aggregation (e.g. a metric
+    /// could be named `sum_of_things`, but a bare `sum` followed by `{`
+    /// is a selector for a metric literally named `sum`).
+    fn is_agg_context(&self) -> bool {
+        match self.peek().map(|t| &t.token) {
+            Some(Token::LParen) => true,
+            Some(Token::Ident(s)) => s == "by" || s == "without",
+            _ => false,
+        }
+    }
+
+    fn parse_aggregate(&mut self, op: AggOp) -> Result<Expr, ParseError> {
+        // Optional leading by/without.
+        let mut grouping = Grouping::None;
+        if let Some(kw) = self.peek_ident() {
+            if kw == "by" || kw == "without" {
+                let by = kw == "by";
+                self.pos += 1;
+                let labels = self.parse_label_list()?;
+                grouping = if by {
+                    Grouping::By(labels)
+                } else {
+                    Grouping::Without(labels)
+                };
+            }
+        }
+        self.expect(&Token::LParen, "'('")?;
+        let first = self.parse_expr(0)?;
+        let (param, expr) = if matches!(self.peek().map(|t| &t.token), Some(Token::Comma)) {
+            self.pos += 1;
+            let second = self.parse_expr(0)?;
+            (Some(Box::new(first)), second)
+        } else {
+            (None, first)
+        };
+        self.expect(&Token::RParen, "')'")?;
+        if op.takes_param() && param.is_none() {
+            return Err(ParseError::new(
+                format!("{} requires a parameter", op.as_str()),
+                self.offset(),
+            ));
+        }
+        if !op.takes_param() && param.is_some() {
+            return Err(ParseError::new(
+                format!("{} takes no parameter", op.as_str()),
+                self.offset(),
+            ));
+        }
+        // Optional trailing by/without.
+        if let Some(kw) = self.peek_ident() {
+            if kw == "by" || kw == "without" {
+                if grouping != Grouping::None {
+                    return Err(ParseError::new("duplicate grouping modifier", self.offset()));
+                }
+                let by = kw == "by";
+                self.pos += 1;
+                let labels = self.parse_label_list()?;
+                grouping = if by {
+                    Grouping::By(labels)
+                } else {
+                    Grouping::Without(labels)
+                };
+            }
+        }
+        Ok(Expr::Aggregate {
+            op,
+            param,
+            expr: Box::new(expr),
+            grouping,
+        })
+    }
+
+    fn parse_call(&mut self, func: String) -> Result<Expr, ParseError> {
+        self.expect(&Token::LParen, "'('")?;
+        let mut args = Vec::new();
+        if !matches!(self.peek().map(|t| &t.token), Some(Token::RParen)) {
+            loop {
+                args.push(self.parse_expr(0)?);
+                if matches!(self.peek().map(|t| &t.token), Some(Token::Comma)) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Token::RParen, "')'")?;
+        Ok(Expr::Call { func, args })
+    }
+
+    fn parse_matchers(&mut self) -> Result<Vec<Matcher>, ParseError> {
+        self.expect(&Token::LBrace, "'{'")?;
+        let mut matchers = Vec::new();
+        if !matches!(self.peek().map(|t| &t.token), Some(Token::RBrace)) {
+            loop {
+                let name = match self.next() {
+                    Some(SpannedToken {
+                        token: Token::Ident(n),
+                        ..
+                    }) => n,
+                    Some(t) => {
+                        return Err(ParseError::new(
+                            format!("expected label name, found {:?}", t.token),
+                            t.offset,
+                        ))
+                    }
+                    None => return Err(ParseError::new("expected label name", self.input_len)),
+                };
+                let op = match self.next() {
+                    Some(SpannedToken {
+                        token: Token::Assign,
+                        ..
+                    }) => MatchOp::Eq,
+                    Some(SpannedToken {
+                        token: Token::NotEq,
+                        ..
+                    }) => MatchOp::Ne,
+                    Some(SpannedToken {
+                        token: Token::ReMatch,
+                        ..
+                    }) => MatchOp::Re,
+                    Some(SpannedToken {
+                        token: Token::NotReMatch,
+                        ..
+                    }) => MatchOp::Nre,
+                    Some(t) => {
+                        return Err(ParseError::new(
+                            format!("expected matcher operator, found {:?}", t.token),
+                            t.offset,
+                        ))
+                    }
+                    None => return Err(ParseError::new("expected matcher operator", self.input_len)),
+                };
+                let value = match self.next() {
+                    Some(SpannedToken {
+                        token: Token::Str(v),
+                        ..
+                    }) => v,
+                    Some(t) => {
+                        return Err(ParseError::new(
+                            format!("expected quoted label value, found {:?}", t.token),
+                            t.offset,
+                        ))
+                    }
+                    None => return Err(ParseError::new("expected label value", self.input_len)),
+                };
+                matchers.push(Matcher { name, op, value });
+                match self.peek().map(|t| &t.token) {
+                    Some(Token::Comma) => {
+                        self.pos += 1;
+                        // Allow trailing comma.
+                        if matches!(self.peek().map(|t| &t.token), Some(Token::RBrace)) {
+                            break;
+                        }
+                    }
+                    _ => break,
+                }
+            }
+        }
+        self.expect(&Token::RBrace, "'}'")?;
+        Ok(matchers)
+    }
+
+    fn parse_label_list(&mut self) -> Result<Vec<String>, ParseError> {
+        self.expect(&Token::LParen, "'('")?;
+        let mut labels = Vec::new();
+        if !matches!(self.peek().map(|t| &t.token), Some(Token::RParen)) {
+            loop {
+                match self.next() {
+                    Some(SpannedToken {
+                        token: Token::Ident(n),
+                        ..
+                    }) => labels.push(n),
+                    Some(t) => {
+                        return Err(ParseError::new(
+                            format!("expected label name, found {:?}", t.token),
+                            t.offset,
+                        ))
+                    }
+                    None => return Err(ParseError::new("expected label name", self.input_len)),
+                }
+                if matches!(self.peek().map(|t| &t.token), Some(Token::Comma)) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Token::RParen, "')'")?;
+        Ok(labels)
+    }
+
+    /// group_left/group_right may be followed by an optional label list.
+    fn parse_optional_label_list(&mut self) -> Result<Vec<String>, ParseError> {
+        if matches!(self.peek().map(|t| &t.token), Some(Token::LParen)) {
+            self.parse_label_list()
+        } else {
+            Ok(Vec::new())
+        }
+    }
+}
+
+fn apply_offset(expr: &mut Expr, off_ms: i64, pos: usize) -> Result<(), ParseError> {
+    match expr {
+        Expr::VectorSelector { offset_ms, .. } => {
+            *offset_ms = off_ms;
+            Ok(())
+        }
+        Expr::Subquery { offset_ms, .. } => {
+            *offset_ms = off_ms;
+            Ok(())
+        }
+        Expr::MatrixSelector { selector, .. } => apply_offset(selector, off_ms, pos),
+        _ => Err(ParseError::new(
+            "offset only allowed on selectors",
+            pos,
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_bare_selector() {
+        let e = parse("amfcc_n1_auth_request").unwrap();
+        assert_eq!(
+            e,
+            Expr::VectorSelector {
+                name: Some("amfcc_n1_auth_request".into()),
+                matchers: vec![],
+                offset_ms: 0
+            }
+        );
+    }
+
+    #[test]
+    fn parses_selector_with_matchers() {
+        let e = parse(r#"m{instance="amf-0", nf=~"a.*"}"#).unwrap();
+        match e {
+            Expr::VectorSelector { name, matchers, .. } => {
+                assert_eq!(name.as_deref(), Some("m"));
+                assert_eq!(matchers.len(), 2);
+                assert_eq!(matchers[0], Matcher::eq("instance", "amf-0"));
+                assert_eq!(matchers[1], Matcher::re("nf", "a.*"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_nameless_selector() {
+        let e = parse(r#"{__name__="m", x!="y"}"#).unwrap();
+        match e {
+            Expr::VectorSelector { name, matchers, .. } => {
+                assert_eq!(name, None);
+                assert_eq!(matchers.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_matrix_and_offset() {
+        let e = parse("m[5m] offset 1h").unwrap();
+        match e {
+            Expr::MatrixSelector { selector, range_ms } => {
+                assert_eq!(range_ms, 300_000);
+                match *selector {
+                    Expr::VectorSelector { offset_ms, .. } => assert_eq!(offset_ms, 3_600_000),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_rate_call() {
+        let e = parse("rate(m[5m])").unwrap();
+        match e {
+            Expr::Call { func, args } => {
+                assert_eq!(func, "rate");
+                assert_eq!(args.len(), 1);
+                assert!(matches!(args[0], Expr::MatrixSelector { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_aggregation_with_by() {
+        let e = parse("sum by (instance) (rate(m[1m]))").unwrap();
+        match e {
+            Expr::Aggregate {
+                op,
+                grouping,
+                param,
+                ..
+            } => {
+                assert_eq!(op, AggOp::Sum);
+                assert_eq!(grouping, Grouping::By(vec!["instance".into()]));
+                assert!(param.is_none());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_trailing_grouping() {
+        let e = parse("sum(m) without (instance)").unwrap();
+        match e {
+            Expr::Aggregate { grouping, .. } => {
+                assert_eq!(grouping, Grouping::Without(vec!["instance".into()]));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_topk_with_param() {
+        let e = parse("topk(3, m)").unwrap();
+        match e {
+            Expr::Aggregate { op, param, .. } => {
+                assert_eq!(op, AggOp::Topk);
+                assert_eq!(*param.unwrap(), Expr::NumberLiteral(3.0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn topk_without_param_is_error() {
+        assert!(parse("topk(m)").is_err());
+        assert!(parse("sum(3, m)").is_err());
+    }
+
+    #[test]
+    fn parses_paper_success_rate_shape() {
+        // The expression shape from §4.2.3.
+        let e = parse(
+            "100 * sum(amflcs_lcs_ni_lr_success) / sum(amflcs_lcs_ni_lr_attempt)",
+        )
+        .unwrap();
+        assert_eq!(
+            e.metric_names(),
+            vec!["amflcs_lcs_ni_lr_success", "amflcs_lcs_ni_lr_attempt"]
+        );
+    }
+
+    #[test]
+    fn precedence_mul_before_add() {
+        let e = parse("1 + 2 * 3").unwrap();
+        match e {
+            Expr::Binary { op: BinOp::Add, rhs, .. } => {
+                assert!(matches!(*rhs, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pow_is_right_assoc() {
+        let e = parse("2 ^ 3 ^ 2").unwrap();
+        match e {
+            Expr::Binary { op: BinOp::Pow, rhs, .. } => {
+                assert!(matches!(*rhs, Expr::Binary { op: BinOp::Pow, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_bool_comparison() {
+        let e = parse("m > bool 5").unwrap();
+        match e {
+            Expr::Binary { bool_modifier, .. } => assert!(bool_modifier),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse("m + bool 5").is_err());
+    }
+
+    #[test]
+    fn parses_on_group_left() {
+        let e = parse("a / on (instance) group_left (nf) b").unwrap();
+        match e {
+            Expr::Binary { matching, .. } => {
+                assert_eq!(matching.on, Some(true));
+                assert_eq!(matching.labels, vec!["instance"]);
+                let (side, extra) = matching.group.unwrap();
+                assert_eq!(side, GroupSide::Left);
+                assert_eq!(extra, vec!["nf"]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_ignoring() {
+        let e = parse("a * ignoring (cause) b").unwrap();
+        match e {
+            Expr::Binary { matching, .. } => {
+                assert_eq!(matching.on, Some(false));
+                assert_eq!(matching.labels, vec!["cause"]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_set_ops() {
+        let e = parse("a and b or c unless d").unwrap();
+        // or has lowest precedence: (a and b) or (c unless d)
+        match e {
+            Expr::Binary { op: BinOp::Or, lhs, rhs, .. } => {
+                assert!(matches!(*lhs, Expr::Binary { op: BinOp::And, .. }));
+                assert!(matches!(*rhs, Expr::Binary { op: BinOp::Unless, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_unary_minus() {
+        let e = parse("-m + 3").unwrap();
+        match e {
+            Expr::Binary { op: BinOp::Add, lhs, .. } => {
+                assert!(matches!(*lhs, Expr::Neg(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_label_replace_with_strings() {
+        let e = parse(r#"label_replace(m, "dst", "$1", "src", "(.*)")"#).unwrap();
+        match e {
+            Expr::Call { func, args } => {
+                assert_eq!(func, "label_replace");
+                assert_eq!(args.len(), 5);
+                assert!(matches!(args[1], Expr::StringLiteral(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse("m)").is_err());
+        assert!(parse("sum(m) extra").is_err());
+    }
+
+    #[test]
+    fn rejects_range_on_non_selector() {
+        assert!(parse("(a + b)[5m]").is_err());
+        assert!(parse("rate(m)[5m]").is_err());
+    }
+
+    #[test]
+    fn rejects_offset_on_non_selector() {
+        assert!(parse("(a + b) offset 5m").is_err());
+    }
+
+    #[test]
+    fn metric_named_like_agg_keyword_is_selector() {
+        // `sum` followed by `{...}` is a metric named sum.
+        let e = parse(r#"sum{x="1"}"#).unwrap();
+        assert!(matches!(e, Expr::VectorSelector { .. }));
+    }
+
+    #[test]
+    fn parses_nested_parens() {
+        let e = parse("((m))").unwrap();
+        assert!(matches!(e, Expr::Paren(_)));
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        assert!(parse("").is_err());
+        assert!(parse("   ").is_err());
+    }
+}

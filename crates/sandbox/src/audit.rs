@@ -1,0 +1,109 @@
+//! Audit trail of every execution attempt.
+
+use serde::{Deserialize, Serialize};
+
+/// What happened to an attempted query.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AuditOutcome {
+    /// Vetted and executed successfully.
+    Executed,
+    /// Refused by the static policy.
+    Refused {
+        /// Human-readable violation.
+        reason: String,
+    },
+    /// Failed to parse.
+    ParseFailed {
+        /// Parser message.
+        reason: String,
+    },
+    /// Vetted but failed during evaluation (including resource limits).
+    EvalFailed {
+        /// Engine message.
+        reason: String,
+    },
+}
+
+/// One audit record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AuditEntry {
+    /// Monotone sequence number.
+    pub seq: u64,
+    /// The raw query text as submitted.
+    pub query: String,
+    /// Evaluation timestamp requested.
+    pub eval_ts: i64,
+    /// The outcome.
+    pub outcome: AuditOutcome,
+}
+
+/// Append-only audit log.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AuditLog {
+    entries: Vec<AuditEntry>,
+}
+
+impl AuditLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        AuditLog::default()
+    }
+
+    /// Append a record, returning its sequence number.
+    pub fn record(&mut self, query: &str, eval_ts: i64, outcome: AuditOutcome) -> u64 {
+        let seq = self.entries.len() as u64;
+        self.entries.push(AuditEntry {
+            seq,
+            query: query.to_string(),
+            eval_ts,
+            outcome,
+        });
+        seq
+    }
+
+    /// All entries, oldest first.
+    pub fn entries(&self) -> &[AuditEntry] {
+        &self.entries
+    }
+
+    /// Number of refused queries.
+    pub fn refused_count(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| matches!(e.outcome, AuditOutcome::Refused { .. }))
+            .count()
+    }
+
+    /// Number of executed queries.
+    pub fn executed_count(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.outcome == AuditOutcome::Executed)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_are_sequenced() {
+        let mut log = AuditLog::new();
+        assert_eq!(log.record("q1", 0, AuditOutcome::Executed), 0);
+        assert_eq!(
+            log.record(
+                "q2",
+                5,
+                AuditOutcome::Refused {
+                    reason: "nope".into()
+                }
+            ),
+            1
+        );
+        assert_eq!(log.entries().len(), 2);
+        assert_eq!(log.executed_count(), 1);
+        assert_eq!(log.refused_count(), 1);
+        assert_eq!(log.entries()[1].query, "q2");
+    }
+}

@@ -1,0 +1,196 @@
+//! Vetted, resource-limited execution of untrusted queries.
+
+use crate::audit::{AuditLog, AuditOutcome};
+use crate::policy::{PolicyViolation, SafetyPolicy};
+use dio_promql::{parse, Engine, EngineOptions, QueryStats, Value};
+use dio_tsdb::MetricStore;
+
+/// A successfully executed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionOutcome {
+    /// The query result.
+    pub value: Value,
+    /// Execution statistics.
+    pub stats: QueryStats,
+    /// Canonical form of the vetted expression.
+    pub canonical_query: String,
+}
+
+/// Why an execution failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SandboxError {
+    /// Syntax error.
+    Parse(String),
+    /// Policy refusal.
+    Refused(PolicyViolation),
+    /// Runtime failure (type errors, limits).
+    Eval(String),
+}
+
+impl std::fmt::Display for SandboxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SandboxError::Parse(m) => write!(f, "parse: {m}"),
+            SandboxError::Refused(v) => write!(f, "refused by policy: {v}"),
+            SandboxError::Eval(m) => write!(f, "evaluation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SandboxError {}
+
+/// The sandbox: engine + policy + audit log.
+#[derive(Debug)]
+pub struct Sandbox {
+    engine: Engine,
+    policy: SafetyPolicy,
+    audit: AuditLog,
+}
+
+impl Sandbox {
+    /// Build a sandbox over a store with a policy. The policy's sample
+    /// budget is installed into the engine.
+    pub fn new(store: MetricStore, policy: SafetyPolicy) -> Self {
+        let engine = Engine::with_options(
+            store,
+            EngineOptions {
+                max_samples: policy.max_samples,
+                ..EngineOptions::default()
+            },
+        );
+        Sandbox {
+            engine,
+            policy,
+            audit: AuditLog::new(),
+        }
+    }
+
+    /// The wrapped engine (read-only).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The audit log.
+    pub fn audit(&self) -> &AuditLog {
+        &self.audit
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &SafetyPolicy {
+        &self.policy
+    }
+
+    /// Vet and execute one untrusted query at `ts`.
+    pub fn execute(&mut self, query: &str, ts: i64) -> Result<ExecutionOutcome, SandboxError> {
+        let expr = match parse(query) {
+            Ok(e) => e,
+            Err(e) => {
+                self.audit.record(
+                    query,
+                    ts,
+                    AuditOutcome::ParseFailed {
+                        reason: e.to_string(),
+                    },
+                );
+                return Err(SandboxError::Parse(e.to_string()));
+            }
+        };
+        if let Err(v) = self.policy.vet(&expr) {
+            self.audit.record(
+                query,
+                ts,
+                AuditOutcome::Refused {
+                    reason: v.to_string(),
+                },
+            );
+            return Err(SandboxError::Refused(v));
+        }
+        match self.engine.instant_query_expr(&expr, ts) {
+            Ok((value, stats)) => {
+                self.audit.record(query, ts, AuditOutcome::Executed);
+                Ok(ExecutionOutcome {
+                    value,
+                    stats,
+                    canonical_query: dio_promql::format_expr(&expr),
+                })
+            }
+            Err(e) => {
+                self.audit.record(
+                    query,
+                    ts,
+                    AuditOutcome::EvalFailed {
+                        reason: e.to_string(),
+                    },
+                );
+                Err(SandboxError::Eval(e.to_string()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dio_tsdb::{Labels, Sample};
+
+    fn store() -> MetricStore {
+        let mut st = MetricStore::new();
+        let l = Labels::name_only("reqs_total");
+        for k in 0..=10i64 {
+            st.append(l.clone(), Sample::new(k * 60_000, (k * 60) as f64))
+                .unwrap();
+        }
+        st
+    }
+
+    #[test]
+    fn executes_safe_query() {
+        let mut sb = Sandbox::new(store(), SafetyPolicy::default());
+        let out = sb.execute("sum(rate(reqs_total[5m]))", 600_000).unwrap();
+        assert_eq!(out.value.as_scalar_like(), Some(1.0));
+        assert!(out.stats.samples_visited > 0);
+        assert_eq!(sb.audit().executed_count(), 1);
+    }
+
+    #[test]
+    fn refuses_and_audits_policy_violation() {
+        let mut sb = Sandbox::new(store(), SafetyPolicy::default());
+        let err = sb.execute("rate(reqs_total[7d])", 600_000).unwrap_err();
+        assert!(matches!(err, SandboxError::Refused(_)));
+        assert_eq!(sb.audit().refused_count(), 1);
+        assert_eq!(sb.audit().executed_count(), 0);
+    }
+
+    #[test]
+    fn parse_errors_are_audited() {
+        let mut sb = Sandbox::new(store(), SafetyPolicy::default());
+        let err = sb.execute("sum((", 0).unwrap_err();
+        assert!(matches!(err, SandboxError::Parse(_)));
+        assert!(matches!(
+            sb.audit().entries()[0].outcome,
+            AuditOutcome::ParseFailed { .. }
+        ));
+    }
+
+    #[test]
+    fn sample_budget_is_enforced() {
+        let policy = SafetyPolicy {
+            max_samples: 3,
+            ..SafetyPolicy::default()
+        };
+        let mut sb = Sandbox::new(store(), policy);
+        let err = sb.execute("sum(rate(reqs_total[10m]))", 600_000).unwrap_err();
+        assert!(matches!(err, SandboxError::Eval(_)));
+        assert!(matches!(
+            sb.audit().entries()[0].outcome,
+            AuditOutcome::EvalFailed { .. }
+        ));
+    }
+
+    #[test]
+    fn canonical_query_is_reported() {
+        let mut sb = Sandbox::new(store(), SafetyPolicy::default());
+        let out = sb.execute("sum( reqs_total )", 600_000).unwrap();
+        assert_eq!(out.canonical_query, "sum(reqs_total)");
+    }
+}

@@ -1,0 +1,236 @@
+//! Label sets identifying time series.
+
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::DefaultHasher;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// The reserved label carrying the metric name, as in Prometheus.
+pub const NAME_LABEL: &str = "__name__";
+
+/// An immutable, sorted set of `name=value` label pairs.
+///
+/// Invariants: names are unique and pairs are kept sorted by name, so
+/// equality, hashing, and display are canonical.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+pub struct Labels(Vec<(String, String)>);
+
+impl Labels {
+    /// Empty label set.
+    pub fn empty() -> Self {
+        Labels(Vec::new())
+    }
+
+    /// Build from pairs; later duplicates overwrite earlier ones.
+    pub fn from_pairs<I, S1, S2>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (S1, S2)>,
+        S1: Into<String>,
+        S2: Into<String>,
+    {
+        let mut labels = Labels::empty();
+        for (k, v) in pairs {
+            labels = labels.with(k.into(), v.into());
+        }
+        labels
+    }
+
+    /// A label set containing only the metric name.
+    pub fn name_only(name: &str) -> Self {
+        Labels(vec![(NAME_LABEL.to_string(), name.to_string())])
+    }
+
+    /// Return a copy with `name=value` set (replacing any existing value).
+    pub fn with(&self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        let (name, value) = (name.into(), value.into());
+        let mut pairs = self.0.clone();
+        match pairs.binary_search_by(|(n, _)| n.as_str().cmp(name.as_str())) {
+            Ok(i) => pairs[i].1 = value,
+            Err(i) => pairs.insert(i, (name, value)),
+        }
+        Labels(pairs)
+    }
+
+    /// Return a copy with `name` removed (no-op when absent).
+    pub fn without(&self, name: &str) -> Self {
+        Labels(
+            self.0
+                .iter()
+                .filter(|(n, _)| n != name)
+                .cloned()
+                .collect(),
+        )
+    }
+
+    /// Value of a label, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.0
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| self.0[i].1.as_str())
+    }
+
+    /// The metric name (`__name__`), if present.
+    pub fn name(&self) -> Option<&str> {
+        self.get(NAME_LABEL)
+    }
+
+    /// Copy without the metric name — the identity used for vector
+    /// matching in PromQL binary operations.
+    pub fn drop_name(&self) -> Self {
+        self.without(NAME_LABEL)
+    }
+
+    /// Keep only the listed label names (always drops `__name__` unless
+    /// listed) — PromQL `by (…)` semantics.
+    pub fn keep_only(&self, names: &[&str]) -> Self {
+        Labels(
+            self.0
+                .iter()
+                .filter(|(n, _)| names.contains(&n.as_str()))
+                .cloned()
+                .collect(),
+        )
+    }
+
+    /// Drop the listed label names and `__name__` — PromQL
+    /// `without (…)` semantics.
+    pub fn drop_listed_and_name(&self, names: &[&str]) -> Self {
+        Labels(
+            self.0
+                .iter()
+                .filter(|(n, _)| n != NAME_LABEL && !names.contains(&n.as_str()))
+                .cloned()
+                .collect(),
+        )
+    }
+
+    /// Iterate `(name, value)` pairs in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.0.iter().map(|(n, v)| (n.as_str(), v.as_str()))
+    }
+
+    /// Number of labels.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when there are no labels.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// A stable 64-bit signature of the full label set.
+    pub fn signature(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.0.hash(&mut h);
+        h.finish()
+    }
+}
+
+impl fmt::Display for Labels {
+    /// Prometheus exposition style: `name{l1="v1",l2="v2"}`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(name) = self.name() {
+            write!(f, "{name}")?;
+        }
+        let rest: Vec<String> = self
+            .iter()
+            .filter(|(n, _)| *n != NAME_LABEL)
+            .map(|(n, v)| format!("{n}=\"{v}\""))
+            .collect();
+        if !rest.is_empty() || self.name().is_none() {
+            write!(f, "{{{}}}", rest.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Labels {
+        Labels::from_pairs([
+            (NAME_LABEL, "amfcc_n1_auth_request"),
+            ("instance", "amf-0"),
+            ("nf", "amf"),
+        ])
+    }
+
+    #[test]
+    fn pairs_are_sorted_and_unique() {
+        let l = Labels::from_pairs([("z", "1"), ("a", "2"), ("z", "3")]);
+        let pairs: Vec<(&str, &str)> = l.iter().collect();
+        assert_eq!(pairs, vec![("a", "2"), ("z", "3")]);
+    }
+
+    #[test]
+    fn get_and_name() {
+        let l = sample();
+        assert_eq!(l.get("instance"), Some("amf-0"));
+        assert_eq!(l.get("missing"), None);
+        assert_eq!(l.name(), Some("amfcc_n1_auth_request"));
+    }
+
+    #[test]
+    fn with_replaces_existing() {
+        let l = sample().with("instance", "amf-1");
+        assert_eq!(l.get("instance"), Some("amf-1"));
+        assert_eq!(l.len(), 3);
+    }
+
+    #[test]
+    fn without_removes() {
+        let l = sample().without("nf");
+        assert_eq!(l.get("nf"), None);
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn drop_name_removes_metric_name_only() {
+        let l = sample().drop_name();
+        assert_eq!(l.name(), None);
+        assert_eq!(l.get("instance"), Some("amf-0"));
+    }
+
+    #[test]
+    fn keep_only_selects_subset() {
+        let l = sample().keep_only(&["nf"]);
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.get("nf"), Some("amf"));
+    }
+
+    #[test]
+    fn drop_listed_and_name_is_without_semantics() {
+        let l = sample().drop_listed_and_name(&["instance"]);
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.get("nf"), Some("amf"));
+    }
+
+    #[test]
+    fn display_is_exposition_format() {
+        assert_eq!(
+            sample().to_string(),
+            "amfcc_n1_auth_request{instance=\"amf-0\",nf=\"amf\"}"
+        );
+        assert_eq!(Labels::name_only("up").to_string(), "up");
+        assert_eq!(Labels::empty().to_string(), "{}");
+    }
+
+    #[test]
+    fn signature_distinguishes_label_sets() {
+        assert_ne!(
+            sample().signature(),
+            sample().with("instance", "amf-1").signature()
+        );
+        assert_eq!(sample().signature(), sample().signature());
+    }
+
+    #[test]
+    fn equality_is_order_independent() {
+        let a = Labels::from_pairs([("x", "1"), ("y", "2")]);
+        let b = Labels::from_pairs([("y", "2"), ("x", "1")]);
+        assert_eq!(a, b);
+    }
+}

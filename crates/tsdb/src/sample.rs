@@ -1,0 +1,37 @@
+//! A single timestamped measurement.
+
+use serde::{Deserialize, Serialize};
+
+/// One `(timestamp, value)` point. Timestamps are milliseconds since
+/// the Unix epoch, values are `f64` as in Prometheus.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Milliseconds since the Unix epoch.
+    pub timestamp_ms: i64,
+    /// Sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// Construct a sample.
+    pub fn new(timestamp_ms: i64, value: f64) -> Self {
+        Sample {
+            timestamp_ms,
+            value,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construct_and_compare() {
+        let s = Sample::new(1000, 2.5);
+        assert_eq!(s.timestamp_ms, 1000);
+        assert_eq!(s.value, 2.5);
+        assert_eq!(s, Sample::new(1000, 2.5));
+        assert_ne!(s, Sample::new(1001, 2.5));
+    }
+}

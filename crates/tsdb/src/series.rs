@@ -1,0 +1,204 @@
+//! A single time series: labels plus time-ordered samples.
+
+use crate::labels::Labels;
+use crate::sample::Sample;
+use serde::{Deserialize, Serialize};
+
+/// A labelled series with samples kept sorted by timestamp.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    labels: Labels,
+    samples: Vec<Sample>,
+}
+
+impl Series {
+    /// An empty series with the given identity.
+    pub fn new(labels: Labels) -> Self {
+        Series {
+            labels,
+            samples: Vec::new(),
+        }
+    }
+
+    /// The series identity.
+    pub fn labels(&self) -> &Labels {
+        &self.labels
+    }
+
+    /// All samples in time order.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when the series has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Append a sample. Out-of-order appends (timestamp not strictly
+    /// greater than the last) are rejected, mirroring Prometheus TSDB
+    /// head-append rules.
+    pub fn append(&mut self, sample: Sample) -> Result<(), AppendError> {
+        if let Some(last) = self.samples.last() {
+            if sample.timestamp_ms <= last.timestamp_ms {
+                return Err(AppendError::OutOfOrder {
+                    last: last.timestamp_ms,
+                    attempted: sample.timestamp_ms,
+                });
+            }
+        }
+        self.samples.push(sample);
+        Ok(())
+    }
+
+    /// The most recent sample at or before `ts` and within `lookback_ms`
+    /// of it — Prometheus instant-vector selection.
+    pub fn sample_at(&self, ts: i64, lookback_ms: i64) -> Option<Sample> {
+        let idx = self.samples.partition_point(|s| s.timestamp_ms <= ts);
+        if idx == 0 {
+            return None;
+        }
+        let s = self.samples[idx - 1];
+        if ts - s.timestamp_ms > lookback_ms {
+            None
+        } else {
+            Some(s)
+        }
+    }
+
+    /// Samples with timestamps in `(ts - range_ms, ts]` — Prometheus
+    /// range-vector selection.
+    pub fn window(&self, ts: i64, range_ms: i64) -> &[Sample] {
+        let lo = self
+            .samples
+            .partition_point(|s| s.timestamp_ms <= ts - range_ms);
+        let hi = self.samples.partition_point(|s| s.timestamp_ms <= ts);
+        &self.samples[lo..hi]
+    }
+
+    /// Drop samples older than `min_ts` (retention enforcement).
+    /// Returns how many samples were removed.
+    pub fn drop_samples_before(&mut self, min_ts: i64) -> usize {
+        let cut = self.samples.partition_point(|s| s.timestamp_ms < min_ts);
+        self.samples.drain(..cut);
+        cut
+    }
+
+    /// Timestamp of the first sample.
+    pub fn first_timestamp(&self) -> Option<i64> {
+        self.samples.first().map(|s| s.timestamp_ms)
+    }
+
+    /// Timestamp of the last sample.
+    pub fn last_timestamp(&self) -> Option<i64> {
+        self.samples.last().map(|s| s.timestamp_ms)
+    }
+}
+
+/// Error from [`Series::append`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppendError {
+    /// The appended timestamp is not after the newest stored sample.
+    OutOfOrder {
+        /// Newest stored timestamp.
+        last: i64,
+        /// Rejected timestamp.
+        attempted: i64,
+    },
+}
+
+impl std::fmt::Display for AppendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AppendError::OutOfOrder { last, attempted } => write!(
+                f,
+                "out-of-order append: attempted ts {attempted} <= newest ts {last}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AppendError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series_with(samples: &[(i64, f64)]) -> Series {
+        let mut s = Series::new(Labels::name_only("m"));
+        for &(t, v) in samples {
+            s.append(Sample::new(t, v)).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn append_keeps_order() {
+        let s = series_with(&[(1000, 1.0), (2000, 2.0)]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.first_timestamp(), Some(1000));
+        assert_eq!(s.last_timestamp(), Some(2000));
+    }
+
+    #[test]
+    fn out_of_order_append_rejected() {
+        let mut s = series_with(&[(2000, 1.0)]);
+        let err = s.append(Sample::new(2000, 2.0)).unwrap_err();
+        assert!(matches!(err, AppendError::OutOfOrder { .. }));
+        assert!(s.append(Sample::new(1000, 2.0)).is_err());
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn sample_at_picks_latest_within_lookback() {
+        let s = series_with(&[(1000, 1.0), (2000, 2.0), (3000, 3.0)]);
+        assert_eq!(s.sample_at(2500, 5000), Some(Sample::new(2000, 2.0)));
+        assert_eq!(s.sample_at(3000, 5000), Some(Sample::new(3000, 3.0)));
+        // Exactly at the sample: included.
+        assert_eq!(s.sample_at(1000, 5000), Some(Sample::new(1000, 1.0)));
+    }
+
+    #[test]
+    fn sample_at_respects_lookback() {
+        let s = series_with(&[(1000, 1.0)]);
+        assert_eq!(s.sample_at(5000, 3000), None);
+        assert_eq!(s.sample_at(4000, 3000), Some(Sample::new(1000, 1.0)));
+    }
+
+    #[test]
+    fn sample_at_before_first_is_none() {
+        let s = series_with(&[(1000, 1.0)]);
+        assert_eq!(s.sample_at(999, 5000), None);
+    }
+
+    #[test]
+    fn window_is_half_open() {
+        let s = series_with(&[(1000, 1.0), (2000, 2.0), (3000, 3.0), (4000, 4.0)]);
+        // (1000, 3000]
+        let w = s.window(3000, 2000);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].timestamp_ms, 2000);
+        assert_eq!(w[1].timestamp_ms, 3000);
+    }
+
+    #[test]
+    fn window_empty_when_no_overlap() {
+        let s = series_with(&[(1000, 1.0)]);
+        assert!(s.window(5000, 1000).is_empty());
+        assert!(s.window(500, 400).is_empty());
+    }
+
+    #[test]
+    fn empty_series_behaviour() {
+        let s = Series::new(Labels::name_only("m"));
+        assert!(s.is_empty());
+        assert_eq!(s.sample_at(1000, 1000), None);
+        assert!(s.window(1000, 1000).is_empty());
+        assert_eq!(s.first_timestamp(), None);
+    }
+}

@@ -1,0 +1,254 @@
+//! The metric store: every series, indexed by metric name.
+
+use crate::labels::Labels;
+use crate::matchers::{all_match, Matcher};
+use crate::sample::Sample;
+use crate::series::{AppendError, Series};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// In-memory store of all series.
+///
+/// Series are indexed by metric name for fast selection (the common case
+/// is a selector with an exact `__name__`), with a full scan fallback
+/// for name-pattern selectors.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MetricStore {
+    series: Vec<Series>,
+    by_name: HashMap<String, Vec<usize>>,
+    by_signature: HashMap<u64, usize>,
+}
+
+impl MetricStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        MetricStore::default()
+    }
+
+    /// Total number of series.
+    pub fn series_count(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Total number of samples across all series.
+    pub fn sample_count(&self) -> usize {
+        self.series.iter().map(|s| s.len()).sum()
+    }
+
+    /// Distinct metric names, sorted.
+    pub fn metric_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.by_name.keys().map(|s| s.as_str()).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// True when a metric with this exact name has at least one series.
+    pub fn has_metric(&self, name: &str) -> bool {
+        self.by_name.contains_key(name)
+    }
+
+    /// Get or create the series with exactly these labels, returning its
+    /// internal id.
+    pub fn ensure_series(&mut self, labels: Labels) -> usize {
+        let sig = labels.signature();
+        if let Some(&id) = self.by_signature.get(&sig) {
+            // Signature collision check: verify labels actually match.
+            if self.series[id].labels() == &labels {
+                return id;
+            }
+        }
+        let id = self.series.len();
+        if let Some(name) = labels.name() {
+            self.by_name
+                .entry(name.to_string())
+                .or_default()
+                .push(id);
+        }
+        self.by_signature.insert(sig, id);
+        self.series.push(Series::new(labels));
+        id
+    }
+
+    /// Append one sample to the series with these labels (creating it if
+    /// needed).
+    pub fn append(&mut self, labels: Labels, sample: Sample) -> Result<(), AppendError> {
+        let id = self.ensure_series(labels);
+        self.series[id].append(sample)
+    }
+
+    /// All series whose labels satisfy every matcher.
+    ///
+    /// An `Eq` matcher on `__name__` narrows the scan to that name's
+    /// postings list.
+    pub fn select(&self, matchers: &[Matcher]) -> Vec<&Series> {
+        use crate::matchers::MatchOp;
+        let name_eq = matchers
+            .iter()
+            .find(|m| m.name == crate::labels::NAME_LABEL && m.op == MatchOp::Eq);
+        let candidates: Vec<usize> = match name_eq {
+            Some(m) => self.by_name.get(&m.value).cloned().unwrap_or_default(),
+            None => (0..self.series.len()).collect(),
+        };
+        candidates
+            .into_iter()
+            .map(|i| &self.series[i])
+            .filter(|s| all_match(matchers, s.labels()))
+            .collect()
+    }
+
+    /// All series for a metric name.
+    pub fn series_for(&self, name: &str) -> Vec<&Series> {
+        self.by_name
+            .get(name)
+            .map(|ids| ids.iter().map(|&i| &self.series[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Iterate all series.
+    pub fn iter(&self) -> impl Iterator<Item = &Series> {
+        self.series.iter()
+    }
+
+    /// Enforce a retention horizon: drop every sample older than
+    /// `min_ts` across all series (empty series keep their identity).
+    /// Returns the number of samples removed.
+    pub fn enforce_retention(&mut self, min_ts: i64) -> usize {
+        self.series
+            .iter_mut()
+            .map(|s| s.drop_samples_before(min_ts))
+            .sum()
+    }
+
+    /// Earliest sample timestamp in the store.
+    pub fn min_timestamp(&self) -> Option<i64> {
+        self.series.iter().filter_map(|s| s.first_timestamp()).min()
+    }
+
+    /// Latest sample timestamp in the store.
+    pub fn max_timestamp(&self) -> Option<i64> {
+        self.series.iter().filter_map(|s| s.last_timestamp()).max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::NAME_LABEL;
+
+    fn store() -> MetricStore {
+        let mut st = MetricStore::new();
+        for (name, inst, t, v) in [
+            ("auth_req", "amf-0", 1000i64, 1.0),
+            ("auth_req", "amf-0", 2000, 2.0),
+            ("auth_req", "amf-1", 1000, 5.0),
+            ("pdu_est", "smf-0", 1000, 7.0),
+        ] {
+            st.append(
+                Labels::from_pairs([(NAME_LABEL, name), ("instance", inst)]),
+                Sample::new(t, v),
+            )
+            .unwrap();
+        }
+        st
+    }
+
+    #[test]
+    fn counts_series_and_samples() {
+        let st = store();
+        assert_eq!(st.series_count(), 3);
+        assert_eq!(st.sample_count(), 4);
+    }
+
+    #[test]
+    fn metric_names_sorted() {
+        assert_eq!(store().metric_names(), vec!["auth_req", "pdu_est"]);
+    }
+
+    #[test]
+    fn select_by_exact_name() {
+        let st = store();
+        let hits = st.select(&[Matcher::eq(NAME_LABEL, "auth_req")]);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn select_with_additional_matcher() {
+        let st = store();
+        let hits = st.select(&[
+            Matcher::eq(NAME_LABEL, "auth_req"),
+            Matcher::eq("instance", "amf-1"),
+        ]);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].samples()[0].value, 5.0);
+    }
+
+    #[test]
+    fn select_by_name_pattern_scans_all() {
+        let st = store();
+        let hits = st.select(&[Matcher::re(NAME_LABEL, ".*_req")]);
+        assert_eq!(hits.len(), 2);
+        let hits = st.select(&[Matcher::re(NAME_LABEL, "auth_req|pdu_est")]);
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn select_unknown_name_is_empty() {
+        assert!(store().select(&[Matcher::eq(NAME_LABEL, "nope")]).is_empty());
+    }
+
+    #[test]
+    fn ensure_series_is_idempotent() {
+        let mut st = MetricStore::new();
+        let l = Labels::name_only("x");
+        let a = st.ensure_series(l.clone());
+        let b = st.ensure_series(l);
+        assert_eq!(a, b);
+        assert_eq!(st.series_count(), 1);
+    }
+
+    #[test]
+    fn append_routes_to_same_series() {
+        let st = store();
+        let s = st.series_for("auth_req");
+        let amf0 = s
+            .iter()
+            .find(|s| s.labels().get("instance") == Some("amf-0"))
+            .unwrap();
+        assert_eq!(amf0.len(), 2);
+    }
+
+    #[test]
+    fn min_max_timestamps() {
+        let st = store();
+        assert_eq!(st.min_timestamp(), Some(1000));
+        assert_eq!(st.max_timestamp(), Some(2000));
+    }
+
+    #[test]
+    fn retention_drops_old_samples_only() {
+        let mut st = store();
+        let removed = st.enforce_retention(1500);
+        // Two series had a sample at t=1000 each... auth_req/amf-0 had
+        // (1000, 2000); amf-1 and pdu_est had t=1000 only.
+        assert_eq!(removed, 3);
+        assert_eq!(st.sample_count(), 1);
+        assert_eq!(st.min_timestamp(), Some(2000));
+        // Identity survives even when empty.
+        assert_eq!(st.series_count(), 3);
+        // Appends after retention still work.
+        st.append(
+            Labels::from_pairs([(NAME_LABEL, "pdu_est"), ("instance", "smf-0")]),
+            Sample::new(3000, 1.0),
+        )
+        .unwrap();
+        assert_eq!(st.sample_count(), 2);
+    }
+
+    #[test]
+    fn empty_store() {
+        let st = MetricStore::new();
+        assert_eq!(st.series_count(), 0);
+        assert_eq!(st.min_timestamp(), None);
+        assert!(st.select(&[]).is_empty());
+    }
+}

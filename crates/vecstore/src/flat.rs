@@ -1,0 +1,137 @@
+//! Exact brute-force index (FAISS `IndexFlatIP` analogue).
+
+use crate::index::{SearchHit, VectorIndex};
+use dio_embed::similarity::top_k_by;
+use dio_embed::{cosine, Vector};
+use serde::{Deserialize, Serialize};
+
+/// Stores every vector verbatim and scans all of them per query.
+/// Exact, simple, and fast enough for catalog-scale corpora (thousands
+/// of metric descriptions).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlatIndex {
+    dims: usize,
+    vectors: Vec<Vector>,
+}
+
+impl FlatIndex {
+    /// An empty index for `dims`-dimensional vectors.
+    pub fn new(dims: usize) -> Self {
+        assert!(dims > 0, "dims must be positive");
+        FlatIndex {
+            dims,
+            vectors: Vec::new(),
+        }
+    }
+
+    /// Build from a batch of vectors.
+    pub fn from_vectors(dims: usize, vectors: Vec<Vector>) -> Self {
+        let mut idx = FlatIndex::new(dims);
+        for v in vectors {
+            idx.add(v);
+        }
+        idx
+    }
+
+    /// Access a stored vector by id.
+    pub fn get(&self, id: usize) -> Option<&Vector> {
+        self.vectors.get(id)
+    }
+
+    /// Iterate over all stored vectors in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Vector> {
+        self.vectors.iter()
+    }
+}
+
+impl VectorIndex for FlatIndex {
+    fn add(&mut self, vector: Vector) -> usize {
+        assert_eq!(
+            vector.dims(),
+            self.dims,
+            "vector dims {} != index dims {}",
+            vector.dims(),
+            self.dims
+        );
+        self.vectors.push(vector);
+        self.vectors.len() - 1
+    }
+
+    fn search(&self, query: &Vector, k: usize) -> Vec<SearchHit> {
+        top_k_by(self.vectors.len(), k, |i| cosine(query, &self.vectors[i]))
+            .into_iter()
+            .map(|s| SearchHit {
+                id: s.index,
+                score: s.score,
+            })
+            .collect()
+    }
+
+    fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    fn dims(&self) -> usize {
+        self.dims
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: &[f32]) -> Vector {
+        Vector(x.to_vec()).normalized()
+    }
+
+    #[test]
+    fn add_assigns_sequential_ids() {
+        let mut idx = FlatIndex::new(2);
+        assert_eq!(idx.add(v(&[1.0, 0.0])), 0);
+        assert_eq!(idx.add(v(&[0.0, 1.0])), 1);
+        assert_eq!(idx.len(), 2);
+        assert!(!idx.is_empty());
+    }
+
+    #[test]
+    fn search_returns_nearest_first() {
+        let mut idx = FlatIndex::new(2);
+        idx.add(v(&[1.0, 0.0]));
+        idx.add(v(&[0.7, 0.7]));
+        idx.add(v(&[0.0, 1.0]));
+        let hits = idx.search(&v(&[1.0, 0.1]), 2);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].id, 0);
+        assert_eq!(hits[1].id, 1);
+        assert!(hits[0].score > hits[1].score);
+    }
+
+    #[test]
+    fn search_empty_index_is_empty() {
+        let idx = FlatIndex::new(4);
+        assert!(idx.search(&v(&[1.0, 0.0, 0.0, 0.0]), 5).is_empty());
+    }
+
+    #[test]
+    fn search_k_zero_is_empty() {
+        let mut idx = FlatIndex::new(2);
+        idx.add(v(&[1.0, 0.0]));
+        assert!(idx.search(&v(&[1.0, 0.0]), 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "dims")]
+    fn add_wrong_dims_panics() {
+        let mut idx = FlatIndex::new(3);
+        idx.add(v(&[1.0, 0.0]));
+    }
+
+    #[test]
+    fn get_returns_stored_vector() {
+        let mut idx = FlatIndex::new(2);
+        let a = v(&[0.6, 0.8]);
+        idx.add(a.clone());
+        assert_eq!(idx.get(0), Some(&a));
+        assert_eq!(idx.get(1), None);
+    }
+}

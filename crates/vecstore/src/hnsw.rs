@@ -1,0 +1,454 @@
+//! Hierarchical Navigable Small World (HNSW) graph index.
+//!
+//! The third index family alongside [`crate::FlatIndex`] and
+//! [`crate::IvfIndex`], matching FAISS's `IndexHNSWFlat`: a multi-layer
+//! proximity graph searched by greedy descent plus best-first expansion.
+//! Sub-linear query time without training, at the cost of insert-time
+//! graph maintenance.
+//!
+//! Determinism: level assignment derives from a hash of the insertion
+//! id and the configured seed (no RNG state), so the same insertion
+//! sequence always builds the same graph.
+
+use crate::index::{SearchHit, VectorIndex};
+use dio_embed::{cosine, Vector};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// HNSW construction/search parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HnswConfig {
+    /// Max connections per node per layer (M). Layer 0 allows `2 * m`.
+    pub m: usize,
+    /// Candidate-list width during construction.
+    pub ef_construction: usize,
+    /// Candidate-list width during search.
+    pub ef_search: usize,
+    /// Seed for deterministic level assignment.
+    pub seed: u64,
+}
+
+impl Default for HnswConfig {
+    fn default() -> Self {
+        HnswConfig {
+            m: 16,
+            ef_construction: 100,
+            ef_search: 64,
+            seed: 0x686e_7377_0000_0001,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Node {
+    vector: Vector,
+    /// Neighbour lists, one per layer (index 0 = base layer).
+    neighbours: Vec<Vec<usize>>,
+}
+
+/// The HNSW index.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HnswIndex {
+    dims: usize,
+    config: HnswConfig,
+    nodes: Vec<Node>,
+    entry: Option<usize>,
+    max_level: usize,
+}
+
+/// Max-heap entry ordered by similarity.
+#[derive(PartialEq)]
+struct Candidate {
+    sim: f32,
+    id: usize,
+}
+
+impl Eq for Candidate {}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.sim
+            .partial_cmp(&other.sim)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+fn hash01(seed: u64, id: u64) -> f64 {
+    let mut h = seed ^ id.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    ((h >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+}
+
+impl HnswIndex {
+    /// An empty index for `dims`-dimensional vectors.
+    pub fn new(dims: usize, config: HnswConfig) -> Self {
+        assert!(dims > 0, "dims must be positive");
+        assert!(config.m >= 2, "m must be at least 2");
+        HnswIndex {
+            dims,
+            config,
+            nodes: Vec::new(),
+            entry: None,
+            max_level: 0,
+        }
+    }
+
+    /// Build from a batch of vectors.
+    pub fn from_vectors(dims: usize, config: HnswConfig, vectors: Vec<Vector>) -> Self {
+        let mut idx = HnswIndex::new(dims, config);
+        for v in vectors {
+            idx.add(v);
+        }
+        idx
+    }
+
+    /// Change the search width.
+    pub fn set_ef_search(&mut self, ef: usize) {
+        self.config.ef_search = ef.max(1);
+    }
+
+    /// The deterministic level for insertion id `id`.
+    fn level_for(&self, id: usize) -> usize {
+        let ml = 1.0 / (self.config.m as f64).ln();
+        let u = hash01(self.config.seed, id as u64);
+        (-u.ln() * ml).floor() as usize
+    }
+
+    fn max_links(&self, layer: usize) -> usize {
+        if layer == 0 {
+            self.config.m * 2
+        } else {
+            self.config.m
+        }
+    }
+
+    /// Greedy best-first search on one layer; returns up to `ef` hits
+    /// sorted by descending similarity.
+    fn search_layer(&self, query: &Vector, entry: usize, ef: usize, layer: usize) -> Vec<Candidate> {
+        let mut visited: HashSet<usize> = HashSet::new();
+        visited.insert(entry);
+        let entry_sim = cosine(query, &self.nodes[entry].vector);
+
+        // Frontier: max-heap by similarity. Results: min-heap (via
+        // Reverse) keeping the best `ef`.
+        let mut frontier: BinaryHeap<Candidate> = BinaryHeap::new();
+        frontier.push(Candidate {
+            sim: entry_sim,
+            id: entry,
+        });
+        let mut results: BinaryHeap<std::cmp::Reverse<Candidate>> = BinaryHeap::new();
+        results.push(std::cmp::Reverse(Candidate {
+            sim: entry_sim,
+            id: entry,
+        }));
+
+        while let Some(current) = frontier.pop() {
+            let worst = results.peek().map(|r| r.0.sim).unwrap_or(f32::MIN);
+            if current.sim < worst && results.len() >= ef {
+                break;
+            }
+            for &n in &self.nodes[current.id].neighbours[layer] {
+                if !visited.insert(n) {
+                    continue;
+                }
+                let sim = cosine(query, &self.nodes[n].vector);
+                let worst = results.peek().map(|r| r.0.sim).unwrap_or(f32::MIN);
+                if results.len() < ef || sim > worst {
+                    frontier.push(Candidate { sim, id: n });
+                    results.push(std::cmp::Reverse(Candidate { sim, id: n }));
+                    if results.len() > ef {
+                        results.pop();
+                    }
+                }
+            }
+        }
+
+        let mut out: Vec<Candidate> = results.into_iter().map(|r| r.0).collect();
+        out.sort_by(|a, b| b.cmp(a));
+        out
+    }
+
+    /// Select up to `m` neighbours using the HNSW paper's diversity
+    /// heuristic (Algorithm 4): a candidate is kept only if it is
+    /// closer to the query node than to every already-selected
+    /// neighbour. Plain top-m collapses on clustered data (operator
+    /// metric descriptions are *extremely* clustered: forty
+    /// near-identical failure counters per procedure), leaving the
+    /// graph disconnected between clusters.
+    fn select_neighbours(&self, cands: &[Candidate], m: usize) -> Vec<usize> {
+        let mut selected: Vec<usize> = Vec::with_capacity(m);
+        for c in cands {
+            if selected.len() >= m {
+                break;
+            }
+            let diverse = selected.iter().all(|&s| {
+                let sim_to_selected = cosine(&self.nodes[c.id].vector, &self.nodes[s].vector);
+                c.sim > sim_to_selected
+            });
+            if diverse {
+                selected.push(c.id);
+            }
+        }
+        // Backfill with the best remaining candidates if the heuristic
+        // was too strict (keepPrunedConnections in the paper).
+        if selected.len() < m {
+            for c in cands {
+                if selected.len() >= m {
+                    break;
+                }
+                if !selected.contains(&c.id) {
+                    selected.push(c.id);
+                }
+            }
+        }
+        selected
+    }
+
+    fn prune(&mut self, id: usize, layer: usize) {
+        let cap = self.max_links(layer);
+        if self.nodes[id].neighbours[layer].len() <= cap {
+            return;
+        }
+        let v = self.nodes[id].vector.clone();
+        let mut scored: Vec<Candidate> = self.nodes[id].neighbours[layer]
+            .iter()
+            .map(|&n| Candidate {
+                sim: cosine(&v, &self.nodes[n].vector),
+                id: n,
+            })
+            .collect();
+        scored.sort_by(|a, b| b.cmp(a));
+        self.nodes[id].neighbours[layer] = self.select_neighbours(&scored, cap);
+    }
+}
+
+impl VectorIndex for HnswIndex {
+    fn add(&mut self, vector: Vector) -> usize {
+        assert_eq!(vector.dims(), self.dims, "vector dims mismatch");
+        let id = self.nodes.len();
+        let level = self.level_for(id);
+        self.nodes.push(Node {
+            vector,
+            neighbours: vec![Vec::new(); level + 1],
+        });
+
+        let Some(mut entry) = self.entry else {
+            self.entry = Some(id);
+            self.max_level = level;
+            return id;
+        };
+
+        let query = self.nodes[id].vector.clone();
+
+        // Greedy descent through layers above the new node's level.
+        let mut layer = self.max_level;
+        while layer > level {
+            let best = self.search_layer(&query, entry, 1, layer);
+            if let Some(b) = best.first() {
+                entry = b.id;
+            }
+            layer -= 1;
+        }
+
+        // Connect on each layer from min(level, max_level) down to 0.
+        let top = level.min(self.max_level);
+        for l in (0..=top).rev() {
+            let cands = self.search_layer(&query, entry, self.config.ef_construction, l);
+            let selected = self.select_neighbours(&cands, self.max_links(l));
+            for &n in &selected {
+                if n == id {
+                    continue;
+                }
+                self.nodes[id].neighbours[l].push(n);
+                self.nodes[n].neighbours[l].push(id);
+                self.prune(n, l);
+            }
+            if let Some(b) = cands.first() {
+                entry = b.id;
+            }
+        }
+
+        if level > self.max_level {
+            self.max_level = level;
+            self.entry = Some(id);
+        }
+        id
+    }
+
+    fn search(&self, query: &Vector, k: usize) -> Vec<SearchHit> {
+        if k == 0 || self.nodes.is_empty() {
+            return Vec::new();
+        }
+        let mut entry = self.entry.expect("non-empty index has an entry");
+        for layer in (1..=self.max_level).rev() {
+            let best = self.search_layer(query, entry, 1, layer);
+            if let Some(b) = best.first() {
+                entry = b.id;
+            }
+        }
+        let ef = self.config.ef_search.max(k);
+        let cands = self.search_layer(query, entry, ef, 0);
+        cands
+            .into_iter()
+            .take(k)
+            .map(|c| SearchHit {
+                id: c.id,
+                score: c.sim,
+            })
+            .collect()
+    }
+
+    fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn dims(&self) -> usize {
+        self.dims
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatIndex;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_unit(rng: &mut ChaCha8Rng, dims: usize) -> Vector {
+        let v: Vec<f32> = (0..dims).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        Vector(v).normalized()
+    }
+
+    fn dataset(n: usize, dims: usize, seed: u64) -> Vec<Vector> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n).map(|_| random_unit(&mut rng, dims)).collect()
+    }
+
+    #[test]
+    fn empty_and_tiny_indexes() {
+        let idx = HnswIndex::new(8, HnswConfig::default());
+        assert!(idx.is_empty());
+        assert!(idx.search(&Vector::zeros(8), 3).is_empty());
+
+        let mut idx = HnswIndex::new(2, HnswConfig::default());
+        idx.add(Vector(vec![1.0, 0.0]));
+        let hits = idx.search(&Vector(vec![1.0, 0.0]), 5);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, 0);
+    }
+
+    #[test]
+    fn exact_on_identical_query() {
+        let data = dataset(200, 16, 3);
+        let idx = HnswIndex::from_vectors(16, HnswConfig::default(), data.clone());
+        for probe in [0usize, 57, 123, 199] {
+            let hits = idx.search(&data[probe], 1);
+            assert_eq!(hits[0].id, probe, "query = stored vector {probe}");
+            assert!(hits[0].score > 0.999);
+        }
+    }
+
+    #[test]
+    fn recall_against_flat_is_high() {
+        let data = dataset(500, 24, 9);
+        let flat = FlatIndex::from_vectors(24, data.clone());
+        let hnsw = HnswIndex::from_vectors(24, HnswConfig::default(), data);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for _ in 0..30 {
+            let q = random_unit(&mut rng, 24);
+            let truth: Vec<usize> = flat.search(&q, 10).into_iter().map(|h| h.id).collect();
+            let got: Vec<usize> = hnsw.search(&q, 10).into_iter().map(|h| h.id).collect();
+            hit += truth.iter().filter(|t| got.contains(t)).count();
+            total += truth.len();
+        }
+        let recall = hit as f64 / total as f64;
+        assert!(recall >= 0.9, "recall@10 = {recall}");
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let data = dataset(150, 12, 21);
+        let a = HnswIndex::from_vectors(12, HnswConfig::default(), data.clone());
+        let b = HnswIndex::from_vectors(12, HnswConfig::default(), data);
+        let q = dataset(1, 12, 99).pop().unwrap();
+        assert_eq!(a.search(&q, 7), b.search(&q, 7));
+    }
+
+    #[test]
+    fn ef_search_trades_recall() {
+        let data = dataset(600, 16, 5);
+        let flat = FlatIndex::from_vectors(16, data.clone());
+        let mut hnsw = HnswIndex::from_vectors(
+            16,
+            HnswConfig {
+                ef_construction: 40,
+                ..HnswConfig::default()
+            },
+            data,
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let queries: Vec<Vector> = (0..25).map(|_| random_unit(&mut rng, 16)).collect();
+        let recall = |h: &HnswIndex| {
+            let mut hit = 0;
+            let mut total = 0;
+            for q in &queries {
+                let truth: Vec<usize> = flat.search(q, 10).into_iter().map(|x| x.id).collect();
+                let got: Vec<usize> = h.search(q, 10).into_iter().map(|x| x.id).collect();
+                hit += truth.iter().filter(|t| got.contains(t)).count();
+                total += truth.len();
+            }
+            hit as f64 / total as f64
+        };
+        hnsw.set_ef_search(4);
+        let low = recall(&hnsw);
+        hnsw.set_ef_search(128);
+        let high = recall(&hnsw);
+        assert!(high >= low, "ef=128 recall {high} < ef=4 recall {low}");
+        assert!(high > 0.9, "high-ef recall {high}");
+    }
+
+    #[test]
+    fn neighbour_lists_respect_caps() {
+        let data = dataset(300, 8, 13);
+        let cfg = HnswConfig {
+            m: 6,
+            ..HnswConfig::default()
+        };
+        let idx = HnswIndex::from_vectors(8, cfg, data);
+        for node in &idx.nodes {
+            for (layer, links) in node.neighbours.iter().enumerate() {
+                let cap = if layer == 0 { 12 } else { 6 };
+                assert!(links.len() <= cap, "layer {layer} has {} links", links.len());
+            }
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let data = dataset(80, 8, 17);
+        let idx = HnswIndex::from_vectors(8, HnswConfig::default(), data.clone());
+        let json = serde_json::to_string(&idx).unwrap();
+        let back: HnswIndex = serde_json::from_str(&json).unwrap();
+        assert_eq!(idx.search(&data[5], 5), back.search(&data[5], 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "dims mismatch")]
+    fn wrong_dims_panics() {
+        let mut idx = HnswIndex::new(4, HnswConfig::default());
+        idx.add(Vector(vec![1.0, 0.0]));
+    }
+}

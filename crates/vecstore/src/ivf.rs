@@ -1,0 +1,266 @@
+//! Inverted-file approximate index (FAISS `IndexIVFFlat` analogue).
+//!
+//! Vectors are partitioned by a k-means coarse quantiser into `nlist`
+//! cells. A query probes only the `nprobe` cells whose centroids are
+//! most similar, scanning a fraction of the data. `nprobe == nlist`
+//! degenerates to exact search.
+
+use crate::index::{SearchHit, VectorIndex};
+use crate::kmeans::{kmeans, nearest_centroid, KMeansConfig};
+use dio_embed::similarity::top_k_by;
+use dio_embed::{cosine, Vector};
+use serde::{Deserialize, Serialize};
+
+/// IVF hyper-parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IvfConfig {
+    /// Number of inverted lists (k-means cells).
+    pub nlist: usize,
+    /// Cells probed per query.
+    pub nprobe: usize,
+    /// Training iterations for the coarse quantiser.
+    pub train_iters: usize,
+    /// RNG seed for quantiser training.
+    pub seed: u64,
+}
+
+impl Default for IvfConfig {
+    fn default() -> Self {
+        IvfConfig {
+            nlist: 32,
+            nprobe: 4,
+            train_iters: 25,
+            seed: 0x6976_6673_6565_6400, // "ivfseed" in ASCII
+        }
+    }
+}
+
+/// An IVF index. Built in one shot from training data with
+/// [`IvfIndex::train`]; further vectors can be added afterwards and are
+/// routed to their nearest cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IvfIndex {
+    dims: usize,
+    config: IvfConfig,
+    centroids: Vec<Vector>,
+    /// `lists[cell]` holds (id, vector) pairs.
+    lists: Vec<Vec<(usize, Vector)>>,
+    len: usize,
+}
+
+impl IvfIndex {
+    /// Train the coarse quantiser on `data` and index all of it.
+    pub fn train(dims: usize, config: IvfConfig, data: Vec<Vector>) -> Self {
+        assert!(dims > 0, "dims must be positive");
+        assert!(!data.is_empty(), "IVF training needs data");
+        assert!(config.nprobe >= 1, "nprobe must be >= 1");
+        for d in &data {
+            assert_eq!(d.dims(), dims, "vector dims mismatch");
+        }
+        let km = kmeans(
+            &data,
+            &KMeansConfig {
+                k: config.nlist.min(data.len()),
+                max_iters: config.train_iters,
+                seed: config.seed,
+            },
+        );
+        let mut lists = vec![Vec::new(); km.centroids.len()];
+        for (id, (v, &cell)) in data.into_iter().zip(km.assignments.iter()).enumerate() {
+            lists[cell].push((id, v));
+        }
+        let len = lists.iter().map(|l| l.len()).sum();
+        IvfIndex {
+            dims,
+            config,
+            centroids: km.centroids,
+            lists,
+            len,
+        }
+    }
+
+    /// Number of inverted lists actually created.
+    pub fn nlist(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Change the probe width at query time.
+    pub fn set_nprobe(&mut self, nprobe: usize) {
+        assert!(nprobe >= 1, "nprobe must be >= 1");
+        self.config.nprobe = nprobe;
+    }
+
+    /// Current probe width.
+    pub fn nprobe(&self) -> usize {
+        self.config.nprobe
+    }
+
+    /// The cells that would be probed for `query`.
+    fn probe_cells(&self, query: &Vector) -> Vec<usize> {
+        top_k_by(self.centroids.len(), self.config.nprobe, |i| {
+            cosine(query, &self.centroids[i])
+        })
+        .into_iter()
+        .map(|s| s.index)
+        .collect()
+    }
+}
+
+impl VectorIndex for IvfIndex {
+    fn add(&mut self, vector: Vector) -> usize {
+        assert_eq!(vector.dims(), self.dims, "vector dims mismatch");
+        let cell = nearest_centroid(&vector, &self.centroids);
+        let id = self.len;
+        self.lists[cell].push((id, vector));
+        self.len += 1;
+        id
+    }
+
+    fn search(&self, query: &Vector, k: usize) -> Vec<SearchHit> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut candidates: Vec<&(usize, Vector)> = Vec::new();
+        for cell in self.probe_cells(query) {
+            candidates.extend(self.lists[cell].iter());
+        }
+        let mut hits: Vec<SearchHit> = top_k_by(candidates.len(), k, |i| {
+            cosine(query, &candidates[i].1)
+        })
+        .into_iter()
+        .map(|s| SearchHit {
+            id: candidates[s.index].0,
+            score: s.score,
+        })
+        .collect();
+        // top_k_by tie-breaks on candidate position; re-sort so ties
+        // break on id for parity with FlatIndex.
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        hits
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn dims(&self) -> usize {
+        self.dims
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatIndex;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_unit(rng: &mut ChaCha8Rng, dims: usize) -> Vector {
+        let v: Vec<f32> = (0..dims).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        Vector(v).normalized()
+    }
+
+    fn dataset(n: usize, dims: usize) -> Vec<Vector> {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        (0..n).map(|_| random_unit(&mut rng, dims)).collect()
+    }
+
+    fn cfg(nlist: usize, nprobe: usize) -> IvfConfig {
+        IvfConfig {
+            nlist,
+            nprobe,
+            train_iters: 20,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn indexes_all_training_vectors() {
+        let data = dataset(200, 16);
+        let idx = IvfIndex::train(16, cfg(8, 2), data);
+        assert_eq!(idx.len(), 200);
+        assert_eq!(idx.nlist(), 8);
+    }
+
+    #[test]
+    fn full_probe_matches_flat_exactly() {
+        let data = dataset(150, 12);
+        let flat = FlatIndex::from_vectors(12, data.clone());
+        let ivf = IvfIndex::train(12, cfg(10, 10), data);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..20 {
+            let q = random_unit(&mut rng, 12);
+            let fh: Vec<usize> = flat.search(&q, 5).into_iter().map(|h| h.id).collect();
+            let ih: Vec<usize> = ivf.search(&q, 5).into_iter().map(|h| h.id).collect();
+            assert_eq!(fh, ih);
+        }
+    }
+
+    #[test]
+    fn recall_improves_with_nprobe() {
+        let data = dataset(400, 16);
+        let flat = FlatIndex::from_vectors(16, data.clone());
+        let mut ivf = IvfIndex::train(16, cfg(16, 1), data);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let queries: Vec<Vector> = (0..30).map(|_| random_unit(&mut rng, 16)).collect();
+
+        let recall = |ivf: &IvfIndex| -> f64 {
+            let mut hit = 0usize;
+            let mut total = 0usize;
+            for q in &queries {
+                let truth: Vec<usize> = flat.search(q, 10).into_iter().map(|h| h.id).collect();
+                let got: Vec<usize> = ivf.search(q, 10).into_iter().map(|h| h.id).collect();
+                hit += truth.iter().filter(|t| got.contains(t)).count();
+                total += truth.len();
+            }
+            hit as f64 / total as f64
+        };
+
+        let r1 = recall(&ivf);
+        ivf.set_nprobe(8);
+        let r8 = recall(&ivf);
+        ivf.set_nprobe(16);
+        let r16 = recall(&ivf);
+        assert!(r8 >= r1, "recall should not drop with more probes: {r1} -> {r8}");
+        assert!(r16 > 0.999, "full probe must be exact, got {r16}");
+    }
+
+    #[test]
+    fn add_after_training_is_searchable() {
+        let data = dataset(50, 8);
+        let mut ivf = IvfIndex::train(8, cfg(4, 4), data);
+        let special = Vector(vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        let id = ivf.add(special.clone());
+        assert_eq!(id, 50);
+        let hits = ivf.search(&special, 1);
+        assert_eq!(hits[0].id, 50);
+        assert!(hits[0].score > 0.999);
+    }
+
+    #[test]
+    fn search_k_zero_is_empty() {
+        let ivf = IvfIndex::train(8, cfg(2, 1), dataset(10, 8));
+        assert!(ivf.search(&dataset(1, 8)[0], 0).is_empty());
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let data = dataset(120, 8);
+        let a = IvfIndex::train(8, cfg(6, 2), data.clone());
+        let b = IvfIndex::train(8, cfg(6, 2), data);
+        let q = dataset(1, 8).pop().unwrap();
+        assert_eq!(a.search(&q, 7), b.search(&q, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs data")]
+    fn training_on_empty_panics() {
+        IvfIndex::train(8, cfg(4, 1), vec![]);
+    }
+}

@@ -1,0 +1,36 @@
+//! # dio-vecstore
+//!
+//! Vector index substrate — the FAISS substitute for DIO copilot.
+//!
+//! The paper stores metric-description embeddings in FAISS and retrieves
+//! the top-29 most cosine-similar samples for each user question. FAISS
+//! is a C++/GPU library; this crate provides the same capability natively:
+//!
+//! * [`FlatIndex`] — exact brute-force cosine search (FAISS `IndexFlatIP`
+//!   over normalised vectors),
+//! * [`IvfIndex`] — inverted-file approximate search with a k-means
+//!   coarse quantiser (FAISS `IndexIVFFlat`), trading recall for speed
+//!   via the `nprobe` parameter,
+//! * [`HnswIndex`] — hierarchical navigable-small-world graph search
+//!   (FAISS `IndexHNSWFlat`), sub-linear queries without training,
+//! * [`DocIndex`] — an index paired with owned document payloads, the
+//!   form the copilot's context extractor actually uses,
+//! * JSON persistence for every index type (FAISS `write_index`).
+//!
+//! All search paths are deterministic: equal scores tie-break on insert
+//! order.
+
+pub mod doc;
+pub mod flat;
+pub mod hnsw;
+pub mod index;
+pub mod ivf;
+pub mod kmeans;
+pub mod persist;
+
+pub use doc::DocIndex;
+pub use flat::FlatIndex;
+pub use hnsw::{HnswConfig, HnswIndex};
+pub use index::{SearchHit, VectorIndex};
+pub use ivf::{IvfConfig, IvfIndex};
+pub use kmeans::{kmeans, KMeansConfig, KMeansResult};

@@ -1,0 +1,136 @@
+//! Index persistence (FAISS `write_index`/`read_index` analogue).
+//!
+//! Indexes serialise to JSON. The embedding corpus is rebuilt offline
+//! (paper §3.2: "an offline process of converting the text samples …
+//! into word embeddings"), so persistence lets the copilot skip that
+//! step on restart.
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Errors from saving or loading an index.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// JSON (de)serialisation error.
+    Codec(serde_json::Error),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::Codec(e) => write!(f, "codec error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Codec(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Codec(e)
+    }
+}
+
+/// Serialise any serde-serialisable index (or `DocIndex`) to a string.
+pub fn to_json<T: Serialize>(value: &T) -> Result<String, PersistError> {
+    Ok(serde_json::to_string(value)?)
+}
+
+/// Deserialise an index from a JSON string.
+pub fn from_json<T: DeserializeOwned>(json: &str) -> Result<T, PersistError> {
+    Ok(serde_json::from_str(json)?)
+}
+
+/// Write an index to a file.
+pub fn save<T: Serialize, P: AsRef<Path>>(value: &T, path: P) -> Result<(), PersistError> {
+    fs::write(path, to_json(value)?)?;
+    Ok(())
+}
+
+/// Read an index back from a file.
+pub fn load<T: DeserializeOwned, P: AsRef<Path>>(path: P) -> Result<T, PersistError> {
+    let data = fs::read_to_string(path)?;
+    from_json(&data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatIndex;
+    use crate::index::VectorIndex;
+    use crate::ivf::{IvfConfig, IvfIndex};
+    use dio_embed::Vector;
+
+    fn v(x: &[f32]) -> Vector {
+        Vector(x.to_vec()).normalized()
+    }
+
+    #[test]
+    fn flat_roundtrips_through_json() {
+        let mut idx = FlatIndex::new(3);
+        idx.add(v(&[1.0, 0.0, 0.0]));
+        idx.add(v(&[0.0, 1.0, 0.0]));
+        let json = to_json(&idx).unwrap();
+        let back: FlatIndex = from_json(&json).unwrap();
+        assert_eq!(back.len(), 2);
+        let q = v(&[0.9, 0.1, 0.0]);
+        assert_eq!(idx.search(&q, 2), back.search(&q, 2));
+    }
+
+    #[test]
+    fn ivf_roundtrips_through_json() {
+        let data: Vec<Vector> = (0..40)
+            .map(|i| v(&[(i % 5) as f32 + 1.0, (i % 7) as f32, 1.0]))
+            .collect();
+        let idx = IvfIndex::train(3, IvfConfig::default(), data);
+        let json = to_json(&idx).unwrap();
+        let back: IvfIndex = from_json(&json).unwrap();
+        let q = v(&[2.0, 3.0, 1.0]);
+        assert_eq!(idx.search(&q, 5), back.search(&q, 5));
+    }
+
+    #[test]
+    fn save_and_load_file() {
+        let dir = std::env::temp_dir().join("dio_vecstore_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("flat.json");
+        let mut idx = FlatIndex::new(2);
+        idx.add(v(&[1.0, 0.0]));
+        save(&idx, &path).unwrap();
+        let back: FlatIndex = load(&path).unwrap();
+        assert_eq!(back.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_json_reports_codec_error() {
+        let err = from_json::<FlatIndex>("{not json").unwrap_err();
+        assert!(matches!(err, PersistError::Codec(_)));
+        assert!(err.to_string().contains("codec"));
+    }
+
+    #[test]
+    fn missing_file_reports_io_error() {
+        let err = load::<FlatIndex, _>("/nonexistent/dir/idx.json").unwrap_err();
+        assert!(matches!(err, PersistError::Io(_)));
+    }
+}

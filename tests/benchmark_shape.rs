@@ -1,0 +1,165 @@
+//! Shape tests for the paper's evaluation results on a reduced world:
+//! orderings and rough factors from Tables 3a/3b must hold. Absolute
+//! numbers are asserted only as wide bands (see EXPERIMENTS.md for the
+//! full-scale measured values).
+
+use dio::baselines::{sample_schema, DinSqlBaseline, DirectModelBaseline};
+use dio::benchmark::{evaluate, fewshot_exemplars, generate_benchmark, OperatorWorld, WorldConfig};
+use dio::copilot::{CopilotBuilder, CopilotConfig};
+use dio::llm::{ModelProfile, SimulatedModel};
+
+struct Setup {
+    world: OperatorWorld,
+    questions: Vec<dio::benchmark::BenchmarkQuestion>,
+    exemplars: Vec<dio::llm::FewShotExample>,
+}
+
+fn setup() -> Setup {
+    let world = OperatorWorld::build(WorldConfig::small());
+    let questions = generate_benchmark(&world, 60, 0xbe9c_4a11);
+    let exemplars = fewshot_exemplars(&world.catalog);
+    Setup {
+        world,
+        questions,
+        exemplars,
+    }
+}
+
+fn gpt4() -> Box<SimulatedModel> {
+    Box::new(SimulatedModel::new(ModelProfile::gpt4_sim()))
+}
+
+#[test]
+fn table_3a_ordering_holds_on_reduced_world() {
+    let s = setup();
+
+    let mut dio = CopilotBuilder::new(s.world.domain_db(), s.world.store.clone())
+        .model(gpt4())
+        .config(CopilotConfig {
+            generate_dashboards: false,
+            ..CopilotConfig::default()
+        })
+        .exemplars(s.exemplars.clone())
+        .build();
+    let r_dio = evaluate(&mut dio, &s.questions, s.world.eval_ts);
+
+    let schema = sample_schema(&s.world.domain_db(), 600, 0x5c83_a001);
+    let mut din = DinSqlBaseline::new(
+        schema.clone(),
+        s.exemplars.clone(),
+        gpt4(),
+        s.world.store.clone(),
+    );
+    let r_din = evaluate(&mut din, &s.questions, s.world.eval_ts);
+
+    let mut bare = DirectModelBaseline::new(schema, gpt4(), s.world.store.clone());
+    let r_bare = evaluate(&mut bare, &s.questions, s.world.eval_ts);
+
+    // Ordering (the paper's core result).
+    assert!(
+        r_dio.ex_percent > r_din.ex_percent,
+        "DIO {} <= DIN-SQL {}",
+        r_dio.ex_percent,
+        r_din.ex_percent
+    );
+    assert!(
+        r_din.ex_percent > r_bare.ex_percent,
+        "DIN-SQL {} <= bare {}",
+        r_din.ex_percent,
+        r_bare.ex_percent
+    );
+
+    // Wide bands around the paper's 66 / 48 / 12.
+    assert!(
+        (45.0..=90.0).contains(&r_dio.ex_percent),
+        "DIO EX {} outside band",
+        r_dio.ex_percent
+    );
+    assert!(
+        (20.0..=65.0).contains(&r_din.ex_percent),
+        "DIN-SQL EX {} outside band",
+        r_din.ex_percent
+    );
+    assert!(
+        r_bare.ex_percent <= 30.0,
+        "bare model EX {} outside band",
+        r_bare.ex_percent
+    );
+
+    // The bare model must be several times worse than DIO.
+    assert!(
+        r_dio.ex_percent >= 3.0 * r_bare.ex_percent.max(1.0),
+        "gap too small: DIO {} vs bare {}",
+        r_dio.ex_percent,
+        r_bare.ex_percent
+    );
+}
+
+#[test]
+fn paraphrase_hurts_name_only_prompting_most() {
+    // The mechanism behind Table 3a: questions phrased with jargon that
+    // only descriptions bridge are where the curated context pays off.
+    let s = setup();
+
+    let mut dio = CopilotBuilder::new(s.world.domain_db(), s.world.store.clone())
+        .model(gpt4())
+        .config(CopilotConfig {
+            generate_dashboards: false,
+            ..CopilotConfig::default()
+        })
+        .exemplars(s.exemplars.clone())
+        .build();
+    let r_dio = evaluate(&mut dio, &s.questions, s.world.eval_ts);
+
+    let schema = sample_schema(&s.world.domain_db(), 600, 0x5c83_a001);
+    let mut din = DinSqlBaseline::new(schema, s.exemplars.clone(), gpt4(), s.world.store.clone());
+    let r_din = evaluate(&mut din, &s.questions, s.world.eval_ts);
+
+    let para_rate = |r: &dio::benchmark::EvalReport| {
+        let (_, _, qc, qt) = r.plain_vs_paraphrase;
+        qc as f64 / qt.max(1) as f64
+    };
+    assert!(
+        para_rate(&r_dio) > para_rate(&r_din),
+        "DIO paraphrase {} <= DIN-SQL paraphrase {}",
+        para_rate(&r_dio),
+        para_rate(&r_din)
+    );
+}
+
+#[test]
+fn benchmark_questions_reference_at_most_three_metrics() {
+    // §4.1: "contain up-to three metrics in a single expression".
+    let s = setup();
+    for q in &s.questions {
+        assert!(
+            (1..=3).contains(&q.reference.metrics.len()),
+            "{} references {} metrics",
+            q.text,
+            q.reference.metrics.len()
+        );
+        // The reference must parse and reference exactly those metrics.
+        let expr = dio::promql::parse(&q.reference.promql).unwrap();
+        let names = expr.metric_names();
+        assert_eq!(names.len(), q.reference.metrics.len(), "{}", q.text);
+    }
+}
+
+#[test]
+fn fewshot_metrics_never_appear_in_benchmark_references() {
+    let s = setup();
+    let fewshot_metrics: std::collections::HashSet<&str> = s
+        .exemplars
+        .iter()
+        .flat_map(|e| e.metrics.iter().map(|m| m.as_str()))
+        .collect();
+    for q in &s.questions {
+        for m in &q.reference.metrics {
+            assert!(
+                !fewshot_metrics.contains(m.as_str()),
+                "benchmark question {:?} reuses few-shot metric {m}",
+                q.text
+            );
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests on the core substrates: the PromQL pipeline
+//! never panics on arbitrary input, the printer round-trips what the
+//! parser accepts, label algebra is lawful, matchers agree with a
+//! reference implementation, and the synthesiser preserves counter
+//! monotonicity for arbitrary parameters.
+
+use dio::promql::{format_expr, parse};
+use dio::tsdb::{Labels, MetricStore, Sample, SeriesSpec, SynthConfig, Synthesizer};
+use proptest::prelude::*;
+
+proptest! {
+    /// The lexer+parser must never panic, whatever bytes arrive.
+    #[test]
+    fn parser_never_panics(input in ".{0,120}") {
+        let _ = parse(&input);
+    }
+
+    /// Whatever parses must format to something that re-parses to the
+    /// identical AST (printer/parser round trip).
+    #[test]
+    fn printer_round_trips(input in ".{0,80}") {
+        if let Ok(ast) = parse(&input) {
+            let printed = format_expr(&ast);
+            let reparsed = parse(&printed)
+                .unwrap_or_else(|e| panic!("printed form {printed:?} failed to parse: {e}"));
+            prop_assert_eq!(ast, reparsed);
+        }
+    }
+
+    /// A grammar of well-formed queries always parses and round-trips.
+    #[test]
+    fn generated_queries_round_trip(
+        metric in "[a-z][a-z0-9_]{0,30}",
+        label in "[a-z][a-z0-9_]{0,10}",
+        value in "[a-z0-9.*+-]{0,12}",
+        minutes in 1i64..600,
+        agg in prop::sample::select(vec!["sum", "avg", "min", "max", "count"]),
+        func in prop::sample::select(vec!["rate", "increase", "delta", "avg_over_time"]),
+    ) {
+        let q = format!(
+            "{agg}({func}({metric}{{{label}=\"{value}\"}}[{minutes}m]))"
+        );
+        let ast = parse(&q).unwrap_or_else(|e| panic!("{q}: {e}"));
+        let printed = format_expr(&ast);
+        prop_assert_eq!(ast, parse(&printed).unwrap());
+    }
+
+    /// Pattern matching agrees with a simple backtracking reference for
+    /// patterns made of literals and `.*`.
+    #[test]
+    fn pattern_match_agrees_with_reference(
+        parts in prop::collection::vec("[a-z]{0,4}", 1..4),
+        text in "[a-z]{0,12}",
+    ) {
+        let pattern = parts.join(".*");
+        let ours = dio::tsdb::matchers::pattern_match(&pattern, &text);
+        // Reference: convert to a simple anchored regex-free matcher.
+        let reference = reference_match(&parts, &text);
+        prop_assert_eq!(ours, reference, "pattern {} text {}", pattern, text);
+    }
+
+    /// Labels `with` is idempotent on distinct keys and `without`
+    /// removes; a colliding key takes the latest value.
+    #[test]
+    fn labels_algebra(
+        k1 in "[a-z]{1,6}", v1 in "[a-z0-9]{0,6}",
+        k2 in "[a-z]{1,6}", v2 in "[a-z0-9]{0,6}",
+    ) {
+        let l = Labels::empty().with(k1.clone(), v1.clone()).with(k2.clone(), v2.clone());
+        // Last write wins, including when k1 == k2.
+        prop_assert_eq!(l.get(&k2), Some(v2.as_str()));
+        if k1 != k2 {
+            prop_assert_eq!(l.get(&k1), Some(v1.as_str()));
+            // Re-setting an existing pair is a no-op.
+            let l2 = l.with(k1.clone(), v1.clone());
+            prop_assert_eq!(l.signature(), l2.signature());
+        }
+        let l3 = l.without(&k1);
+        prop_assert_eq!(l3.get(&k1), None);
+    }
+
+    /// Synthesised counters are monotone non-decreasing for any
+    /// parameters, and coupled derivations never exceed their base.
+    #[test]
+    fn synthesized_counters_are_monotone(
+        rate in 0.01f64..100.0,
+        seed in any::<u64>(),
+        ratio in 0.01f64..1.0,
+        steps in 2i64..50,
+    ) {
+        let cfg = SynthConfig { start_ms: 0, end_ms: steps * 60_000, step_ms: 60_000 };
+        let synth = Synthesizer::new(cfg);
+        let base = SeriesSpec::counter(Labels::name_only("a"), rate, seed);
+        let derived = base.derived(Labels::name_only("s"), ratio);
+        let sa = synth.synthesize(&base);
+        let ss = synth.synthesize(&derived);
+        for w in sa.windows(2) {
+            prop_assert!(w[1].value >= w[0].value);
+        }
+        for (a, s) in sa.iter().zip(ss.iter()) {
+            prop_assert!(s.value <= a.value + 1e-9);
+        }
+    }
+
+    /// Instant queries over arbitrary small stores never panic and
+    /// `sum` equals the sum of per-series lookups.
+    #[test]
+    fn engine_sum_matches_manual_sum(
+        values in prop::collection::vec(0.0f64..1e6, 1..6),
+    ) {
+        let mut store = MetricStore::new();
+        for (i, v) in values.iter().enumerate() {
+            let labels = Labels::from_pairs([
+                ("__name__", "m"),
+                ("instance", &format!("i{i}")),
+            ]);
+            store.append(labels, Sample::new(1000, *v)).unwrap();
+        }
+        let engine = dio::promql::Engine::new(store);
+        let got = engine.instant_query("sum(m)", 1000).unwrap().as_scalar_like().unwrap();
+        let expected: f64 = values.iter().sum();
+        prop_assert!((got - expected).abs() < 1e-6);
+    }
+
+    /// Token counting is monotone under concatenation.
+    #[test]
+    fn token_count_superadditive_under_concat(a in ".{0,40}", b in ".{0,40}") {
+        let joined = format!("{a} {b}");
+        let sum = dio::llm::count_tokens(&a) + dio::llm::count_tokens(&b);
+        prop_assert!(dio::llm::count_tokens(&joined) <= sum + 1);
+        prop_assert!(dio::llm::count_tokens(&joined) + 1 >= sum.max(1));
+    }
+}
+
+/// Reference matcher for `parts.join(".*")` patterns.
+fn reference_match(parts: &[String], text: &str) -> bool {
+    if parts.len() == 1 {
+        return parts[0] == text;
+    }
+    let mut pos = 0usize;
+    // First part anchors at the start.
+    if !text[pos..].starts_with(parts[0].as_str()) {
+        return false;
+    }
+    pos += parts[0].len();
+    // Middle parts: greedy-left search.
+    for part in &parts[1..parts.len() - 1] {
+        match text[pos..].find(part.as_str()) {
+            Some(i) => pos += i + part.len(),
+            None => return false,
+        }
+    }
+    // Last part anchors at the end.
+    let last = &parts[parts.len() - 1];
+    text.len() >= pos + last.len() && text.ends_with(last.as_str())
+}
