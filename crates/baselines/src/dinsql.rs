@@ -168,7 +168,9 @@ impl NlQuerySystem for DinSqlBaseline {
             Ok(o) => o.value.as_scalar_like().is_none(),
             Err(_) => true,
         };
+        let mut repairs = 0usize;
         if let Some(fixed) = self.self_correct(&query, needs_repair) {
+            repairs = 1;
             let retry = self.sandbox.execute(&fixed, ts);
             if retry.is_ok() {
                 query = fixed;
@@ -184,6 +186,8 @@ impl NlQuerySystem for DinSqlBaseline {
                 numeric_answer: o.value.as_scalar_like(),
                 values: o.value.numeric_values(),
                 error: None,
+                repairs,
+                degraded: false,
                 usage,
                 cost_cents,
             },
@@ -192,6 +196,8 @@ impl NlQuerySystem for DinSqlBaseline {
                 numeric_answer: None,
                 values: Vec::new(),
                 error: Some(e.to_string()),
+                repairs,
+                degraded: false,
                 usage,
                 cost_cents,
             },

@@ -97,6 +97,8 @@ impl NlQuerySystem for DirectModelBaseline {
                 numeric_answer: o.value.as_scalar_like(),
                 values: o.value.numeric_values(),
                 error: None,
+                repairs: 0,
+                degraded: false,
                 usage,
                 cost_cents,
             },
@@ -105,6 +107,8 @@ impl NlQuerySystem for DirectModelBaseline {
                 numeric_answer: None,
                 values: Vec::new(),
                 error: Some(e.to_string()),
+                repairs: 0,
+                degraded: false,
                 usage,
                 cost_cents,
             },

@@ -14,6 +14,12 @@ pub struct SystemAnswer {
     pub values: Vec<f64>,
     /// Execution/parse/policy failure, if any.
     pub error: Option<String>,
+    /// Repair rounds the system ran before settling on this answer
+    /// (always 0 for systems without a repair loop).
+    pub repairs: usize,
+    /// Whether the answer came from a degraded fallback rather than a
+    /// generated query.
+    pub degraded: bool,
     /// Token usage.
     pub usage: TokenUsage,
     /// Cost in US cents.
@@ -41,7 +47,9 @@ impl NlQuerySystem for dio_copilot::DioCopilot {
             query: r.query,
             numeric_answer: r.numeric_answer,
             values: r.values,
-            error: r.error,
+            error: r.error.map(|e| e.to_string()),
+            repairs: r.trace.recovery.repairs,
+            degraded: r.trace.recovery.degraded,
             usage: r.usage,
             cost_cents: r.cost_cents,
         }

@@ -30,6 +30,10 @@ pub struct QuestionOutcome {
     pub reference: f64,
     /// Error string if the system failed outright.
     pub error: Option<String>,
+    /// Repair rounds the system ran on this question.
+    pub repairs: usize,
+    /// Whether the answer came from a degraded fallback.
+    pub degraded: bool,
 }
 
 /// Aggregated evaluation report.
@@ -50,6 +54,10 @@ pub struct EvalReport {
     pub plain_vs_paraphrase: (usize, usize, usize, usize),
     /// Mean inference cost per query in US cents.
     pub mean_cost_cents: f64,
+    /// Total repair rounds across all questions (recovery accounting).
+    pub repairs_total: usize,
+    /// Questions answered by a degraded fallback.
+    pub degraded_count: usize,
     /// Per-question outcomes.
     pub outcomes: Vec<QuestionOutcome>,
 }
@@ -110,10 +118,14 @@ pub fn evaluate(
             numeric: a.numeric_answer,
             reference: q.reference.numeric,
             error: a.error,
+            repairs: a.repairs,
+            degraded: a.degraded,
         });
     }
 
     let correct = outcomes.iter().filter(|o| o.correct).count();
+    let repairs_total = outcomes.iter().map(|o| o.repairs).sum();
+    let degraded_count = outcomes.iter().filter(|o| o.degraded).count();
     let total = outcomes.len();
     EvalReport {
         system: system.system_name(),
@@ -131,6 +143,8 @@ pub fn evaluate(
         } else {
             cost_total / total as f64
         },
+        repairs_total,
+        degraded_count,
         outcomes,
     }
 }
@@ -160,6 +174,8 @@ mod tests {
                 numeric_answer: Some(if right { 10.0 } else { 5.0 }),
                 values: vec![],
                 error: None,
+                repairs: if right { 0 } else { 1 },
+                degraded: false,
                 usage: TokenUsage {
                     prompt_tokens: 100,
                     completion_tokens: 10,
@@ -215,6 +231,9 @@ mod tests {
         assert_eq!(r.per_shape["TotalCount"], (5, 5));
         assert_eq!(r.per_shape["RatePerSecond"], (0, 5));
         assert_eq!(r.plain_vs_paraphrase, (5, 5, 0, 5));
+        // The stub reports one repair round per wrong answer.
+        assert_eq!(r.repairs_total, 5);
+        assert_eq!(r.degraded_count, 0);
     }
 
     #[test]

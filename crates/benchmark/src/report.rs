@@ -62,6 +62,8 @@ mod tests {
             per_shape: BTreeMap::from([("TotalCount".to_string(), (10usize, 20usize))]),
             plain_vs_paraphrase: (50, 100, 40, 100),
             mean_cost_cents: 4.25,
+            repairs_total: 0,
+            degraded_count: 0,
             outcomes: vec![],
         }
     }

@@ -1,5 +1,7 @@
 //! Copilot response types.
 
+use crate::error::CopilotError;
+use crate::recovery::DegradationLevel;
 use crate::trace::PipelineTrace;
 use dio_dashboard::Dashboard;
 use dio_llm::TokenUsage;
@@ -30,8 +32,11 @@ pub struct CopilotResponse {
     pub numeric_answer: Option<f64>,
     /// All numeric values when the result was a multi-sample vector.
     pub values: Vec<f64>,
-    /// Execution/parse/policy error, when the query failed.
-    pub error: Option<String>,
+    /// The classified failure, when something went wrong (a degraded
+    /// answer may coexist with the error that forced the degradation).
+    pub error: Option<CopilotError>,
+    /// How much of the full pipeline stands behind this answer.
+    pub degradation: DegradationLevel,
     /// Generated dashboard, when enabled.
     pub dashboard: Option<Dashboard>,
     /// Token usage across both model calls.
@@ -66,6 +71,16 @@ impl CopilotResponse {
             }
             _ => out.push_str("\nAnswer: no data\n"),
         }
+        match self.degradation {
+            DegradationLevel::Full => {}
+            DegradationLevel::Repaired => {
+                out.push_str("(the initial query failed and was repaired automatically)\n")
+            }
+            DegradationLevel::Degraded => out.push_str(
+                "(degraded answer: showing the top matching metric directly; \
+                 consider requesting expert help)\n",
+            ),
+        }
         if self.dashboard.is_some() {
             out.push_str("\n[dashboard generated — render with dio-dashboard]\n");
         }
@@ -93,6 +108,7 @@ mod tests {
             numeric_answer: Some(1234.0),
             values: vec![1234.0],
             error: None,
+            degradation: DegradationLevel::Full,
             dashboard: None,
             usage: TokenUsage {
                 prompt_tokens: 900,
@@ -117,10 +133,21 @@ mod tests {
     fn render_handles_errors_and_empties() {
         let mut r = response();
         r.numeric_answer = None;
-        r.error = Some("refused by policy".into());
+        r.error = Some(CopilotError::PolicyRefused {
+            rule: "range too wide".into(),
+        });
         r.relevant_metrics.clear();
         let text = r.render();
-        assert!(text.contains("unavailable (refused by policy)"));
+        assert!(text.contains("unavailable (policy refusal: range too wide)"));
         assert!(text.contains("none found"));
+    }
+
+    #[test]
+    fn render_labels_degraded_answers() {
+        let mut r = response();
+        r.degradation = DegradationLevel::Degraded;
+        assert!(r.render().contains("degraded answer"));
+        r.degradation = DegradationLevel::Repaired;
+        assert!(r.render().contains("repaired automatically"));
     }
 }

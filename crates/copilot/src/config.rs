@@ -1,6 +1,7 @@
 //! Copilot configuration.
 
 use crate::extractor::RetrievalMode;
+use crate::recovery::RecoveryPolicy;
 use serde::{Deserialize, Serialize};
 
 /// Pipeline parameters. Defaults follow the paper's §4 evaluation
@@ -32,6 +33,9 @@ pub struct CopilotConfig {
     /// into one prompt — same architecture stages, one inference —
     /// which is what keeps the per-query cost in the paper's envelope.
     pub two_stage: bool,
+    /// Bounds on retries, repair rounds, backoff, and the circuit
+    /// breaker. [`RecoveryPolicy::disabled`] is the ablation baseline.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for CopilotConfig {
@@ -46,6 +50,7 @@ impl Default for CopilotConfig {
             domain_embedder: true,
             retrieval: RetrievalMode::Flat,
             two_stage: false,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }

@@ -34,14 +34,20 @@
 
 pub mod answer;
 pub mod config;
+pub mod error;
 pub mod extractor;
 pub mod pipeline;
+pub mod recovery;
 pub mod session;
 pub mod trace;
 
 pub use answer::{CopilotResponse, RelevantMetric};
 pub use config::CopilotConfig;
+pub use error::CopilotError;
 pub use extractor::{ContextExtractor, RetrievalMode};
 pub use pipeline::{CopilotBuilder, DioCopilot};
+pub use recovery::{
+    BreakerState, CircuitBreaker, DegradationLevel, RecoveryPolicy, RecoveryStats,
+};
 pub use session::{ChatSession, Turn};
 pub use trace::{PipelineTrace, StageTiming};

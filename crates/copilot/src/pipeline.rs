@@ -2,7 +2,9 @@
 
 use crate::answer::{CopilotResponse, RelevantMetric};
 use crate::config::CopilotConfig;
+use crate::error::CopilotError;
 use crate::extractor::ContextExtractor;
+use crate::recovery::{CircuitBreaker, DegradationLevel, RecoveryPolicy, RecoveryStats};
 use crate::trace::PipelineTrace;
 use dio_catalog::DomainDb;
 use dio_dashboard::{generate_dashboard, PanelSpecHint, TimeRange};
@@ -11,7 +13,7 @@ use dio_llm::{
     CompletionRequest, ContextItem, CostMeter, FewShotExample, FoundationModel, ModelProfile,
     PromptBuilder, SimulatedModel, TaskKind, TokenUsage,
 };
-use dio_sandbox::{Sandbox, SafetyPolicy, SandboxError};
+use dio_sandbox::{Sandbox, SafetyPolicy};
 use dio_tsdb::MetricStore;
 
 /// Builder for [`DioCopilot`].
@@ -72,6 +74,7 @@ impl CopilotBuilder {
         let model = self
             .model
             .unwrap_or_else(|| Box::new(SimulatedModel::new(ModelProfile::gpt4_sim())));
+        let breaker = CircuitBreaker::new(&self.config.recovery);
         DioCopilot {
             extractor,
             sandbox: Sandbox::new(self.store, self.policy),
@@ -81,6 +84,7 @@ impl CopilotBuilder {
             exemplars: self.exemplars,
             tracker: IssueTracker::new(),
             meter: CostMeter::new(),
+            breaker,
         }
     }
 }
@@ -95,6 +99,19 @@ pub struct DioCopilot {
     exemplars: Vec<FewShotExample>,
     tracker: IssueTracker,
     meter: CostMeter,
+    breaker: CircuitBreaker,
+}
+
+/// Outcome of the execute-with-repair stage.
+struct ExecResolution {
+    /// The query that was last attempted.
+    query: String,
+    /// Canonical form, when a query actually executed.
+    canonical: Option<String>,
+    numeric_answer: Option<f64>,
+    values: Vec<f64>,
+    error: Option<CopilotError>,
+    degradation: DegradationLevel,
 }
 
 impl DioCopilot {
@@ -133,10 +150,38 @@ impl DioCopilot {
         self.model.name()
     }
 
+    /// The model-call circuit breaker (state persists across asks).
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
+    /// Swap the foundation model without rebuilding the retrieval
+    /// index — e.g. to change a fault schedule between experiment runs.
+    pub fn replace_model(&mut self, model: Box<dyn FoundationModel>) {
+        self.model = model;
+    }
+
+    /// Install a new recovery policy and reset the circuit breaker to
+    /// its closed state.
+    pub fn set_recovery(&mut self, policy: RecoveryPolicy) {
+        self.breaker = CircuitBreaker::new(&policy);
+        self.config.recovery = policy;
+    }
+
     /// Answer a question, evaluating data at timestamp `ts`.
+    ///
+    /// The model and sandbox are both treated as fallible: transient
+    /// model failures are retried (bounded, recorded backoff), sandbox
+    /// rejections trigger repair rounds under
+    /// [`TaskKind::RepairPromql`], and when recovery is exhausted — or
+    /// the circuit breaker is open — the copilot degrades to a direct
+    /// lookup of the top retrieved metric rather than returning
+    /// nothing. See [`RecoveryPolicy`].
     pub fn ask(&mut self, question: &str, ts: i64) -> CopilotResponse {
         let mut trace = PipelineTrace::default();
         let mut usage = TokenUsage::default();
+        let mut stats = RecoveryStats::default();
+        let trips_before = self.breaker.trips();
 
         // Stage 1: context extraction (offline index, online search).
         let hits = trace.time("retrieve", || {
@@ -168,20 +213,27 @@ impl DioCopilot {
                 .question(question)
                 .task(TaskKind::IdentifyMetrics)
                 .build(window, reserved);
+            let request = CompletionRequest {
+                prompt: identify_prompt,
+                max_tokens: self.config.max_output_tokens,
+                temperature: self.config.temperature,
+            };
             trace.time("identify", || {
-                match self.model.complete(&CompletionRequest {
-                    prompt: identify_prompt,
-                    max_tokens: self.config.max_output_tokens,
-                    temperature: self.config.temperature,
-                }) {
-                    Ok(c) => {
-                        usage.add(c.usage);
-                        c.text
-                            .split(',')
-                            .map(|s| s.trim().to_string())
-                            .filter(|s| !s.is_empty() && s != "none")
-                            .collect()
-                    }
+                // Identification is best-effort: on failure the merged
+                // full-context prompt covers for the missing selection.
+                match Self::call_model(
+                    self.model.as_ref(),
+                    &mut self.breaker,
+                    &self.config.recovery,
+                    &request,
+                    &mut usage,
+                    &mut stats,
+                ) {
+                    Ok(text) => text
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty() && s != "none")
+                        .collect(),
                     Err(_) => Vec::new(),
                 }
             })
@@ -196,15 +248,16 @@ impl DioCopilot {
             .filter(|c| identified.contains(&c.name))
             .cloned()
             .collect();
+        let gen_context = if selected_items.is_empty() {
+            // Merged mode, or an empty two-stage selection: use the
+            // full retrieved context.
+            context_items.clone()
+        } else {
+            selected_items
+        };
         let mut gen_builder = PromptBuilder::new()
             .system(SYSTEM_PROMPT)
-            .context(if selected_items.is_empty() {
-                // Merged mode, or an empty two-stage selection: use the
-                // full retrieved context.
-                context_items.clone()
-            } else {
-                selected_items
-            })
+            .context(gen_context.clone())
             .examples(
                 self.exemplars
                     .iter()
@@ -217,39 +270,48 @@ impl DioCopilot {
             gen_builder = gen_builder.function(&f.name, first_sentence(&f.description));
         }
         let gen_prompt = gen_builder.build(window, reserved);
-        let query = trace.time("generate", || {
-            match self.model.complete(&CompletionRequest {
-                prompt: gen_prompt,
-                max_tokens: self.config.max_output_tokens,
-                temperature: self.config.temperature,
-            }) {
-                Ok(c) => {
-                    usage.add(c.usage);
-                    c.text.trim().to_string()
-                }
-                Err(e) => format!("# model error: {e}"),
-            }
+        let gen_request = CompletionRequest {
+            prompt: gen_prompt,
+            max_tokens: self.config.max_output_tokens,
+            temperature: self.config.temperature,
+        };
+        let generated: Result<String, CopilotError> = trace.time("generate", || {
+            Self::call_model(
+                self.model.as_ref(),
+                &mut self.breaker,
+                &self.config.recovery,
+                &gen_request,
+                &mut usage,
+                &mut stats,
+            )
+            .map(|t| t.trim().to_string())
         });
 
-        // Stage 4: sandboxed execution.
-        let (numeric_answer, values, error, canonical) = trace.time("execute", || {
-            match self.sandbox.execute(&query, ts) {
-                Ok(out) => (
-                    out.value.as_scalar_like(),
-                    out.value.numeric_values(),
-                    None,
-                    Some(out.canonical_query),
-                ),
-                Err(e) => {
-                    let msg = match &e {
-                        SandboxError::Parse(m) => format!("parse error: {m}"),
-                        SandboxError::Refused(v) => format!("policy refusal: {v}"),
-                        SandboxError::Eval(m) => format!("evaluation error: {m}"),
-                    };
-                    (None, Vec::new(), Some(msg), None)
-                }
-            }
+        // Stage 4: sandboxed execution with self-repair. A model error
+        // is NOT executed as a query (it used to be pasted in as
+        // `# model error: …`); it goes straight to the recovery path.
+        let resolution = trace.time("execute", || {
+            self.execute_with_repair(
+                generated,
+                question,
+                &gen_context,
+                &hits,
+                ts,
+                window,
+                reserved,
+                &mut usage,
+                &mut stats,
+            )
         });
+        let ExecResolution {
+            query,
+            canonical,
+            numeric_answer,
+            values,
+            error,
+            degradation,
+        } = resolution;
+        stats.degraded = degradation == DegradationLevel::Degraded;
 
         // Relevant metrics for the rendered response: the identified
         // set, falling back to whatever the query references.
@@ -291,6 +353,9 @@ impl DioCopilot {
         let cost_cents = self.model.pricing().cost_cents(usage);
         self.meter.record(usage, self.model.pricing());
 
+        stats.breaker_trips = self.breaker.trips().saturating_sub(trips_before);
+        trace.recovery = stats;
+
         let final_query = canonical.unwrap_or(query);
         CopilotResponse {
             question: question.to_string(),
@@ -300,10 +365,198 @@ impl DioCopilot {
             numeric_answer,
             values,
             error,
+            degradation,
             dashboard,
             usage,
             cost_cents,
             trace,
+        }
+    }
+
+    /// Place one model call under the recovery policy: the circuit
+    /// breaker gates the call, transient failures are retried up to the
+    /// policy bound, and the deterministic backoff schedule is recorded
+    /// (never slept).
+    fn call_model(
+        model: &dyn FoundationModel,
+        breaker: &mut CircuitBreaker,
+        policy: &RecoveryPolicy,
+        request: &CompletionRequest,
+        usage: &mut TokenUsage,
+        stats: &mut RecoveryStats,
+    ) -> Result<String, CopilotError> {
+        let mut retry = 0usize;
+        loop {
+            if !breaker.allow() {
+                return Err(CopilotError::ModelUnavailable {
+                    message: "circuit breaker open; model call skipped".into(),
+                    attempts: stats.attempts,
+                });
+            }
+            stats.attempts += 1;
+            match model.complete(request) {
+                Ok(c) => {
+                    usage.add(c.usage);
+                    breaker.record_success();
+                    return Ok(c.text);
+                }
+                Err(e) => {
+                    breaker.record_failure();
+                    if policy.enabled && e.is_transient() && retry < policy.max_retries {
+                        stats.retries += 1;
+                        stats.backoff_schedule_ms.push(policy.backoff_ms(retry));
+                        retry += 1;
+                        continue;
+                    }
+                    return Err(CopilotError::from_model(&e, stats.attempts));
+                }
+            }
+        }
+    }
+
+    /// Execute the generated query, running bounded repair rounds on
+    /// sandbox rejection and falling back to a degraded direct metric
+    /// lookup when recovery is exhausted (or generation itself failed).
+    #[allow(clippy::too_many_arguments)]
+    fn execute_with_repair(
+        &mut self,
+        generated: Result<String, CopilotError>,
+        question: &str,
+        gen_context: &[ContextItem],
+        hits: &[crate::extractor::Retrieved],
+        ts: i64,
+        window: usize,
+        reserved: usize,
+        usage: &mut TokenUsage,
+        stats: &mut RecoveryStats,
+    ) -> ExecResolution {
+        let policy = self.config.recovery.clone();
+        let mut query = match generated {
+            Ok(q) => q,
+            Err(e) => {
+                // Satellite of the recovery design: a model failure used
+                // to be executed as a fake `# model error: …` query.
+                // Now it skips execution and degrades.
+                return self.degraded_fallback(String::new(), e, hits, ts, stats);
+            }
+        };
+
+        let mut rounds = 0usize;
+        let error = loop {
+            match self.sandbox.execute(&query, ts) {
+                Ok(out) => {
+                    return ExecResolution {
+                        query,
+                        canonical: Some(out.canonical_query),
+                        numeric_answer: out.value.as_scalar_like(),
+                        values: out.value.numeric_values(),
+                        error: None,
+                        degradation: if rounds == 0 {
+                            DegradationLevel::Full
+                        } else {
+                            DegradationLevel::Repaired
+                        },
+                    };
+                }
+                Err(sandbox_err) => {
+                    let classified = CopilotError::from_sandbox(&sandbox_err);
+                    if !policy.enabled || rounds >= policy.max_repair_rounds {
+                        break classified;
+                    }
+                    rounds += 1;
+                    stats.repairs += 1;
+                    // Re-prompt with the failed query and the sandbox's
+                    // structured hint riding in the system section; the
+                    // question/context/examples stay identical.
+                    let hint = sandbox_err.repair_hint(&query);
+                    let mut repair_builder = PromptBuilder::new()
+                        .system(format!(
+                            "{SYSTEM_PROMPT}\nThe previous query failed in the sandbox.\n\
+                             Failed query: {query}\nSandbox: {sandbox_err}\nFix: {hint}"
+                        ))
+                        .context(gen_context.to_vec())
+                        .examples(
+                            self.exemplars
+                                .iter()
+                                .take(self.config.max_exemplars)
+                                .cloned(),
+                        )
+                        .question(question)
+                        .task(TaskKind::RepairPromql);
+                    for f in self.db.functions().take(4) {
+                        repair_builder =
+                            repair_builder.function(&f.name, first_sentence(&f.description));
+                    }
+                    let repair_request = CompletionRequest {
+                        prompt: repair_builder.build(window, reserved),
+                        max_tokens: self.config.max_output_tokens,
+                        temperature: self.config.temperature,
+                    };
+                    match Self::call_model(
+                        self.model.as_ref(),
+                        &mut self.breaker,
+                        &policy,
+                        &repair_request,
+                        usage,
+                        stats,
+                    ) {
+                        Ok(fixed) => query = fixed.trim().to_string(),
+                        Err(model_err) => break model_err,
+                    }
+                }
+            }
+        };
+
+        if policy.enabled {
+            self.degraded_fallback(query, error, hits, ts, stats)
+        } else {
+            // Ablation baseline: surface the failure as-is.
+            ExecResolution {
+                query,
+                canonical: None,
+                numeric_answer: None,
+                values: Vec::new(),
+                error: Some(error),
+                degradation: DegradationLevel::Full,
+            }
+        }
+    }
+
+    /// The last line of defence: answer with an instant-vector lookup
+    /// of the best retrieved metric that actually executes, labelled
+    /// [`DegradationLevel::Degraded`] and carrying the error that
+    /// forced the fallback.
+    fn degraded_fallback(
+        &mut self,
+        failed_query: String,
+        error: CopilotError,
+        hits: &[crate::extractor::Retrieved],
+        ts: i64,
+        stats: &mut RecoveryStats,
+    ) -> ExecResolution {
+        stats.degraded = true;
+        for h in hits.iter().take(5) {
+            let candidate = h.sample.name.clone();
+            if let Ok(out) = self.sandbox.execute(&candidate, ts) {
+                return ExecResolution {
+                    query: candidate,
+                    canonical: Some(out.canonical_query),
+                    numeric_answer: out.value.as_scalar_like(),
+                    values: out.value.numeric_values(),
+                    error: Some(error),
+                    degradation: DegradationLevel::Degraded,
+                };
+            }
+        }
+        ExecResolution {
+            query: failed_query,
+            canonical: None,
+            numeric_answer: None,
+            values: Vec::new(),
+            error: Some(CopilotError::NoData {
+                message: format!("degraded fallback found no executable metric ({error})"),
+            }),
+            degradation: DegradationLevel::Degraded,
         }
     }
 
@@ -572,6 +825,173 @@ mod tests {
         assert!(hits
             .iter()
             .any(|h| h.sample.name == "note:frobnicator-wobble"));
+    }
+
+    /// Delegates to a simulated model but fails the first `n` calls
+    /// with a transient error.
+    struct FailFirstN {
+        inner: SimulatedModel,
+        remaining: std::cell::RefCell<usize>,
+    }
+
+    impl FoundationModel for FailFirstN {
+        fn name(&self) -> &str {
+            self.inner.name()
+        }
+        fn context_window(&self) -> usize {
+            self.inner.context_window()
+        }
+        fn pricing(&self) -> dio_llm::Pricing {
+            self.inner.pricing()
+        }
+        fn complete(
+            &self,
+            request: &CompletionRequest,
+        ) -> Result<dio_llm::Completion, dio_llm::ModelError> {
+            let mut rem = self.remaining.borrow_mut();
+            if *rem > 0 {
+                *rem -= 1;
+                return Err(dio_llm::ModelError::Unavailable("synthetic outage".into()));
+            }
+            self.inner.complete(request)
+        }
+    }
+
+    /// Delegates to a simulated model but corrupts the first completion
+    /// into unparseable PromQL.
+    struct CorruptFirst {
+        inner: SimulatedModel,
+        corrupted: std::cell::RefCell<bool>,
+    }
+
+    impl FoundationModel for CorruptFirst {
+        fn name(&self) -> &str {
+            self.inner.name()
+        }
+        fn context_window(&self) -> usize {
+            self.inner.context_window()
+        }
+        fn pricing(&self) -> dio_llm::Pricing {
+            self.inner.pricing()
+        }
+        fn complete(
+            &self,
+            request: &CompletionRequest,
+        ) -> Result<dio_llm::Completion, dio_llm::ModelError> {
+            let mut c = self.inner.complete(request)?;
+            let mut done = self.corrupted.borrow_mut();
+            if !*done {
+                *done = true;
+                c.text.push_str(" )(");
+            }
+            Ok(c)
+        }
+    }
+
+    fn copilot_with_model(model: Box<dyn FoundationModel>) -> (DioCopilot, i64) {
+        let (db, store, ts) = world();
+        (
+            CopilotBuilder::new(db, store)
+                .exemplars(exemplars())
+                .model(model)
+                .build(),
+            ts,
+        )
+    }
+
+    #[test]
+    fn transient_model_failure_is_retried_to_success() {
+        let (mut cp, ts) = copilot_with_model(Box::new(FailFirstN {
+            inner: SimulatedModel::new(ModelProfile::gpt4_sim()),
+            remaining: std::cell::RefCell::new(1),
+        }));
+        let r = cp.ask("How many initial registration attempts did the AMF handle?", ts);
+        assert!(r.error.is_none(), "error: {:?}", r.error);
+        assert!(r.numeric_answer.is_some());
+        assert_eq!(r.degradation, crate::recovery::DegradationLevel::Full);
+        assert_eq!(r.trace.recovery.retries, 1);
+        assert_eq!(r.trace.recovery.attempts, 2);
+        assert_eq!(r.trace.recovery.backoff_schedule_ms, vec![100]);
+        // Retries happen inside the generate stage: still 4 stages.
+        assert_eq!(r.trace.stages.len(), 4);
+    }
+
+    #[test]
+    fn malformed_query_is_repaired_in_sandbox_loop() {
+        let (mut cp, ts) = copilot_with_model(Box::new(CorruptFirst {
+            inner: SimulatedModel::new(ModelProfile::gpt4_sim()),
+            corrupted: std::cell::RefCell::new(false),
+        }));
+        let r = cp.ask("How many initial registration attempts did the AMF handle?", ts);
+        assert!(r.error.is_none(), "error: {:?}", r.error);
+        assert!(r.numeric_answer.is_some());
+        assert_eq!(r.degradation, crate::recovery::DegradationLevel::Repaired);
+        assert_eq!(r.trace.recovery.repairs, 1);
+        assert!(!r.query.contains(")("), "repaired query: {}", r.query);
+        assert_eq!(r.trace.stages.len(), 4);
+    }
+
+    #[test]
+    fn total_outage_degrades_to_top_metric_lookup() {
+        let (mut cp, ts) = copilot_with_model(Box::new(FailFirstN {
+            inner: SimulatedModel::new(ModelProfile::gpt4_sim()),
+            remaining: std::cell::RefCell::new(usize::MAX),
+        }));
+        let r = cp.ask("How many initial registration attempts did the AMF handle?", ts);
+        assert_eq!(r.degradation, crate::recovery::DegradationLevel::Degraded);
+        assert!(r.trace.recovery.degraded);
+        assert!(matches!(
+            r.error,
+            Some(CopilotError::ModelUnavailable { .. })
+        ));
+        // The fallback still answers from the best retrieved metric.
+        assert!(r.numeric_answer.is_some() || !r.values.is_empty());
+        assert!(!r.query.is_empty());
+        assert!(r.render().contains("degraded answer"));
+        // Threshold (3) consecutive failures tripped the breaker.
+        assert_eq!(r.trace.recovery.breaker_trips, 1);
+        assert_eq!(cp.breaker().state(), crate::recovery::BreakerState::Open);
+    }
+
+    #[test]
+    fn open_breaker_skips_model_calls_on_subsequent_asks() {
+        let (mut cp, ts) = copilot_with_model(Box::new(FailFirstN {
+            inner: SimulatedModel::new(ModelProfile::gpt4_sim()),
+            remaining: std::cell::RefCell::new(usize::MAX),
+        }));
+        let first = cp.ask("How many paging attempts?", ts);
+        let first_attempts = first.trace.recovery.attempts;
+        assert!(first_attempts >= 3);
+        // Breaker is open: the next ask degrades without reaching the
+        // model at all.
+        let second = cp.ask("How many service requests?", ts);
+        assert_eq!(second.trace.recovery.attempts, 0);
+        assert_eq!(
+            second.degradation,
+            crate::recovery::DegradationLevel::Degraded
+        );
+        assert!(second.numeric_answer.is_some() || !second.values.is_empty());
+    }
+
+    #[test]
+    fn disabled_recovery_surfaces_failures_unrepaired() {
+        let (db, store, ts) = world();
+        let mut cp = CopilotBuilder::new(db, store)
+            .config(CopilotConfig {
+                recovery: crate::recovery::RecoveryPolicy::disabled(),
+                ..CopilotConfig::default()
+            })
+            .exemplars(exemplars())
+            .model(Box::new(CorruptFirst {
+                inner: SimulatedModel::new(ModelProfile::gpt4_sim()),
+                corrupted: std::cell::RefCell::new(false),
+            }))
+            .build();
+        let r = cp.ask("How many initial registration attempts did the AMF handle?", ts);
+        assert!(matches!(r.error, Some(CopilotError::QueryParse { .. })));
+        assert!(r.numeric_answer.is_none());
+        assert_eq!(r.trace.recovery.repairs, 0);
+        assert_eq!(r.degradation, crate::recovery::DegradationLevel::Full);
     }
 
     #[test]

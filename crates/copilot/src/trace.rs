@@ -1,6 +1,7 @@
 //! Per-stage pipeline timing (the measurable counterpart of the
 //! paper's Figure 2 architecture diagram).
 
+use crate::recovery::RecoveryStats;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -19,6 +20,9 @@ pub struct StageTiming {
 pub struct PipelineTrace {
     /// Stage timings in execution order.
     pub stages: Vec<StageTiming>,
+    /// What the recovery machinery did (attempts, repairs, backoff
+    /// schedule, breaker trips, degradation).
+    pub recovery: RecoveryStats,
 }
 
 impl PipelineTrace {

@@ -1,0 +1,432 @@
+//! Deterministic fault injection for foundation models.
+//!
+//! [`FaultyModel`] wraps any [`FoundationModel`] and injects a seeded,
+//! reproducible stream of the failure modes a real model API exhibits:
+//! truncated completions, syntactically broken PromQL, garbage tokens,
+//! transient unavailability, and latency spikes. The fault schedule is a
+//! pure function of the seed and the call sequence — no wall-clock, no
+//! global RNG — so any run (and any failure it surfaces) replays
+//! exactly.
+//!
+//! The wrapper is the test harness for the copilot's recovery loop: the
+//! pipeline cannot tell an injected fault from a real one, so every
+//! retry/repair/degradation path is exercised against the same interface
+//! production traffic would hit.
+
+use crate::cost::Pricing;
+use crate::model::{Completion, CompletionRequest, FoundationModel, ModelError};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+
+/// The failure modes the injector can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The completion is cut off mid-expression (as when a response
+    /// stream drops or `max_tokens` bites).
+    TruncatedCompletion,
+    /// The completion is corrupted into syntactically invalid PromQL.
+    MalformedPromql,
+    /// The completion is replaced with fluent garbage tokens.
+    GarbageTokens,
+    /// The call fails outright with [`ModelError::Unavailable`].
+    Unavailable,
+    /// The call succeeds but a latency spike is recorded.
+    LatencySpike,
+}
+
+impl FaultKind {
+    /// All kinds, in weight order.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::TruncatedCompletion,
+        FaultKind::MalformedPromql,
+        FaultKind::GarbageTokens,
+        FaultKind::Unavailable,
+        FaultKind::LatencySpike,
+    ];
+}
+
+/// Configuration for the fault schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// RNG seed; the entire fault schedule derives from it.
+    pub seed: u64,
+    /// Probability that any given call is faulted.
+    pub fault_probability: f64,
+    /// Relative weights of each kind, indexed like [`FaultKind::ALL`].
+    /// A zero weight disables that kind.
+    pub weights: [u32; 5],
+    /// Simulated extra latency recorded on a latency spike (µs).
+    pub latency_spike_micros: u64,
+}
+
+impl FaultConfig {
+    /// Uniform mix of all five kinds at probability `p`.
+    pub fn with_probability(seed: u64, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "fault probability {p} outside [0,1]");
+        FaultConfig {
+            seed,
+            fault_probability: p,
+            weights: [1, 1, 1, 1, 1],
+            latency_spike_micros: 250_000,
+        }
+    }
+
+    /// No faults at all (the wrapper becomes a transparent pass-through
+    /// that still logs calls).
+    pub fn disabled(seed: u64) -> Self {
+        Self::with_probability(seed, 0.0)
+    }
+}
+
+/// One injected fault, for post-hoc analysis.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// 0-based index of the `complete` call the fault hit.
+    pub call: usize,
+    /// What was injected.
+    pub kind: FaultKind,
+}
+
+#[derive(Debug)]
+struct FaultState {
+    rng: ChaCha8Rng,
+    calls: usize,
+    log: Vec<FaultEvent>,
+    injected_latency_micros: u64,
+}
+
+/// A [`FoundationModel`] wrapper that injects seeded faults.
+#[derive(Debug)]
+pub struct FaultyModel<M> {
+    inner: M,
+    config: FaultConfig,
+    state: RefCell<FaultState>,
+}
+
+impl<M: FoundationModel> FaultyModel<M> {
+    /// Wrap `inner` with the given fault schedule.
+    pub fn new(inner: M, config: FaultConfig) -> Self {
+        let rng = ChaCha8Rng::seed_from_u64(config.seed);
+        FaultyModel {
+            inner,
+            config,
+            state: RefCell::new(FaultState {
+                rng,
+                calls: 0,
+                log: Vec::new(),
+                injected_latency_micros: 0,
+            }),
+        }
+    }
+
+    /// The wrapped model.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// The fault schedule configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Every fault injected so far, in call order.
+    pub fn fault_log(&self) -> Vec<FaultEvent> {
+        self.state.borrow().log.clone()
+    }
+
+    /// Number of `complete` calls observed.
+    pub fn calls(&self) -> usize {
+        self.state.borrow().calls
+    }
+
+    /// Total simulated latency injected by spikes (µs). Recorded, never
+    /// slept — determinism forbids touching the clock.
+    pub fn injected_latency_micros(&self) -> u64 {
+        self.state.borrow().injected_latency_micros
+    }
+
+    /// Decide the fault for the current call. Always draws the same
+    /// number of RNG values so the schedule depends only on (seed, call
+    /// index), not on which faults fired earlier.
+    fn draw_fault(state: &mut FaultState, config: &FaultConfig) -> Option<FaultKind> {
+        let roll: f64 = state.rng.gen_range(0.0..1.0);
+        let pick: u64 = state.rng.gen_range(0..u64::MAX);
+        if roll >= config.fault_probability {
+            return None;
+        }
+        let total: u64 = config.weights.iter().map(|w| *w as u64).sum();
+        if total == 0 {
+            return None;
+        }
+        let mut target = pick % total;
+        for (kind, w) in FaultKind::ALL.iter().zip(config.weights.iter()) {
+            if target < *w as u64 {
+                return Some(*kind);
+            }
+            target -= *w as u64;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+/// Cut `text` to roughly the first third, on a char boundary, mimicking
+/// a dropped response stream.
+fn truncate_text(text: &str) -> String {
+    let cut = (text.len() / 3).max(1);
+    let mut end = cut.min(text.len());
+    while end < text.len() && !text.is_char_boundary(end) {
+        end += 1;
+    }
+    text[..end].to_string()
+}
+
+/// Corrupt a completion into guaranteed-invalid PromQL while keeping it
+/// recognisably derived from the original (the repair prompt shows it).
+fn malform_text(text: &str) -> String {
+    format!("{} )(", text.replace(')', ""))
+}
+
+/// Deterministic garbage. Payload randomness comes from a per-call
+/// derived RNG so it never perturbs the main fault-schedule stream.
+fn garbage_text(seed: u64, call: usize) -> String {
+    const SHARDS: [&str; 8] = [
+        "certainly", "##", "qqq", "metric of", "0x7f", "::", "%%", "promql says",
+    ];
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (call as u64).wrapping_mul(0x9E37_79B9));
+    let n = rng.gen_range(3..9usize);
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(SHARDS[rng.gen_range(0..SHARDS.len())]);
+    }
+    out.join(" ")
+}
+
+impl<M: FoundationModel> FoundationModel for FaultyModel<M> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn context_window(&self) -> usize {
+        self.inner.context_window()
+    }
+
+    fn pricing(&self) -> Pricing {
+        self.inner.pricing()
+    }
+
+    fn complete(&self, request: &CompletionRequest) -> Result<Completion, ModelError> {
+        let mut state = self.state.borrow_mut();
+        let call = state.calls;
+        state.calls += 1;
+        let fault = Self::draw_fault(&mut state, &self.config);
+        if let Some(kind) = fault {
+            state.log.push(FaultEvent { call, kind });
+        }
+
+        match fault {
+            Some(FaultKind::Unavailable) => Err(ModelError::Unavailable(format!(
+                "injected outage on call {call}"
+            ))),
+            Some(FaultKind::GarbageTokens) => {
+                // Bill the prompt as if the model ran; the completion is
+                // noise.
+                let text = garbage_text(self.config.seed, call);
+                let completion_tokens = crate::tokens::count_tokens(&text);
+                Ok(Completion {
+                    usage: crate::cost::TokenUsage {
+                        prompt_tokens: request.prompt.tokens,
+                        completion_tokens,
+                    },
+                    text,
+                })
+            }
+            Some(FaultKind::TruncatedCompletion) => {
+                drop(state);
+                let c = self.inner.complete(request)?;
+                let text = truncate_text(&c.text);
+                let completion_tokens = crate::tokens::count_tokens(&text);
+                Ok(Completion {
+                    usage: crate::cost::TokenUsage {
+                        prompt_tokens: c.usage.prompt_tokens,
+                        completion_tokens,
+                    },
+                    text,
+                })
+            }
+            Some(FaultKind::MalformedPromql) => {
+                drop(state);
+                let c = self.inner.complete(request)?;
+                let text = malform_text(&c.text);
+                let completion_tokens = crate::tokens::count_tokens(&text);
+                Ok(Completion {
+                    usage: crate::cost::TokenUsage {
+                        prompt_tokens: c.usage.prompt_tokens,
+                        completion_tokens,
+                    },
+                    text,
+                })
+            }
+            Some(FaultKind::LatencySpike) => {
+                state.injected_latency_micros += self.config.latency_spike_micros;
+                drop(state);
+                self.inner.complete(request)
+            }
+            None => {
+                drop(state);
+                self.inner.complete(request)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::TaskKind;
+    use crate::prompt::PromptBuilder;
+    use crate::sim::profile::{ModelProfile, SimulatedModel};
+
+    fn request(q: &str) -> CompletionRequest {
+        let p = PromptBuilder::new()
+            .system("sys")
+            .question(q)
+            .task(TaskKind::GeneratePromql)
+            .build(32_000, 1000);
+        CompletionRequest::paper_defaults(p)
+    }
+
+    fn run_schedule(seed: u64, p: f64, calls: usize) -> (Vec<FaultEvent>, Vec<String>) {
+        let m = FaultyModel::new(
+            SimulatedModel::new(ModelProfile::gpt4_sim()),
+            FaultConfig::with_probability(seed, p),
+        );
+        let mut outputs = Vec::new();
+        for i in 0..calls {
+            let out = match m.complete(&request(&format!("how many events of kind {i}?"))) {
+                Ok(c) => c.text,
+                Err(e) => format!("<err: {e}>"),
+            };
+            outputs.push(out);
+        }
+        (m.fault_log(), outputs)
+    }
+
+    #[test]
+    fn same_seed_same_fault_sequence() {
+        let (log_a, out_a) = run_schedule(42, 0.5, 40);
+        let (log_b, out_b) = run_schedule(42, 0.5, 40);
+        assert_eq!(log_a, log_b);
+        assert_eq!(out_a, out_b);
+        assert!(!log_a.is_empty(), "p=0.5 over 40 calls injected nothing");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (log_a, _) = run_schedule(1, 0.5, 40);
+        let (log_b, _) = run_schedule(2, 0.5, 40);
+        assert_ne!(log_a, log_b);
+    }
+
+    #[test]
+    fn zero_probability_is_transparent() {
+        let inner = SimulatedModel::new(ModelProfile::gpt4_sim());
+        let m = FaultyModel::new(
+            SimulatedModel::new(ModelProfile::gpt4_sim()),
+            FaultConfig::disabled(7),
+        );
+        let r = request("how many paging attempts?");
+        assert_eq!(m.complete(&r).unwrap(), inner.complete(&r).unwrap());
+        assert!(m.fault_log().is_empty());
+        assert_eq!(m.calls(), 1);
+    }
+
+    #[test]
+    fn unavailable_is_transient_and_logged() {
+        let cfg = FaultConfig {
+            seed: 3,
+            fault_probability: 1.0,
+            weights: [0, 0, 0, 1, 0], // only Unavailable
+            latency_spike_micros: 0,
+        };
+        let m = FaultyModel::new(SimulatedModel::new(ModelProfile::gpt4_sim()), cfg);
+        let err = m.complete(&request("q")).unwrap_err();
+        assert!(err.is_transient());
+        assert_eq!(m.fault_log().len(), 1);
+        assert_eq!(m.fault_log()[0].kind, FaultKind::Unavailable);
+    }
+
+    #[test]
+    fn malformed_output_does_not_parse_as_promql() {
+        let cfg = FaultConfig {
+            seed: 9,
+            fault_probability: 1.0,
+            weights: [0, 1, 0, 0, 0], // only MalformedPromql
+            latency_spike_micros: 0,
+        };
+        let m = FaultyModel::new(SimulatedModel::new(ModelProfile::gpt4_sim()), cfg);
+        let c = m.complete(&request("how many paging attempts?")).unwrap();
+        assert!(c.text.ends_with(")("), "corrupted text: {}", c.text);
+    }
+
+    #[test]
+    fn truncation_shortens_output() {
+        let cfg = FaultConfig {
+            seed: 11,
+            fault_probability: 1.0,
+            weights: [1, 0, 0, 0, 0], // only TruncatedCompletion
+            latency_spike_micros: 0,
+        };
+        let inner = SimulatedModel::new(ModelProfile::gpt4_sim());
+        let m = FaultyModel::new(SimulatedModel::new(ModelProfile::gpt4_sim()), cfg);
+        let r = request("how many paging attempts?");
+        let full = inner.complete(&r).unwrap().text;
+        let cut = m.complete(&r).unwrap().text;
+        assert!(cut.len() < full.len());
+        assert!(full.starts_with(&cut));
+    }
+
+    #[test]
+    fn latency_spikes_accumulate_without_sleeping() {
+        let cfg = FaultConfig {
+            seed: 13,
+            fault_probability: 1.0,
+            weights: [0, 0, 0, 0, 1], // only LatencySpike
+            latency_spike_micros: 1000,
+        };
+        let m = FaultyModel::new(SimulatedModel::new(ModelProfile::gpt4_sim()), cfg);
+        let r = request("how many paging attempts?");
+        m.complete(&r).unwrap();
+        m.complete(&r).unwrap();
+        assert_eq!(m.injected_latency_micros(), 2000);
+    }
+
+    #[test]
+    fn fault_schedule_is_independent_of_outcomes() {
+        // The k-th call's fault decision must not depend on what earlier
+        // faults did to the RNG: two schedules that diverge in payload
+        // (garbage draws extra numbers) still agree on *whether* later
+        // calls fault.
+        let base = FaultConfig {
+            seed: 21,
+            fault_probability: 0.4,
+            weights: [1, 1, 0, 1, 1], // no garbage: payload draws nothing
+            latency_spike_micros: 0,
+        };
+        let mut with_garbage = base.clone();
+        with_garbage.weights = [1, 1, 1, 1, 1];
+        let a = FaultyModel::new(SimulatedModel::new(ModelProfile::gpt4_sim()), base);
+        let b = FaultyModel::new(SimulatedModel::new(ModelProfile::gpt4_sim()), with_garbage);
+        for i in 0..30 {
+            let _ = a.complete(&request(&format!("q{i}")));
+            let _ = b.complete(&request(&format!("q{i}")));
+        }
+        let faulted_calls = |log: Vec<FaultEvent>| -> Vec<usize> {
+            log.into_iter().map(|e| e.call).collect()
+        };
+        // Identical probability stream ⇒ the same calls are faulted (the
+        // kinds may differ since the weight tables differ).
+        assert_eq!(faulted_calls(a.fault_log()), faulted_calls(b.fault_log()));
+    }
+}

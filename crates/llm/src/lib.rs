@@ -31,12 +31,14 @@
 //! to the same query").
 
 pub mod cost;
+pub mod faults;
 pub mod model;
 pub mod prompt;
 pub mod sim;
 pub mod tokens;
 
 pub use cost::{CostMeter, Pricing, TokenUsage};
+pub use faults::{FaultConfig, FaultEvent, FaultKind, FaultyModel};
 pub use model::{Completion, CompletionRequest, FoundationModel, ModelError, TaskKind};
 pub use prompt::{ContextItem, FewShotExample, Prompt, PromptBuilder};
 pub use sim::profile::{ModelProfile, SimulatedModel};

@@ -17,6 +17,11 @@ pub enum TaskKind {
     /// Answer the question directly with a number (what the bare GPT-4
     /// baseline is asked to do).
     AnswerDirectly,
+    /// A previously generated PromQL expression failed in the sandbox;
+    /// produce a corrected expression for the same question. The failed
+    /// query and the sandbox's diagnosis ride along in the system
+    /// section of the prompt.
+    RepairPromql,
 }
 
 impl TaskKind {
@@ -35,6 +40,9 @@ impl TaskKind {
             TaskKind::AnswerDirectly => {
                 "answer_directly: output the numeric answer to the question"
             }
+            TaskKind::RepairPromql => {
+                "repair_promql: the previous PromQL failed in the sandbox; output one corrected PromQL expression that answers the question"
+            }
         }
     }
 
@@ -46,6 +54,7 @@ impl TaskKind {
             "generate_promql" => TaskKind::GeneratePromql,
             "generate_dashboard" => TaskKind::GenerateDashboard,
             "answer_directly" => TaskKind::AnswerDirectly,
+            "repair_promql" => TaskKind::RepairPromql,
             _ => return None,
         })
     }
@@ -96,6 +105,16 @@ pub enum ModelError {
     },
     /// Unsupported decoding parameter.
     Unsupported(String),
+    /// Transient upstream failure (timeout, rate limit, outage). The
+    /// same request may succeed if retried.
+    Unavailable(String),
+}
+
+impl ModelError {
+    /// Whether retrying the identical request can plausibly succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ModelError::Unavailable(_))
+    }
 }
 
 impl std::fmt::Display for ModelError {
@@ -109,6 +128,7 @@ impl std::fmt::Display for ModelError {
                 "prompt of {prompt_tokens} tokens exceeds context window of {window}"
             ),
             ModelError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            ModelError::Unavailable(m) => write!(f, "model unavailable: {m}"),
         }
     }
 }
@@ -141,10 +161,22 @@ mod tests {
             TaskKind::GeneratePromql,
             TaskKind::GenerateDashboard,
             TaskKind::AnswerDirectly,
+            TaskKind::RepairPromql,
         ] {
             assert_eq!(TaskKind::from_directive(t.directive()), Some(t));
         }
         assert_eq!(TaskKind::from_directive("do_magic: now"), None);
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(ModelError::Unavailable("503".into()).is_transient());
+        assert!(!ModelError::Unsupported("temp".into()).is_transient());
+        assert!(!ModelError::ContextOverflow {
+            prompt_tokens: 10,
+            window: 5
+        }
+        .is_transient());
     }
 
     #[test]

@@ -160,7 +160,10 @@ impl FoundationModel for SimulatedModel {
                     names.join(", ")
                 }
             }
-            TaskKind::GeneratePromql => {
+            // Repair re-derives the query from the question and context
+            // exactly like generation: the simulated model's "fix" for a
+            // corrupted query is a clean re-synthesis.
+            TaskKind::GeneratePromql | TaskKind::RepairPromql => {
                 let examples_present = !parsed.examples.is_empty();
                 let covered: std::collections::HashSet<TaskShape> = parsed
                     .examples

@@ -2,7 +2,7 @@
 
 use crate::audit::{AuditLog, AuditOutcome};
 use crate::policy::{PolicyViolation, SafetyPolicy};
-use dio_promql::{parse, Engine, EngineOptions, QueryStats, Value};
+use dio_promql::{parse, Engine, EngineOptions, ParseError, QueryStats, Value};
 use dio_tsdb::MetricStore;
 
 /// A successfully executed query.
@@ -16,23 +16,95 @@ pub struct ExecutionOutcome {
     pub canonical_query: String,
 }
 
-/// Why an execution failed.
+/// Why an execution failed. Each variant keeps the structured diagnosis
+/// (not a flattened string) so callers can build targeted repair
+/// prompts.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SandboxError {
-    /// Syntax error.
-    Parse(String),
-    /// Policy refusal.
+    /// Syntax error, with the offending position preserved.
+    Parse(ParseError),
+    /// Policy refusal, with the violated rule preserved.
     Refused(PolicyViolation),
     /// Runtime failure (type errors, limits).
     Eval(String),
 }
 
+impl SandboxError {
+    /// A one-line instruction telling a model *what to change* in the
+    /// failed query — the structured counterpart of [`Display`], phrased
+    /// as guidance rather than diagnosis.
+    pub fn repair_hint(&self, query: &str) -> String {
+        match self {
+            SandboxError::Parse(e) => {
+                // Point at the offending span: a short window around the
+                // error position (clamped to char boundaries).
+                let mut start = e.position.min(query.len());
+                while start > 0 && !query.is_char_boundary(start) {
+                    start -= 1;
+                }
+                let mut end = (start + 12).min(query.len());
+                while end < query.len() && !query.is_char_boundary(end) {
+                    end += 1;
+                }
+                let span = &query[start..end];
+                if span.is_empty() {
+                    format!(
+                        "the query is cut short at position {} ({}); complete the expression",
+                        e.position, e.message
+                    )
+                } else {
+                    format!(
+                        "fix the syntax near '{span}' (position {}): {}",
+                        e.position, e.message
+                    )
+                }
+            }
+            SandboxError::Refused(v) => match v {
+                PolicyViolation::ForbiddenFunction(name) => {
+                    format!("remove the call to '{name}'; that function is not allowed")
+                }
+                PolicyViolation::RangeTooWide { max_ms, .. } => format!(
+                    "shrink the range selector to at most {}m",
+                    max_ms / 60_000
+                ),
+                PolicyViolation::OffsetTooFar { max_ms, .. } => {
+                    format!("reduce the offset to at most {}m", max_ms / 60_000)
+                }
+                PolicyViolation::SensitiveMetric(name) => {
+                    format!("do not reference the metric '{name}'; it is access-restricted")
+                }
+                PolicyViolation::TooDeep { max, .. } => {
+                    format!("simplify the expression to at most {max} nesting levels")
+                }
+            },
+            SandboxError::Eval(m) => format!("rewrite the query to avoid: {m}"),
+        }
+    }
+
+    /// The violated policy rule, when this is a refusal.
+    pub fn violated_rule(&self) -> Option<&PolicyViolation> {
+        match self {
+            SandboxError::Refused(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The byte offset of the syntax error, when this is a parse
+    /// failure.
+    pub fn parse_position(&self) -> Option<usize> {
+        match self {
+            SandboxError::Parse(e) => Some(e.position),
+            _ => None,
+        }
+    }
+}
+
 impl std::fmt::Display for SandboxError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SandboxError::Parse(m) => write!(f, "parse: {m}"),
-            SandboxError::Refused(v) => write!(f, "refused by policy: {v}"),
-            SandboxError::Eval(m) => write!(f, "evaluation: {m}"),
+            SandboxError::Parse(e) => write!(f, "parse error: {e}"),
+            SandboxError::Refused(v) => write!(f, "policy refusal: {v}"),
+            SandboxError::Eval(m) => write!(f, "evaluation error: {m}"),
         }
     }
 }
@@ -92,7 +164,7 @@ impl Sandbox {
                         reason: e.to_string(),
                     },
                 );
-                return Err(SandboxError::Parse(e.to_string()));
+                return Err(SandboxError::Parse(e));
             }
         };
         if let Err(v) = self.policy.vet(&expr) {
@@ -192,5 +264,41 @@ mod tests {
         let mut sb = Sandbox::new(store(), SafetyPolicy::default());
         let out = sb.execute("sum( reqs_total )", 600_000).unwrap();
         assert_eq!(out.canonical_query, "sum(reqs_total)");
+    }
+
+    #[test]
+    fn parse_errors_carry_position_and_span_hint() {
+        let mut sb = Sandbox::new(store(), SafetyPolicy::default());
+        let q = "sum(reqs_total) )(";
+        let err = sb.execute(q, 0).unwrap_err();
+        let pos = err.parse_position().expect("parse error has a position");
+        assert!(pos <= q.len());
+        let hint = err.repair_hint(q);
+        assert!(
+            hint.contains("syntax") || hint.contains("cut short"),
+            "unhelpful hint: {hint}"
+        );
+        assert!(hint.contains(&pos.to_string()), "hint lacks position: {hint}");
+    }
+
+    #[test]
+    fn refusal_hints_name_the_violated_rule() {
+        let mut sb = Sandbox::new(store(), SafetyPolicy::default());
+        let q = "rate(reqs_total[7d])";
+        let err = sb.execute(q, 600_000).unwrap_err();
+        assert!(matches!(
+            err.violated_rule(),
+            Some(PolicyViolation::RangeTooWide { .. })
+        ));
+        let hint = err.repair_hint(q);
+        assert!(hint.contains("shrink the range"), "hint: {hint}");
+    }
+
+    #[test]
+    fn eval_hints_quote_the_failure() {
+        let err = SandboxError::Eval("sample budget exceeded".into());
+        assert!(err.repair_hint("sum(x)").contains("sample budget exceeded"));
+        assert!(err.violated_rule().is_none());
+        assert!(err.parse_position().is_none());
     }
 }

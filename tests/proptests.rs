@@ -1,12 +1,17 @@
 //! Property-based tests on the core substrates: the PromQL pipeline
 //! never panics on arbitrary input, the printer round-trips what the
 //! parser accepts, label algebra is lawful, matchers agree with a
-//! reference implementation, and the synthesiser preserves counter
-//! monotonicity for arbitrary parameters.
+//! reference implementation, the synthesiser preserves counter
+//! monotonicity for arbitrary parameters, and the copilot survives
+//! arbitrary fault schedules injected into its foundation model.
 
+use dio::benchmark::{fewshot_exemplars, OperatorWorld, WorldConfig};
+use dio::copilot::{CopilotBuilder, DegradationLevel, DioCopilot, RecoveryPolicy};
+use dio::llm::{FaultConfig, FaultyModel, ModelProfile, SimulatedModel};
 use dio::promql::{format_expr, parse};
 use dio::tsdb::{Labels, MetricStore, Sample, SeriesSpec, SynthConfig, Synthesizer};
 use proptest::prelude::*;
+use std::sync::OnceLock;
 
 proptest! {
     /// The lexer+parser must never panic, whatever bytes arrive.
@@ -129,6 +134,122 @@ proptest! {
         let sum = dio::llm::count_tokens(&a) + dio::llm::count_tokens(&b);
         prop_assert!(dio::llm::count_tokens(&joined) <= sum + 1);
         prop_assert!(dio::llm::count_tokens(&joined) + 1 >= sum.max(1));
+    }
+}
+
+/// Shared world for the fault-schedule property (building the world
+/// and embedding its catalog are the expensive parts).
+fn fault_world() -> &'static OperatorWorld {
+    static WORLD: OnceLock<OperatorWorld> = OnceLock::new();
+    WORLD.get_or_init(|| OperatorWorld::build(WorldConfig::small()))
+}
+
+thread_local! {
+    /// One copilot per test thread; cases swap the model and recovery
+    /// policy instead of re-embedding the catalog 64 times.
+    static FAULT_COPILOT: std::cell::RefCell<Option<DioCopilot>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Run `f` against the shared copilot, re-armed with a fresh fault
+/// schedule and recovery policy.
+fn with_faulty_copilot<T>(
+    seed: u64,
+    probability: f64,
+    recovery: RecoveryPolicy,
+    f: impl FnOnce(&mut DioCopilot) -> T,
+) -> T {
+    FAULT_COPILOT.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let copilot = slot.get_or_insert_with(|| {
+            let world = fault_world();
+            CopilotBuilder::new(world.domain_db(), world.store.clone())
+                .exemplars(fewshot_exemplars(&world.catalog))
+                .build()
+        });
+        copilot.replace_model(Box::new(FaultyModel::new(
+            SimulatedModel::new(ModelProfile::gpt4_sim()),
+            FaultConfig::with_probability(seed, probability),
+        )));
+        copilot.set_recovery(recovery);
+        f(copilot)
+    })
+}
+
+proptest! {
+    /// Whatever the fault schedule — any seed, any per-call fault
+    /// probability, recovery on or off — `ask` must not panic and must
+    /// return a well-formed, internally consistent response.
+    #[test]
+    fn ask_survives_arbitrary_fault_schedules(
+        seed in any::<u64>(),
+        probability in 0.0f64..1.0,
+        recovery_on in any::<bool>(),
+    ) {
+        // Include the total-outage extreme, which a half-open range
+        // never draws.
+        let probability = if seed % 7 == 0 { 1.0 } else { probability };
+        let policy = if recovery_on {
+            RecoveryPolicy::default()
+        } else {
+            RecoveryPolicy::disabled()
+        };
+        let questions = [
+            "How many initial registration attempts were recorded at the AMF?",
+            "What is the paging success rate?",
+        ];
+        let responses = with_faulty_copilot(seed, probability, policy.clone(), |copilot| {
+            questions.map(|q| copilot.ask(q, fault_world().eval_ts))
+        });
+        for (q, r) in questions.iter().zip(responses) {
+            // Well-formed: an empty query is only acceptable alongside
+            // a classified error explaining why nothing ran.
+            prop_assert!(!r.query.is_empty() || r.error.is_some());
+            // Degradation bookkeeping is consistent in both directions,
+            // and a degraded answer always carries its cause.
+            prop_assert_eq!(
+                r.degradation == DegradationLevel::Degraded,
+                r.trace.recovery.degraded
+            );
+            if r.degradation == DegradationLevel::Degraded {
+                prop_assert!(r.error.is_some());
+            }
+            // Recovery accounting respects the policy bounds.
+            prop_assert!(r.trace.recovery.repairs <= policy.max_repair_rounds);
+            prop_assert_eq!(
+                r.trace.recovery.backoff_schedule_ms.len(),
+                r.trace.recovery.retries
+            );
+            // Cost accounting stays sane even when calls fail midway.
+            prop_assert!(r.cost_cents.is_finite() && r.cost_cents >= 0.0);
+            // The trace recorded the pipeline stages.
+            prop_assert!(r.trace.stages.len() >= 3);
+            // Rendering never panics and always echoes the question.
+            prop_assert!(r.render().contains(q));
+        }
+    }
+
+    /// A zero-probability fault wrapper is a transparent proxy
+    /// whatever its seed: the wrapped copilot answers exactly like the
+    /// bare one.
+    #[test]
+    fn zero_probability_faults_are_transparent(seed in any::<u64>()) {
+        let q = "How many initial registration attempts were recorded at the AMF?";
+        // The bare-model reference answer, computed once.
+        static PLAIN: OnceLock<(String, Option<f64>, dio::llm::TokenUsage)> = OnceLock::new();
+        let (query, numeric, usage) = PLAIN.get_or_init(|| {
+            let r = with_faulty_copilot(0, 0.0, RecoveryPolicy::default(), |copilot| {
+                copilot.replace_model(Box::new(SimulatedModel::new(ModelProfile::gpt4_sim())));
+                copilot.ask(q, fault_world().eval_ts)
+            });
+            (r.query, r.numeric_answer, r.usage)
+        }).clone();
+        let b = with_faulty_copilot(seed, 0.0, RecoveryPolicy::default(), |copilot| {
+            copilot.ask(q, fault_world().eval_ts)
+        });
+        prop_assert_eq!(query, b.query);
+        prop_assert_eq!(numeric, b.numeric_answer);
+        prop_assert_eq!(usage, b.usage);
     }
 }
 

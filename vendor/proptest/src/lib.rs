@@ -1,0 +1,556 @@
+//! Offline stand-in for `proptest`. Supports the subset this workspace
+//! uses: `proptest!` test blocks with `arg in strategy` bindings, string
+//! strategies from a regex subset (char classes, `.`, `{m,n}`/`*`/`+`/`?`
+//! quantifiers), numeric ranges, `any::<T>()`, `prop::collection::vec`,
+//! and `prop::sample::select`. Cases are generated deterministically from
+//! the test name (no shrinking, no persistence files).
+
+pub mod strategy {
+    /// Deterministic case-generation RNG (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn new(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        pub fn below(&mut self, n: usize) -> usize {
+            assert!(n > 0, "below(0)");
+            (self.next_u64() % n as u64) as usize
+        }
+
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// A generator of values of one type.
+    pub trait Strategy {
+        type Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// Conversion of range/regex shorthand into a strategy.
+    pub trait IntoStrategy {
+        type Strategy: Strategy;
+        fn into_strategy(self) -> Self::Strategy;
+    }
+
+    // ---------------- string strategies from a regex subset -----------
+
+    /// One quantified element of a pattern.
+    struct Element {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    pub struct StringStrategy {
+        elements: Vec<Element>,
+    }
+
+    /// Character pool for `.`: printable ASCII plus a little whitespace
+    /// and multi-byte UTF-8 so parsers see non-trivial input.
+    fn any_char_pool() -> Vec<char> {
+        let mut pool: Vec<char> = (0x20u8..0x7f).map(|b| b as char).collect();
+        pool.extend(['\t', '\n', 'µ', 'λ', '€', '漢']);
+        pool
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+        let mut out = Vec::new();
+        let mut prev: Option<char> = None;
+        loop {
+            let c = chars.next().expect("unterminated character class");
+            match c {
+                ']' => break,
+                '-' => {
+                    // A range if flanked by chars; literal at the edges.
+                    match (prev, chars.peek().copied()) {
+                        (Some(lo), Some(hi)) if hi != ']' => {
+                            chars.next();
+                            assert!(lo <= hi, "bad class range {lo}-{hi}");
+                            for ch in (lo as u32 + 1)..=(hi as u32) {
+                                out.push(char::from_u32(ch).unwrap());
+                            }
+                            prev = None;
+                        }
+                        _ => {
+                            out.push('-');
+                            prev = Some('-');
+                        }
+                    }
+                }
+                '\\' => {
+                    let esc = chars.next().expect("dangling escape in class");
+                    out.push(esc);
+                    prev = Some(esc);
+                }
+                c => {
+                    out.push(c);
+                    prev = Some(c);
+                }
+            }
+        }
+        assert!(!out.is_empty(), "empty character class");
+        out
+    }
+
+    fn parse_quantifier(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    ) -> (usize, usize) {
+        match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => {
+                        let lo = lo.trim().parse().expect("bad {m,n} quantifier");
+                        let hi = hi.trim().parse().expect("bad {m,n} quantifier");
+                        (lo, hi)
+                    }
+                    None => {
+                        let n = spec.trim().parse().expect("bad {n} quantifier");
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            _ => (1, 1),
+        }
+    }
+
+    /// Parse the supported regex subset into quantified char pools.
+    pub fn string_regex(pattern: &str) -> StringStrategy {
+        let mut chars = pattern.chars().peekable();
+        let mut elements = Vec::new();
+        while let Some(c) = chars.next() {
+            let pool = match c {
+                '.' => any_char_pool(),
+                '[' => parse_class(&mut chars),
+                '\\' => vec![chars.next().expect("dangling escape")],
+                c => vec![c],
+            };
+            let (min, max) = parse_quantifier(&mut chars);
+            assert!(min <= max, "bad quantifier in {pattern:?}");
+            elements.push(Element {
+                chars: pool,
+                min,
+                max,
+            });
+        }
+        StringStrategy { elements }
+    }
+
+    impl Strategy for StringStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for el in &self.elements {
+                let n = el.min + rng.below(el.max - el.min + 1);
+                for _ in 0..n {
+                    out.push(el.chars[rng.below(el.chars.len())]);
+                }
+            }
+            out
+        }
+    }
+
+    impl IntoStrategy for &str {
+        type Strategy = StringStrategy;
+        fn into_strategy(self) -> StringStrategy {
+            string_regex(self)
+        }
+    }
+
+    // ---------------- numeric ranges ---------------------------------
+
+    pub struct IntRange<T> {
+        lo: T,
+        hi: T, // exclusive
+    }
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for IntRange<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let span = (self.hi as i128 - self.lo as i128) as u128;
+                    assert!(span > 0, "empty range");
+                    let v = (rng.next_u64() as u128) % span;
+                    (self.lo as i128 + v as i128) as $t
+                }
+            }
+            impl IntoStrategy for core::ops::Range<$t> {
+                type Strategy = IntRange<$t>;
+                fn into_strategy(self) -> IntRange<$t> {
+                    IntRange { lo: self.start, hi: self.end }
+                }
+            }
+        )*};
+    }
+    impl_int_range!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    pub struct FloatRange<T> {
+        lo: T,
+        hi: T,
+    }
+
+    macro_rules! impl_float_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for FloatRange<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    self.lo + (rng.unit_f64() as $t) * (self.hi - self.lo)
+                }
+            }
+            impl IntoStrategy for core::ops::Range<$t> {
+                type Strategy = FloatRange<$t>;
+                fn into_strategy(self) -> FloatRange<$t> {
+                    FloatRange { lo: self.start, hi: self.end }
+                }
+            }
+        )*};
+    }
+    impl_float_range!(f32, f64);
+
+    // ---------------- any::<T>() -------------------------------------
+
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.unit_f64() * 2e6 - 1e6
+        }
+    }
+
+    pub struct Any<T> {
+        _marker: core::marker::PhantomData<T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    impl<T: Arbitrary> IntoStrategy for Any<T> {
+        type Strategy = Any<T>;
+        fn into_strategy(self) -> Any<T> {
+            self
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: core::marker::PhantomData,
+        }
+    }
+
+    // ---------------- combinators ------------------------------------
+
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize, // exclusive
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.min + rng.below(self.max - self.min);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    impl<S: Strategy> IntoStrategy for VecStrategy<S> {
+        type Strategy = VecStrategy<S>;
+        fn into_strategy(self) -> VecStrategy<S> {
+            self
+        }
+    }
+
+    pub fn vec_strategy<E: IntoStrategy>(
+        element: E,
+        len: core::ops::Range<usize>,
+    ) -> VecStrategy<E::Strategy> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy {
+            element: element.into_strategy(),
+            min: len.start,
+            max: len.end,
+        }
+    }
+
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len())].clone()
+        }
+    }
+
+    impl<T: Clone> IntoStrategy for Select<T> {
+        type Strategy = Select<T>;
+        fn into_strategy(self) -> Select<T> {
+            self
+        }
+    }
+
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select over empty set");
+        Select { options }
+    }
+
+    /// Always yields a clone of one value.
+    pub struct JustStrategy<T> {
+        value: T,
+    }
+
+    impl<T: Clone> Strategy for JustStrategy<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.value.clone()
+        }
+    }
+
+    impl<T: Clone> IntoStrategy for JustStrategy<T> {
+        type Strategy = JustStrategy<T>;
+        fn into_strategy(self) -> JustStrategy<T> {
+            self
+        }
+    }
+
+    #[allow(non_snake_case)]
+    pub fn Just<T: Clone>(value: T) -> JustStrategy<T> {
+        JustStrategy { value }
+    }
+}
+
+pub mod test_runner {
+    use super::strategy::TestRng;
+
+    /// Failure raised by `prop_assert!`-style macros.
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        pub message: String,
+    }
+
+    impl TestCaseError {
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    /// Cases per property. Smaller than upstream's 256 because every
+    /// case re-runs the full body with no shrinking pass afterwards.
+    pub const CASES: u64 = 64;
+
+    fn fnv1a(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+
+    /// Drive one property: deterministic seeds derived from the test
+    /// name, panicking with the case number on the first failure.
+    pub fn run<F>(name: &str, mut body: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let base = fnv1a(name);
+        for case in 0..CASES {
+            let mut rng = TestRng::new(base.wrapping_add(case.wrapping_mul(0x9E37_79B9)));
+            if let Err(e) = body(&mut rng) {
+                panic!("property `{name}` failed at case {case}/{CASES}: {}", e.message);
+            }
+        }
+    }
+}
+
+/// `prop::…` namespace, mirroring upstream's module paths.
+pub mod prop {
+    pub mod collection {
+        pub use crate::strategy::vec_strategy as vec;
+    }
+    pub mod sample {
+        pub use crate::strategy::select;
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(stringify!($name), |__rng| {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &$crate::strategy::IntoStrategy::into_strategy($strat),
+                            __rng,
+                        );
+                    )+
+                    let __case = || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    };
+                    __case()
+                });
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "{}: {:?} != {:?}", format!($($fmt)*), l, r);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::strategy::{string_regex, IntoStrategy, Strategy, TestRng};
+
+    #[test]
+    fn regex_subset_respects_classes_and_counts() {
+        let mut rng = TestRng::new(5);
+        let ident = string_regex("[a-z][a-z0-9_]{0,30}");
+        for _ in 0..200 {
+            let s = ident.generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 31);
+            let mut chars = s.chars();
+            assert!(chars.next().unwrap().is_ascii_lowercase());
+            assert!(chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+        let lit = string_regex("[a-z0-9.*+-]{0,12}");
+        for _ in 0..200 {
+            let s = lit.generate(&mut rng);
+            assert!(s.len() <= 12);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase()
+                    || c.is_ascii_digit()
+                    || matches!(c, '.' | '*' | '+' | '-')));
+        }
+    }
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = TestRng::new(9);
+        let ints = (1i64..600).into_strategy();
+        let floats = (0.01f64..100.0).into_strategy();
+        for _ in 0..500 {
+            let i = ints.generate(&mut rng);
+            assert!((1..600).contains(&i));
+            let f = floats.generate(&mut rng);
+            assert!((0.01..100.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn same_name_same_cases() {
+        let mut first = Vec::new();
+        crate::test_runner::run("demo", |rng| {
+            first.push(rng.next_u64());
+            Ok(())
+        });
+        let mut second = Vec::new();
+        crate::test_runner::run("demo", |rng| {
+            second.push(rng.next_u64());
+            Ok(())
+        });
+        assert_eq!(first, second);
+    }
+}

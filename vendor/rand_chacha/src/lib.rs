@@ -1,0 +1,145 @@
+//! Offline stand-in for `rand_chacha`: implements the actual ChaCha
+//! stream cipher block function (RFC 8439 quarter rounds) behind the
+//! stand-in `rand` traits. Output streams are deterministic functions
+//! of the seed, which is all the workspace requires — it does not
+//! promise bit-compatibility with the upstream crate.
+
+use rand::{RngCore, SeedableRng};
+
+#[derive(Clone, Debug)]
+pub struct ChaChaRng<const ROUNDS: usize> {
+    /// Cipher state: constants, 8 key words, block counter, 3 nonce words.
+    state: [u32; 16],
+    /// Current keystream block and read position within it.
+    buffer: [u32; 16],
+    index: usize,
+}
+
+/// ChaCha with 8 double-rounds — the variant the workspace seeds everywhere.
+pub type ChaCha8Rng = ChaChaRng<8>;
+/// ChaCha with 12 double-rounds.
+pub type ChaCha12Rng = ChaChaRng<12>;
+/// ChaCha with 20 double-rounds.
+pub type ChaCha20Rng = ChaChaRng<20>;
+
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl<const ROUNDS: usize> ChaChaRng<ROUNDS> {
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (w, s)) in self
+            .buffer
+            .iter_mut()
+            .zip(working.iter().zip(self.state.iter()))
+        {
+            *out = w.wrapping_add(*s);
+        }
+        // 64-bit block counter in words 12..14.
+        let counter = (self.state[12] as u64 | (self.state[13] as u64) << 32).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.index = 0;
+    }
+}
+
+impl<const ROUNDS: usize> SeedableRng for ChaChaRng<ROUNDS> {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&SIGMA);
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            state[4 + i] = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        // Counter and nonce start at zero.
+        ChaChaRng {
+            state,
+            buffer: [0u32; 16],
+            index: 16,
+        }
+    }
+}
+
+impl<const ROUNDS: usize> RngCore for ChaChaRng<ROUNDS> {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let word = self.buffer[self.index];
+        self.index += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | hi << 32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(0xdead_beef);
+        let mut b = ChaCha8Rng::seed_from_u64(0xdead_beef);
+        let mut c = ChaCha8Rng::seed_from_u64(0xdead_beee);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn rfc8439_chacha20_block() {
+        // RFC 8439 §2.3.2 test vector: key 00..1f, counter 1,
+        // nonce 00:00:00:09:00:00:00:4a:00:00:00:00.
+        let mut seed = [0u8; 32];
+        for (i, b) in seed.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let mut rng = ChaCha20Rng::from_seed(seed);
+        rng.state[12] = 1;
+        rng.state[13] = 0x0900_0000;
+        rng.state[14] = 0x4a00_0000;
+        rng.state[15] = 0;
+        rng.refill();
+        assert_eq!(rng.buffer[0], 0xe4e7_f110);
+        assert_eq!(rng.buffer[15], 0x4e3c_50a2);
+    }
+
+    #[test]
+    fn blocks_advance() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let first: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        let second: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        assert_ne!(first, second);
+    }
+}

@@ -1,0 +1,465 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no network access to crates.io, so this
+//! crate (patched in via `[patch.crates-io]`) provides the subset of
+//! serde the workspace actually uses: `Serialize`/`Deserialize` traits
+//! with derive macros, routed through a self-describing [`Value`] tree
+//! that `serde_json` renders and parses. Data model and JSON encoding
+//! follow serde's conventions (externally tagged enums, transparent
+//! newtypes, maps as objects) so persisted artifacts stay readable.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// A self-describing serialized tree (the stand-in's data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON null.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Integer (covers all Rust integer widths in use).
+    Int(i128),
+    /// Floating point.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Value>),
+    /// Object — insertion-ordered key/value pairs.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up an object field.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup that errors when missing (derive helper).
+    pub fn field(&self, key: &str) -> Result<&Value, Error> {
+        self.get(key)
+            .ok_or_else(|| Error::msg(format!("missing field `{key}`")))
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Construct from a message.
+    pub fn msg(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can serialize themselves into a [`Value`].
+pub trait Serialize {
+    /// Convert to the data-model tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can reconstruct themselves from a [`Value`].
+///
+/// The lifetime parameter mirrors serde's signature so existing bounds
+/// (`Deserialize<'de>`, `DeserializeOwned`) keep compiling; the stand-in
+/// never borrows from the input.
+pub trait Deserialize<'de>: Sized {
+    /// Reconstruct from the data-model tree.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// Owned deserialization (serde's `DeserializeOwned`).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// serde-compatible module path for deserialization items.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned, Error};
+}
+
+/// serde-compatible module path for serialization items.
+pub mod ser {
+    pub use crate::{Error, Serialize};
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| Error::msg(format!("integer {i} out of range for {}", stringify!($t)))),
+                    Value::Float(f) if f.fract() == 0.0 => Ok(*f as $t),
+                    other => Err(Error::msg(format!("expected integer, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, usize);
+
+// u128 saturates into the i128 data model; traced durations never
+// approach the boundary.
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        Value::Int((*self).min(i128::MAX as u128) as i128)
+    }
+}
+impl<'de> Deserialize<'de> for u128 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Int(i) if *i >= 0 => Ok(*i as u128),
+            other => Err(Error::msg(format!("expected unsigned integer, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    other => Err(Error::msg(format!("expected number, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::msg(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl<'de> Deserialize<'de> for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::msg(format!("expected single-char string, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::msg(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Arr(items) => {
+                if items.len() != N {
+                    return Err(Error::msg(format!(
+                        "expected array of length {N}, got {}",
+                        items.len()
+                    )));
+                }
+                let parsed: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+                parsed
+                    .try_into()
+                    .map_err(|_| Error::msg("array length mismatch".to_string()))
+            }
+            other => Err(Error::msg(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+)),+ $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Arr(items) => {
+                        let expected = [$($n),+].len();
+                        if items.len() != expected {
+                            return Err(Error::msg(format!(
+                                "expected {expected}-tuple, got {} elements", items.len()
+                            )));
+                        }
+                        Ok(($($t::from_value(&items[$n])?,)+))
+                    }
+                    other => Err(Error::msg(format!("expected array, got {other:?}"))),
+                }
+            }
+        }
+    )+};
+}
+
+impl_tuple!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+);
+
+// ---------------------------------------------------------------------
+// Map/set impls (JSON object keys are strings; integer keys round-trip
+// through their decimal form, matching serde_json).
+// ---------------------------------------------------------------------
+
+/// Encode/decode a map key as a JSON object key.
+pub trait KeyCodec: Sized {
+    /// Render the key.
+    fn to_key(&self) -> String;
+    /// Parse the key back.
+    fn from_key(s: &str) -> Result<Self, Error>;
+}
+
+impl KeyCodec for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(s: &str) -> Result<Self, Error> {
+        Ok(s.to_string())
+    }
+}
+
+macro_rules! impl_key_int {
+    ($($t:ty),*) => {$(
+        impl KeyCodec for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(s: &str) -> Result<Self, Error> {
+                s.parse()
+                    .map_err(|_| Error::msg(format!("invalid {} key: {s}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_key_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: KeyCodec + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Obj(self.iter().map(|(k, v)| (k.to_key(), v.to_value())).collect())
+    }
+}
+impl<'de, K: KeyCodec + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Obj(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(Error::msg(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+impl<K: KeyCodec + Eq + std::hash::Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Sort for deterministic output.
+        let mut pairs: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.to_key(), v.to_value())).collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Obj(pairs)
+    }
+}
+impl<'de, K: KeyCodec + Eq + std::hash::Hash, V: Deserialize<'de>> Deserialize<'de>
+    for HashMap<K, V>
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Obj(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(Error::msg(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::msg(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize + Eq + std::hash::Hash> Serialize for HashSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<'de, T: Deserialize<'de> + Eq + std::hash::Hash> Deserialize<'de> for HashSet<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::msg(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(String::from_value(&"x".to_value()).unwrap(), "x");
+        assert_eq!(Option::<u8>::from_value(&Value::Null).unwrap(), None);
+        let v: Vec<u8> = Vec::from_value(&vec![1u8, 2].to_value()).unwrap();
+        assert_eq!(v, vec![1, 2]);
+    }
+
+    #[test]
+    fn tuples_and_maps_round_trip() {
+        let t = ("a".to_string(), 3usize);
+        let back: (String, usize) = Deserialize::from_value(&t.to_value()).unwrap();
+        assert_eq!(back, t);
+        let mut m = HashMap::new();
+        m.insert(7u64, "seven".to_string());
+        let back: HashMap<u64, String> = Deserialize::from_value(&m.to_value()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn f32_round_trips_exactly() {
+        let x = 0.9f32;
+        let back = f32::from_value(&x.to_value()).unwrap();
+        assert_eq!(back, x);
+    }
+}

@@ -1,0 +1,474 @@
+//! Derive macros for the offline serde stand-in.
+//!
+//! Parses the item declaration directly from the token stream (no
+//! `syn`/`quote` — they are unavailable offline) and emits `Serialize`
+//! / `Deserialize` impls against the stand-in's `Value` data model.
+//!
+//! Supported shapes — the ones this workspace uses:
+//! * named-field structs (optionally generic over type parameters),
+//! * tuple structs (newtype and n-ary),
+//! * enums with unit, tuple, and struct variants,
+//! * the container attribute `#[serde(rename_all = "lowercase")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------
+// Parsed representation
+// ---------------------------------------------------------------------
+
+enum Body {
+    /// Named-field struct: field names in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct: field count.
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+    /// Enum: (variant name, shape).
+    Enum(Vec<(String, VariantShape)>),
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    /// Type-parameter identifiers (lifetimes/consts unsupported — unused here).
+    generics: Vec<String>,
+    /// `#[serde(rename_all = "lowercase")]` present.
+    rename_lowercase: bool,
+    body: Body,
+}
+
+impl Item {
+    fn tag(&self, variant: &str) -> String {
+        if self.rename_lowercase {
+            variant.to_lowercase()
+        } else {
+            variant.to_string()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    let mut rename_lowercase = false;
+
+    // Leading attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    let text = g.stream().to_string();
+                    if text.contains("rename_all") && text.contains("lowercase") {
+                        rename_lowercase = true;
+                    }
+                }
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected struct/enum keyword, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+    i += 1;
+
+    // Generic parameter list.
+    let mut generics = Vec::new();
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        i += 1;
+        let mut depth = 1usize;
+        let mut expect_param = true;
+        while depth > 0 {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => {
+                    expect_param = true;
+                }
+                Some(TokenTree::Ident(id)) if depth == 1 && expect_param => {
+                    generics.push(id.to_string());
+                    expect_param = false;
+                }
+                None => panic!("unterminated generic parameter list"),
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+
+    // Skip a where clause if present.
+    while let Some(tt) = tokens.get(i) {
+        match tt {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => break,
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis && kind == "struct" => {
+                break
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => break,
+            _ => i += 1,
+        }
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if kind == "struct" {
+                Body::Struct(parse_named_fields(&inner))
+            } else {
+                Body::Enum(parse_variants(&inner))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Body::Tuple(count_tuple_fields(&inner))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Unit,
+        other => panic!("expected item body, got {other:?}"),
+    };
+
+    Item {
+        name,
+        generics,
+        rename_lowercase,
+        body,
+    }
+}
+
+/// Skip leading attributes/visibility at `*i`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1;
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Skip a type at `*i` up to (not including) a top-level `,` or EOF.
+/// Angle brackets are the only nesting that matters — parens/brackets
+/// arrive as single groups in the token stream.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle = 0usize;
+    while let Some(tt) = tokens.get(*i) {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle = angle.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected field name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected ':' after field `{name}`, got {other:?}"),
+        }
+        skip_type(tokens, &mut i);
+        fields.push(name);
+        // Consume the separating comma, if any.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(tokens: &[TokenTree]) -> usize {
+    let mut count = 0usize;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(tokens, &mut i);
+        count += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Vec<(String, VariantShape)> {
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                VariantShape::Struct(parse_named_fields(&inner))
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push((name, shape));
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn generics_decl(item: &Item, extra_lifetime: Option<&str>) -> (String, String) {
+    // Returns (impl generics, type generics), e.g. ("<'de, I, T>", "<I, T>").
+    let ty = if item.generics.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", item.generics.join(", "))
+    };
+    let mut parts: Vec<String> = Vec::new();
+    if let Some(lt) = extra_lifetime {
+        parts.push(lt.to_string());
+    }
+    parts.extend(item.generics.iter().cloned());
+    let imp = if parts.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", parts.join(", "))
+    };
+    (imp, ty)
+}
+
+fn where_clause(item: &Item, bound: &str) -> String {
+    if item.generics.is_empty() {
+        String::new()
+    } else {
+        let bounds: Vec<String> = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: {bound}"))
+            .collect();
+        format!(" where {}", bounds.join(", "))
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (imp, ty) = generics_decl(item, None);
+    let wc = where_clause(item, "::serde::Serialize");
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let pushes: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "obj.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut obj: Vec<(String, ::serde::Value)> = Vec::new();\n{}\n::serde::Value::Obj(obj)",
+                pushes.join("\n")
+            )
+        }
+        Body::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Arr(vec![{}])", items.join(", "))
+        }
+        Body::Unit => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, shape)| {
+                    let tag = item.tag(v);
+                    match shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{v} => ::serde::Value::Str(\"{tag}\".to_string()),"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{v}(f0) => ::serde::Value::Obj(vec![(\"{tag}\".to_string(), ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|k| format!("::serde::Serialize::to_value(f{k})"))
+                                .collect();
+                            format!(
+                                "{name}::{v}({}) => ::serde::Value::Obj(vec![(\"{tag}\".to_string(), ::serde::Value::Arr(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantShape::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let pushes: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!(
+                                    "inner.push((\"{f}\".to_string(), ::serde::Serialize::to_value({f})));"
+                                ))
+                                .collect();
+                            format!(
+                                "{name}::{v} {{ {binds} }} => {{ let mut inner: Vec<(String, ::serde::Value)> = Vec::new(); {} ::serde::Value::Obj(vec![(\"{tag}\".to_string(), ::serde::Value::Obj(inner))]) }},",
+                                pushes.join(" ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{\n{}\n}}", arms.join("\n"))
+        }
+    };
+    format!(
+        "impl{imp} ::serde::Serialize for {name}{ty}{wc} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (imp, ty) = generics_decl(item, Some("'de"));
+    let wc = where_clause(item, "::serde::Deserialize<'de>");
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_value(value.field(\"{f}\")?)?,")
+                })
+                .collect();
+            format!("Ok({name} {{\n{}\n}})", inits.join("\n"))
+        }
+        Body::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(value)?))"),
+        Body::Tuple(n) => {
+            let gets: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                .collect();
+            format!(
+                "match value {{\n::serde::Value::Arr(items) if items.len() == {n} => Ok({name}({})),\nother => Err(::serde::Error::msg(format!(\"expected {n}-element array for {name}, got {{other:?}}\"))),\n}}",
+                gets.join(", ")
+            )
+        }
+        Body::Unit => format!("Ok({name})"),
+        Body::Enum(variants) => {
+            let mut unit_arms = Vec::new();
+            let mut tagged_arms = Vec::new();
+            for (v, shape) in variants {
+                let tag = item.tag(v);
+                match shape {
+                    VariantShape::Unit => {
+                        unit_arms.push(format!("\"{tag}\" => Ok({name}::{v}),"));
+                    }
+                    VariantShape::Tuple(1) => tagged_arms.push(format!(
+                        "\"{tag}\" => Ok({name}::{v}(::serde::Deserialize::from_value(inner)?)),"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let gets: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                            .collect();
+                        tagged_arms.push(format!(
+                            "\"{tag}\" => match inner {{\n::serde::Value::Arr(items) if items.len() == {n} => Ok({name}::{v}({})),\nother => Err(::serde::Error::msg(format!(\"bad payload for variant {tag}: {{other:?}}\"))),\n}},",
+                            gets.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(inner.field(\"{f}\")?)?,"
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push(format!(
+                            "\"{tag}\" => Ok({name}::{v} {{\n{}\n}}),",
+                            inits.join("\n")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match value {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n{unit}\nother => Err(::serde::Error::msg(format!(\"unknown variant `{{other}}` for {name}\"))),\n}},\n\
+                 ::serde::Value::Obj(pairs) if pairs.len() == 1 => {{\n\
+                 let (tag, inner) = (&pairs[0].0, &pairs[0].1);\n\
+                 #[allow(unused_variables)]\n\
+                 match tag.as_str() {{\n{tagged}\nother => Err(::serde::Error::msg(format!(\"unknown variant `{{other}}` for {name}\"))),\n}}\n}},\n\
+                 other => Err(::serde::Error::msg(format!(\"expected enum value for {name}, got {{other:?}}\"))),\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                tagged = tagged_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "impl{imp} ::serde::Deserialize<'de> for {name}{ty}{wc} {{\n\
+         fn from_value(value: &::serde::Value) -> Result<Self, ::serde::Error> {{\n{body}\n}}\n}}"
+    )
+}
