@@ -8,6 +8,7 @@
 //! cargo run --release -p dio-bench --bin ablation_context_k
 //! ```
 
+use dio_bench::artifact::BenchArtifact;
 use dio_bench::Experiment;
 use dio_benchmark::evaluate;
 use dio_copilot::CopilotConfig;
@@ -19,6 +20,7 @@ fn main() {
     println!("\nAblation — retrieved context samples (paper setting: 29)\n");
     println!("{:>6} | {:>6}", "top-k", "EX (%)");
     println!("-------+-------");
+    let mut artifact = BenchArtifact::new("ablation_context_k");
     for k in [0usize, 5, 10, 29, 50, 100] {
         let mut dio = exp.copilot_with_config(
             Experiment::gpt4(),
@@ -30,5 +32,11 @@ fn main() {
         );
         let r = evaluate(&mut dio, &exp.questions, exp.world.eval_ts);
         println!("{:>6} | {:>6.1}", k, r.ex_percent);
+        artifact.push(&format!("top_k={k}"), &r);
+        if k == 29 {
+            // Stage latencies from the paper-setting cell.
+            artifact.set_stages(&dio.obs().registry().snapshot());
+        }
     }
+    artifact.write();
 }

@@ -8,6 +8,7 @@
 //! cargo run --release -p dio-bench --bin ablation_embedding
 //! ```
 
+use dio_bench::artifact::BenchArtifact;
 use dio_bench::Experiment;
 use dio_benchmark::evaluate;
 use dio_copilot::CopilotConfig;
@@ -22,6 +23,7 @@ fn main() {
         "embedder", "EX (%)", "plain EX (%)", "para EX (%)"
     );
     println!("{:-<22}-+--------+--------------+-------------", "");
+    let mut artifact = BenchArtifact::new("ablation_embedding");
     for (label, domain) in [("telecom-tuned", true), ("generic", false)] {
         let mut dio = exp.copilot_with_config(
             Experiment::gpt4(),
@@ -40,5 +42,8 @@ fn main() {
             pc as f64 * 100.0 / pt.max(1) as f64,
             qc as f64 * 100.0 / qt.max(1) as f64,
         );
+        artifact.push(label, &r);
+        artifact.set_stages(&dio.obs().registry().snapshot());
     }
+    artifact.write();
 }

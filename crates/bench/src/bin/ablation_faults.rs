@@ -10,6 +10,7 @@
 //!
 //! Writes the table to `results/ablation_faults.txt` as well as stdout.
 
+use dio_bench::artifact::BenchArtifact;
 use dio_bench::Experiment;
 use dio_benchmark::{evaluate, WorldConfig};
 use dio_copilot::{CopilotConfig, RecoveryPolicy};
@@ -28,6 +29,7 @@ fn main() {
 
     let probabilities = [0.0, 0.1, 0.3, 0.5];
     let mut rows = Vec::new();
+    let mut artifact = BenchArtifact::new("ablation_faults");
     for &p in &probabilities {
         let mut cells = Vec::new();
         for recovery_on in [true, false] {
@@ -49,6 +51,8 @@ fn main() {
             let mut dio = exp.copilot_with_config(model, config);
             let report = evaluate(&mut dio, &exp.questions, exp.world.eval_ts);
             cells.push((report.ex_percent, report.repairs_total, report.degraded_count));
+            artifact.push(&format!("p={p:.1} {label}"), &report);
+            artifact.set_stages(&dio.obs().registry().snapshot());
         }
         rows.push((p, cells));
     }
@@ -82,4 +86,5 @@ fn main() {
     fs::create_dir_all("results").expect("create results dir");
     fs::write("results/ablation_faults.txt", &table).expect("write table");
     eprintln!("\nwrote results/ablation_faults.txt");
+    artifact.write();
 }

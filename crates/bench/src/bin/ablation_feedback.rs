@@ -9,6 +9,7 @@
 //! ```
 
 use dio_baselines::NlQuerySystem;
+use dio_bench::artifact::BenchArtifact;
 use dio_bench::Experiment;
 use dio_benchmark::evaluate;
 use dio_copilot::CopilotConfig;
@@ -77,4 +78,10 @@ fn main() {
         dio.tracker().len(),
         dio.system_name()
     );
+
+    let mut artifact = BenchArtifact::new("ablation_feedback");
+    artifact.push("before-feedback", &before);
+    artifact.push("after-feedback", &after);
+    artifact.set_stages(&dio.obs().registry().snapshot());
+    artifact.write();
 }

@@ -8,6 +8,7 @@
 //! ```
 
 use dio_baselines::NlQuerySystem;
+use dio_bench::artifact::BenchArtifact;
 use dio_bench::Experiment;
 use dio_benchmark::evaluate;
 use dio_copilot::{CopilotBuilder, CopilotConfig};
@@ -19,6 +20,7 @@ fn main() {
     println!("\nAblation — few-shot exemplars in the prompt (paper setting: 20)\n");
     println!("{:>9} | {:>6} | {:>11}", "exemplars", "EX (%)", "cents/query");
     println!("----------+--------+------------");
+    let mut artifact = BenchArtifact::new("ablation_fewshot");
     for n in [0usize, 1, 5, 10, 20] {
         let mut dio = CopilotBuilder::new(exp.world.domain_db(), exp.world.store.clone())
             .model(Experiment::gpt4())
@@ -34,5 +36,10 @@ fn main() {
             "{:>9} | {:>6.1} | {:>11.2}",
             n, r.ex_percent, r.mean_cost_cents
         );
+        artifact.push(&format!("exemplars={n}"), &r);
+        if n == 20 {
+            artifact.set_stages(&dio.obs().registry().snapshot());
+        }
     }
+    artifact.write();
 }

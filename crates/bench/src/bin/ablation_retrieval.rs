@@ -7,6 +7,7 @@
 //! cargo run --release -p dio-bench --bin ablation_retrieval
 //! ```
 
+use dio_bench::artifact::BenchArtifact;
 use dio_bench::Experiment;
 use dio_benchmark::evaluate;
 use dio_copilot::{CopilotConfig, RetrievalMode};
@@ -27,6 +28,7 @@ fn main() {
     println!("\nAblation — retrieval quality (paper: exact FAISS cosine search)\n");
     println!("{:<24} | {:>6}", "mode", "EX (%)");
     println!("{:-<24}-+-------", "");
+    let mut artifact = BenchArtifact::new("ablation_retrieval");
     for (label, mode) in modes {
         let mut dio = exp.copilot_with_config(
             Experiment::gpt4(),
@@ -38,5 +40,8 @@ fn main() {
         );
         let r = evaluate(&mut dio, &exp.questions, exp.world.eval_ts);
         println!("{:<24} | {:>6.1}", label, r.ex_percent);
+        artifact.push(label, &r);
+        artifact.set_stages(&dio.obs().registry().snapshot());
     }
+    artifact.write();
 }

@@ -8,6 +8,7 @@
 //! cargo run --release -p dio-bench --bin ablation_two_stage
 //! ```
 
+use dio_bench::artifact::BenchArtifact;
 use dio_bench::Experiment;
 use dio_benchmark::evaluate;
 use dio_copilot::CopilotConfig;
@@ -19,6 +20,7 @@ fn main() {
     println!("\nAblation — merged single-call vs explicit two-stage prompting\n");
     println!("{:<22} | {:>6} | {:>11}", "pipeline", "EX (%)", "cents/query");
     println!("{:-<22}-+--------+------------", "");
+    let mut artifact = BenchArtifact::new("ablation_two_stage");
     for (label, two_stage) in [("merged (default)", false), ("two-stage", true)] {
         let mut dio = exp.copilot_with_config(
             Experiment::gpt4(),
@@ -33,5 +35,9 @@ fn main() {
             "{:<22} | {:>6.1} | {:>11.2}",
             label, r.ex_percent, r.mean_cost_cents
         );
+        artifact.push(label, &r);
+        // The two-stage cell exercises the identify stage as well.
+        artifact.set_stages(&dio.obs().registry().snapshot());
     }
+    artifact.write();
 }

@@ -16,14 +16,16 @@ fn main() {
     let exp = Experiment::standard();
     let mut dio = exp.copilot(Experiment::gpt4());
 
-    let mut totals: BTreeMap<String, (u128, usize)> = BTreeMap::new();
+    // Durations are u64 micros end to end now (saturating), so the
+    // report-side accumulator no longer silently mixes widths.
+    let mut totals: BTreeMap<String, (u64, usize)> = BTreeMap::new();
     let sample: Vec<_> = exp.questions.iter().take(50).collect();
     for q in &sample {
         let r = dio.ask(&q.text, exp.world.eval_ts);
-        for s in &r.trace.stages {
-            let e = totals.entry(s.stage.clone()).or_insert((0, 0));
-            e.0 += s.micros;
-            e.1 += 1;
+        for agg in r.trace.aggregates() {
+            let e = totals.entry(agg.stage.clone()).or_insert((0, 0));
+            e.0 = e.0.saturating_add(agg.total_micros);
+            e.1 += agg.invocations;
         }
     }
 

@@ -1,0 +1,85 @@
+//! **Self-observation**: the copilot queries its own telemetry.
+//!
+//! Runs an instrumented, fault-injected benchmark slice, scrapes the
+//! `dio-obs` registry into a `dio-tsdb` store after every chunk, derives
+//! a `dio-catalog` description of every exported instrument, and then
+//! asks a second copilot natural-language questions about the first
+//! one's recovery and latency behaviour — verifying each numeric answer
+//! against the registry's ground truth.
+//!
+//! ```text
+//! cargo run --release -p dio-bench --bin self_observe
+//! ```
+//!
+//! Exits non-zero if the exposition fails to round-trip, any instrument
+//! lacks a catalog description, or fewer than three self-directed
+//! questions verify.
+
+use dio_bench::artifact::BenchArtifact;
+use dio_bench::selfobs::run_self_observation;
+use dio_obs::parse_exposition;
+
+fn main() {
+    eprintln!("running instrumented benchmark slice (60 questions, p-fault 0.25)…");
+    let outcome = run_self_observation(60, 0.25);
+
+    println!("\nSelf-observation — the copilot on its own telemetry\n");
+    println!(
+        "benchmark: {} questions, EX {:.1}%, {} scrapes, {} samples into the obs store",
+        outcome.questions_run,
+        outcome.ex_percent(),
+        outcome.scrapes,
+        outcome.samples_appended,
+    );
+    println!(
+        "catalog: {} instrument descriptions derived from the registry",
+        outcome.catalog_len
+    );
+
+    // Exposition must survive its own parser.
+    let families = parse_exposition(&outcome.exposition)
+        .expect("exporter output must round-trip through the exposition parser");
+    println!(
+        "exposition: {} families, {} bytes, round-trips cleanly",
+        families.len(),
+        outcome.exposition.len()
+    );
+
+    assert!(
+        outcome.undocumented.is_empty(),
+        "exported instruments without catalog descriptions: {:?}",
+        outcome.undocumented
+    );
+
+    println!("\n{:<72} | {:>12} | {:>12} | ok", "question", "answer", "truth");
+    println!("{}", "-".repeat(110));
+    for qa in &outcome.qa {
+        println!(
+            "{:<72} | {:>12} | {:>12.1} | {}",
+            qa.question,
+            qa.answered
+                .map(|v| format!("{v:.1}"))
+                .unwrap_or_else(|| "—".into()),
+            qa.expected,
+            if qa.correct { "yes" } else { "NO" },
+        );
+    }
+    let correct = outcome.qa_correct();
+    println!(
+        "\n{}/{} self-directed questions verified against the registry",
+        correct,
+        outcome.qa.len()
+    );
+
+    let mut artifact = BenchArtifact::new("self_observe");
+    for r in &outcome.chunk_reports {
+        artifact.push(&format!("chunk_{}", artifact.systems.len()), r);
+    }
+    artifact.set_stages(&outcome.final_snapshot);
+    artifact.write();
+
+    assert!(
+        correct >= 3,
+        "need at least 3 verified self-directed answers, got {correct}"
+    );
+}

@@ -8,6 +8,7 @@
 //! cargo run --release -p dio-bench --bin table_3a
 //! ```
 
+use dio_bench::artifact::BenchArtifact;
 use dio_bench::Experiment;
 use dio_benchmark::report::{format_comparison_table, format_shape_breakdown};
 use dio_benchmark::evaluate;
@@ -46,4 +47,11 @@ fn main() {
     println!("{}", format_shape_breakdown(&r_dio));
     println!("{}", format_shape_breakdown(&r_din));
     println!("{}", format_shape_breakdown(&r_dir));
+
+    let mut artifact = BenchArtifact::new("table_3a");
+    artifact.push("dio-copilot", &r_dio);
+    artifact.push("din-sql", &r_din);
+    artifact.push("bare-model", &r_dir);
+    artifact.set_stages(&dio.obs().registry().snapshot());
+    artifact.write();
 }

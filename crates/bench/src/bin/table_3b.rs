@@ -9,6 +9,7 @@
 //! cargo run --release -p dio-bench --bin table_3b
 //! ```
 
+use dio_bench::artifact::BenchArtifact;
 use dio_bench::Experiment;
 use dio_benchmark::evaluate;
 use dio_benchmark::report::{format_comparison_table, format_shape_breakdown};
@@ -17,6 +18,7 @@ fn main() {
     eprintln!("building world…");
     let exp = Experiment::standard();
 
+    let mut artifact = BenchArtifact::new("table_3b");
     let mut reports = Vec::new();
     for (label, model) in [
         ("GPT-4 sim", Experiment::gpt4()),
@@ -25,7 +27,10 @@ fn main() {
     ] {
         eprintln!("evaluating DIO copilot with {label}…");
         let mut dio = exp.copilot(model);
-        reports.push(evaluate(&mut dio, &exp.questions, exp.world.eval_ts));
+        let r = evaluate(&mut dio, &exp.questions, exp.world.eval_ts);
+        artifact.push(label, &r);
+        artifact.set_stages(&dio.obs().registry().snapshot());
+        reports.push(r);
     }
 
     println!();
@@ -40,4 +45,5 @@ fn main() {
     for r in &reports {
         println!("{}", format_shape_breakdown(r));
     }
+    artifact.write();
 }

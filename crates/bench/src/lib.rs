@@ -13,7 +13,12 @@
 //! * `ablation_*` — context size, few-shot count, retrieval quality,
 //!   feedback loop, embedding model.
 //!
-//! This library crate holds the shared experiment plumbing.
+//! This library crate holds the shared experiment plumbing, the JSON
+//! artifact writer ([`artifact`]), and the self-observation loop
+//! ([`selfobs`]).
+
+pub mod artifact;
+pub mod selfobs;
 
 use dio_baselines::{sample_schema, DinSqlBaseline, DirectModelBaseline};
 use dio_benchmark::{fewshot_exemplars, generate_benchmark, BenchmarkQuestion, OperatorWorld, WorldConfig};

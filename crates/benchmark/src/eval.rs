@@ -71,12 +71,44 @@ pub fn numeric_match(answer: f64, reference: f64) -> bool {
     (answer - reference).abs() <= REL_TOLERANCE * scale
 }
 
+/// Instrument names for the observed evaluation loop.
+pub const QUESTIONS_NAME: &str = "dio_benchmark_questions_total";
+const QUESTIONS_HELP: &str = "Benchmark questions evaluated, by correctness of the answer.";
+/// Per-question inference cost histogram.
+pub const QUESTION_COST_NAME: &str = "dio_benchmark_question_cost_cents";
+const QUESTION_COST_HELP: &str = "Inference cost of answering one benchmark question, in cents.";
+
 /// Evaluate a system over the benchmark.
 pub fn evaluate(
     system: &mut dyn NlQuerySystem,
     questions: &[BenchmarkQuestion],
     eval_ts: i64,
 ) -> EvalReport {
+    evaluate_inner(system, questions, eval_ts, None)
+}
+
+/// Like [`evaluate`], but also account per-question throughput and cost
+/// into a [`dio_obs::Registry`] — the benchmark-side share of the
+/// copilot's self-telemetry.
+pub fn evaluate_observed(
+    system: &mut dyn NlQuerySystem,
+    questions: &[BenchmarkQuestion],
+    eval_ts: i64,
+    registry: &dio_obs::Registry,
+) -> EvalReport {
+    evaluate_inner(system, questions, eval_ts, Some(registry))
+}
+
+fn evaluate_inner(
+    system: &mut dyn NlQuerySystem,
+    questions: &[BenchmarkQuestion],
+    eval_ts: i64,
+    registry: Option<&dio_obs::Registry>,
+) -> EvalReport {
+    if let Some(reg) = registry {
+        // Pre-register so a zero-question run still exports the family.
+        reg.counter_with(QUESTIONS_NAME, QUESTIONS_HELP, &[("correct", "true")]);
+    }
     let mut outcomes = Vec::with_capacity(questions.len());
     let mut per_shape: BTreeMap<String, (usize, usize)> = BTreeMap::new();
     let mut plain = (0usize, 0usize);
@@ -90,6 +122,20 @@ pub fn evaluate(
             .map(|v| numeric_match(v, q.reference.numeric))
             .unwrap_or(false);
         cost_total += a.cost_cents;
+        if let Some(reg) = registry {
+            reg.counter_with(
+                QUESTIONS_NAME,
+                QUESTIONS_HELP,
+                &[("correct", if correct { "true" } else { "false" })],
+            )
+            .inc();
+            reg.histogram(
+                QUESTION_COST_NAME,
+                QUESTION_COST_HELP,
+                &dio_obs::Buckets::exponential(0.25, 2.0, 10),
+            )
+            .observe(a.cost_cents);
+        }
 
         let entry = per_shape.entry(q.shape.clone()).or_insert((0, 0));
         entry.1 += 1;
@@ -234,6 +280,32 @@ mod tests {
         // The stub reports one repair round per wrong answer.
         assert_eq!(r.repairs_total, 5);
         assert_eq!(r.degraded_count, 0);
+    }
+
+    #[test]
+    fn observed_evaluation_counts_questions_and_cost() {
+        let mut s = Stub {
+            right: vec![true, false],
+            i: 0,
+        };
+        let qs = questions(10);
+        let reg = dio_obs::Registry::new();
+        let r = evaluate_observed(&mut s, &qs, 0, &reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.total(QUESTIONS_NAME), r.total as f64);
+        let fam = snap.family(QUESTIONS_NAME).unwrap();
+        let correct: f64 = fam
+            .series
+            .iter()
+            .filter(|se| se.labels.contains(&("correct".into(), "true".into())))
+            .map(|se| match &se.value {
+                dio_obs::SeriesValue::Counter(v) => *v,
+                _ => 0.0,
+            })
+            .sum();
+        assert_eq!(correct, r.correct as f64);
+        // 10 questions at 2¢ each.
+        assert_eq!(snap.total(QUESTION_COST_NAME), 20.0);
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub mod questions;
 pub mod report;
 pub mod world;
 
-pub use eval::{evaluate, EvalReport, QuestionOutcome};
+pub use eval::{evaluate, evaluate_observed, EvalReport, QuestionOutcome};
 pub use fewshot::fewshot_exemplars;
 pub use questions::{generate_benchmark, BenchmarkQuestion, Phrasing, Reference};
 pub use world::{OperatorWorld, WorldConfig};

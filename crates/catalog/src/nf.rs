@@ -17,10 +17,14 @@ pub enum NetworkFunction {
     Nssf,
     /// User Plane Function.
     Upf,
+    /// The DIO copilot itself, as a telemetry producer (self-observation
+    /// via `dio-obs`). Not part of [`NetworkFunction::ALL`], which stays
+    /// the six 5G-core NFs the synthetic world is built from.
+    Dio,
 }
 
 impl NetworkFunction {
-    /// All covered NFs in canonical order.
+    /// All covered 5G-core NFs in canonical order.
     pub const ALL: [NetworkFunction; 6] = [
         NetworkFunction::Amf,
         NetworkFunction::Smf,
@@ -39,6 +43,7 @@ impl NetworkFunction {
             NetworkFunction::N3iwf => "n3iwf",
             NetworkFunction::Nssf => "nssf",
             NetworkFunction::Upf => "upf",
+            NetworkFunction::Dio => "dio",
         }
     }
 
@@ -51,6 +56,7 @@ impl NetworkFunction {
             NetworkFunction::N3iwf => "N3IWF",
             NetworkFunction::Nssf => "NSSF",
             NetworkFunction::Upf => "UPF",
+            NetworkFunction::Dio => "DIO",
         }
     }
 
@@ -63,6 +69,7 @@ impl NetworkFunction {
             NetworkFunction::N3iwf => "Non-3GPP Inter-Working Function",
             NetworkFunction::Nssf => "Network Slice Selection Function",
             NetworkFunction::Upf => "User Plane Function",
+            NetworkFunction::Dio => "Data-Insight-Outlook Copilot",
         }
     }
 
@@ -75,6 +82,7 @@ impl NetworkFunction {
             "n3iwf" => Some(NetworkFunction::N3iwf),
             "nssf" => Some(NetworkFunction::Nssf),
             "upf" => Some(NetworkFunction::Upf),
+            "dio" => Some(NetworkFunction::Dio),
             _ => None,
         }
     }

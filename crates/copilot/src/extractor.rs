@@ -6,7 +6,9 @@
 
 use dio_catalog::{DocSample, DomainDb};
 use dio_embed::{Embedder, EmbedderConfig};
-use dio_vecstore::{DocIndex, FlatIndex, HnswConfig, HnswIndex, IvfConfig, IvfIndex, SearchHit};
+use dio_vecstore::{
+    DocIndex, FlatIndex, HnswConfig, HnswIndex, IvfConfig, IvfIndex, SearchHit, VectorIndex,
+};
 use serde::{Deserialize, Serialize};
 
 /// A retrieved context sample with its similarity score.
@@ -16,6 +18,15 @@ pub struct Retrieved {
     pub sample: DocSample,
     /// Cosine similarity to the question.
     pub score: f32,
+}
+
+/// Work accounting for one retrieval, fed into `dio-obs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RetrievalStats {
+    /// Candidate vectors the index scanned (exact indexes scan the
+    /// whole store; IVF reports the probed fraction; the random
+    /// baseline scans nothing).
+    pub candidates_scanned: usize,
 }
 
 /// How context is retrieved — the retrieval-quality ablation lever.
@@ -264,6 +275,27 @@ impl ContextExtractor {
             })
             .collect()
     }
+
+    /// [`ContextExtractor::retrieve`] plus work accounting. For exact
+    /// indexes (flat, HNSW) the scan count is the store size — HNSW's
+    /// graph walk touches fewer, so this is an upper bound; IVF reports
+    /// exactly the probed-list candidates.
+    pub fn retrieve_with_stats(&self, question: &str, k: usize) -> (Vec<Retrieved>, RetrievalStats) {
+        let candidates_scanned = if k == 0 {
+            0
+        } else {
+            match &self.index {
+                IndexKind::Flat(i) => i.len(),
+                IndexKind::Hnsw(i) => i.len(),
+                IndexKind::Ivf(i) => {
+                    let q = self.embedder.embed(question);
+                    i.index().search_with_stats(&q, k).1.candidates_scanned
+                }
+                IndexKind::Random { .. } => 0,
+            }
+        };
+        (self.retrieve(question, k), RetrievalStats { candidates_scanned })
+    }
 }
 
 #[cfg(test)]
@@ -369,6 +401,32 @@ mod tests {
         assert!(
             hits.iter().any(|h| h.sample.name.starts_with("function:")),
             "expected a function definition in context"
+        );
+    }
+
+    #[test]
+    fn retrieval_stats_reflect_index_work() {
+        let d = db();
+        let n = d.text_samples().len();
+        let flat = ContextExtractor::build(&d, true);
+        let (hits, stats) = flat.retrieve_with_stats("paging attempts", 10);
+        assert_eq!(hits, flat.retrieve("paging attempts", 10));
+        assert_eq!(stats.candidates_scanned, n);
+        assert_eq!(flat.retrieve_with_stats("q", 0).1.candidates_scanned, 0);
+
+        let ivf = ContextExtractor::build_with_mode(
+            &d,
+            true,
+            RetrievalMode::Ivf { nlist: 16, nprobe: 2 },
+        );
+        let (_, ivf_stats) = ivf.retrieve_with_stats("paging attempts", 10);
+        assert!(ivf_stats.candidates_scanned > 0);
+        assert!(ivf_stats.candidates_scanned < n, "2/16 probes scanned everything");
+
+        let random = ContextExtractor::build_with_mode(&d, true, RetrievalMode::Random { seed: 7 });
+        assert_eq!(
+            random.retrieve_with_stats("paging attempts", 10).1.candidates_scanned,
+            0
         );
     }
 

@@ -36,6 +36,7 @@ pub mod answer;
 pub mod config;
 pub mod error;
 pub mod extractor;
+pub mod obs;
 pub mod pipeline;
 pub mod recovery;
 pub mod session;
@@ -44,10 +45,10 @@ pub mod trace;
 pub use answer::{CopilotResponse, RelevantMetric};
 pub use config::CopilotConfig;
 pub use error::CopilotError;
-pub use extractor::{ContextExtractor, RetrievalMode};
+pub use extractor::{ContextExtractor, RetrievalMode, RetrievalStats};
 pub use pipeline::{CopilotBuilder, DioCopilot};
 pub use recovery::{
     BreakerState, CircuitBreaker, DegradationLevel, RecoveryPolicy, RecoveryStats,
 };
 pub use session::{ChatSession, Turn};
-pub use trace::{PipelineTrace, StageTiming};
+pub use trace::{PipelineTrace, StageAggregate, StageTiming};

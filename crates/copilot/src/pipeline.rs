@@ -4,6 +4,7 @@ use crate::answer::{CopilotResponse, RelevantMetric};
 use crate::config::CopilotConfig;
 use crate::error::CopilotError;
 use crate::extractor::ContextExtractor;
+use crate::obs::{note_breaker_transition, register_zero_instruments, time_stage};
 use crate::recovery::{CircuitBreaker, DegradationLevel, RecoveryPolicy, RecoveryStats};
 use crate::trace::PipelineTrace;
 use dio_catalog::DomainDb;
@@ -11,10 +12,12 @@ use dio_dashboard::{generate_dashboard, PanelSpecHint, TimeRange};
 use dio_feedback::{Contribution, IssueId, IssueTracker, TrackerError};
 use dio_llm::{
     CompletionRequest, ContextItem, CostMeter, FewShotExample, FoundationModel, ModelProfile,
-    PromptBuilder, SimulatedModel, TaskKind, TokenUsage,
+    ObservedModel, PromptBuilder, SimulatedModel, TaskKind, TokenUsage,
 };
+use dio_obs::{Buckets, ObsHub, TraceId};
 use dio_sandbox::{Sandbox, SafetyPolicy};
 use dio_tsdb::MetricStore;
+use std::time::Instant;
 
 /// Builder for [`DioCopilot`].
 pub struct CopilotBuilder {
@@ -24,6 +27,7 @@ pub struct CopilotBuilder {
     model: Option<Box<dyn FoundationModel>>,
     exemplars: Vec<FewShotExample>,
     policy: SafetyPolicy,
+    obs: ObsHub,
 }
 
 impl CopilotBuilder {
@@ -36,6 +40,7 @@ impl CopilotBuilder {
             model: None,
             exemplars: Vec::new(),
             policy: SafetyPolicy::default(),
+            obs: ObsHub::new(),
         }
     }
 
@@ -64,6 +69,14 @@ impl CopilotBuilder {
         self
     }
 
+    /// Share an observability hub (registry + tracer) with the copilot.
+    /// Defaults to a fresh hub; pass one in to scrape the copilot's
+    /// metrics from outside — e.g. for the self-observation loop.
+    pub fn obs(mut self, obs: ObsHub) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// Build the copilot (runs the offline embedding pass).
     pub fn build(self) -> DioCopilot {
         let extractor = ContextExtractor::build_with_mode(
@@ -71,13 +84,18 @@ impl CopilotBuilder {
             self.config.domain_embedder,
             self.config.retrieval,
         );
-        let model = self
+        register_zero_instruments(self.obs.registry());
+        let inner = self
             .model
             .unwrap_or_else(|| Box::new(SimulatedModel::new(ModelProfile::gpt4_sim())));
+        let model: Box<dyn FoundationModel> =
+            Box::new(ObservedModel::new(inner, self.obs.registry().clone()));
+        let mut sandbox = Sandbox::new(self.store, self.policy);
+        sandbox.attach_obs(self.obs.registry().clone());
         let breaker = CircuitBreaker::new(&self.config.recovery);
         DioCopilot {
             extractor,
-            sandbox: Sandbox::new(self.store, self.policy),
+            sandbox,
             db: self.db,
             config: self.config,
             model,
@@ -85,6 +103,7 @@ impl CopilotBuilder {
             tracker: IssueTracker::new(),
             meter: CostMeter::new(),
             breaker,
+            obs: self.obs,
         }
     }
 }
@@ -100,6 +119,7 @@ pub struct DioCopilot {
     tracker: IssueTracker,
     meter: CostMeter,
     breaker: CircuitBreaker,
+    obs: ObsHub,
 }
 
 /// Outcome of the execute-with-repair stage.
@@ -155,10 +175,18 @@ impl DioCopilot {
         &self.breaker
     }
 
+    /// The observability hub: metrics registry + span tracer. Scrape
+    /// `obs().registry()` with [`dio_obs::ObsScraper`] to feed the
+    /// copilot's own telemetry back into a queryable store.
+    pub fn obs(&self) -> &ObsHub {
+        &self.obs
+    }
+
     /// Swap the foundation model without rebuilding the retrieval
     /// index — e.g. to change a fault schedule between experiment runs.
+    /// The new model is wrapped for observation like the original.
     pub fn replace_model(&mut self, model: Box<dyn FoundationModel>) {
-        self.model = model;
+        self.model = Box::new(ObservedModel::new(model, self.obs.registry().clone()));
     }
 
     /// Install a new recovery policy and reset the circuit breaker to
@@ -178,15 +206,34 @@ impl DioCopilot {
     /// lookup of the top retrieved metric rather than returning
     /// nothing. See [`RecoveryPolicy`].
     pub fn ask(&mut self, question: &str, ts: i64) -> CopilotResponse {
-        let mut trace = PipelineTrace::default();
+        let obs = self.obs.clone();
+        let tid = obs.tracer().begin(question);
+        let ask_start = Instant::now();
+        obs.registry()
+            .counter(crate::obs::ASKS_NAME, crate::obs::ASKS_HELP)
+            .inc();
         let mut usage = TokenUsage::default();
         let mut stats = RecoveryStats::default();
         let trips_before = self.breaker.trips();
 
         // Stage 1: context extraction (offline index, online search).
-        let hits = trace.time("retrieve", || {
-            self.extractor.retrieve(question, self.config.top_k)
+        let (hits, retrieval) = time_stage(&obs, tid, "retrieve", || {
+            self.extractor
+                .retrieve_with_stats(question, self.config.top_k)
         });
+        obs.registry()
+            .counter(crate::obs::CANDIDATES_NAME, crate::obs::CANDIDATES_HELP)
+            .add(retrieval.candidates_scanned as f64);
+        {
+            let sim = obs.registry().histogram(
+                crate::obs::SIMILARITY_NAME,
+                crate::obs::SIMILARITY_HELP,
+                &Buckets::unit_fractions(),
+            );
+            for h in &hits {
+                sim.observe(f64::from(h.score));
+            }
+        }
 
         let context_items: Vec<ContextItem> = hits
             .iter()
@@ -218,7 +265,7 @@ impl DioCopilot {
                 max_tokens: self.config.max_output_tokens,
                 temperature: self.config.temperature,
             };
-            trace.time("identify", || {
+            time_stage(&obs, tid, "identify", || {
                 // Identification is best-effort: on failure the merged
                 // full-context prompt covers for the missing selection.
                 match Self::call_model(
@@ -228,6 +275,8 @@ impl DioCopilot {
                     &request,
                     &mut usage,
                     &mut stats,
+                    &obs,
+                    tid,
                 ) {
                     Ok(text) => text
                         .split(',')
@@ -275,7 +324,7 @@ impl DioCopilot {
             max_tokens: self.config.max_output_tokens,
             temperature: self.config.temperature,
         };
-        let generated: Result<String, CopilotError> = trace.time("generate", || {
+        let generated: Result<String, CopilotError> = time_stage(&obs, tid, "generate", || {
             Self::call_model(
                 self.model.as_ref(),
                 &mut self.breaker,
@@ -283,6 +332,8 @@ impl DioCopilot {
                 &gen_request,
                 &mut usage,
                 &mut stats,
+                &obs,
+                tid,
             )
             .map(|t| t.trim().to_string())
         });
@@ -290,19 +341,21 @@ impl DioCopilot {
         // Stage 4: sandboxed execution with self-repair. A model error
         // is NOT executed as a query (it used to be pasted in as
         // `# model error: …`); it goes straight to the recovery path.
-        let resolution = trace.time("execute", || {
-            self.execute_with_repair(
-                generated,
-                question,
-                &gen_context,
-                &hits,
-                ts,
-                window,
-                reserved,
-                &mut usage,
-                &mut stats,
-            )
-        });
+        // Each sandbox execution and repair re-generation records its
+        // own span, so repair rounds are visible per-invocation.
+        let resolution = self.execute_with_repair(
+            generated,
+            question,
+            &gen_context,
+            &hits,
+            ts,
+            window,
+            reserved,
+            &mut usage,
+            &mut stats,
+            &obs,
+            tid,
+        );
         let ExecResolution {
             query,
             canonical,
@@ -343,7 +396,7 @@ impl DioCopilot {
                 })
                 .collect();
             let range = TimeRange::last(ts, self.config.dashboard_span_ms, 60);
-            Some(trace.time("dashboard", || {
+            Some(time_stage(&obs, tid, "dashboard", || {
                 generate_dashboard(question, &hints, canonical.as_deref(), range)
             }))
         } else {
@@ -354,7 +407,24 @@ impl DioCopilot {
         self.meter.record(usage, self.model.pricing());
 
         stats.breaker_trips = self.breaker.trips().saturating_sub(trips_before);
-        trace.recovery = stats;
+        let degradation_slug = degradation.to_string();
+        obs.registry()
+            .counter_with(
+                crate::obs::ANSWERS_NAME,
+                crate::obs::ANSWERS_HELP,
+                &[("degradation", &degradation_slug)],
+            )
+            .inc();
+        obs.tracer()
+            .event(tid, "answered", &[("degradation", &degradation_slug)]);
+        obs.registry()
+            .histogram(
+                crate::obs::ASK_DURATION_NAME,
+                crate::obs::ASK_DURATION_HELP,
+                &Buckets::latency_micros(),
+            )
+            .observe(dio_obs::micros_u64(ask_start.elapsed()) as f64);
+        let trace = PipelineTrace::from_spans(&obs.tracer().spans(tid), stats);
 
         let final_query = canonical.unwrap_or(query);
         CopilotResponse {
@@ -377,6 +447,7 @@ impl DioCopilot {
     /// breaker gates the call, transient failures are retried up to the
     /// policy bound, and the deterministic backoff schedule is recorded
     /// (never slept).
+    #[allow(clippy::too_many_arguments)]
     fn call_model(
         model: &dyn FoundationModel,
         breaker: &mut CircuitBreaker,
@@ -384,10 +455,15 @@ impl DioCopilot {
         request: &CompletionRequest,
         usage: &mut TokenUsage,
         stats: &mut RecoveryStats,
+        obs: &ObsHub,
+        tid: TraceId,
     ) -> Result<String, CopilotError> {
         let mut retry = 0usize;
         loop {
-            if !breaker.allow() {
+            let gate = breaker.state();
+            let admitted = breaker.allow();
+            note_breaker_transition(obs, tid, gate, breaker.state());
+            if !admitted {
                 return Err(CopilotError::ModelUnavailable {
                     message: "circuit breaker open; model call skipped".into(),
                     attempts: stats.attempts,
@@ -397,14 +473,30 @@ impl DioCopilot {
             match model.complete(request) {
                 Ok(c) => {
                     usage.add(c.usage);
+                    let before = breaker.state();
                     breaker.record_success();
+                    note_breaker_transition(obs, tid, before, breaker.state());
                     return Ok(c.text);
                 }
                 Err(e) => {
+                    let before = breaker.state();
                     breaker.record_failure();
+                    note_breaker_transition(obs, tid, before, breaker.state());
                     if policy.enabled && e.is_transient() && retry < policy.max_retries {
                         stats.retries += 1;
-                        stats.backoff_schedule_ms.push(policy.backoff_ms(retry));
+                        let backoff = policy.backoff_ms(retry);
+                        stats.backoff_schedule_ms.push(backoff);
+                        obs.registry()
+                            .counter(crate::obs::RETRIES_NAME, crate::obs::RETRIES_HELP)
+                            .inc();
+                        obs.registry()
+                            .counter(crate::obs::BACKOFF_NAME, crate::obs::BACKOFF_HELP)
+                            .add(backoff as f64);
+                        obs.tracer().event(
+                            tid,
+                            "model_retry",
+                            &[("backoff_ms", &backoff.to_string())],
+                        );
                         retry += 1;
                         continue;
                     }
@@ -429,6 +521,8 @@ impl DioCopilot {
         reserved: usize,
         usage: &mut TokenUsage,
         stats: &mut RecoveryStats,
+        obs: &ObsHub,
+        tid: TraceId,
     ) -> ExecResolution {
         let policy = self.config.recovery.clone();
         let mut query = match generated {
@@ -437,13 +531,14 @@ impl DioCopilot {
                 // Satellite of the recovery design: a model failure used
                 // to be executed as a fake `# model error: …` query.
                 // Now it skips execution and degrades.
-                return self.degraded_fallback(String::new(), e, hits, ts, stats);
+                return self.degraded_fallback(String::new(), e, hits, ts, stats, obs, tid);
             }
         };
 
         let mut rounds = 0usize;
         let error = loop {
-            match self.sandbox.execute(&query, ts) {
+            let executed = time_stage(obs, tid, "execute", || self.sandbox.execute(&query, ts));
+            match executed {
                 Ok(out) => {
                     return ExecResolution {
                         query,
@@ -465,6 +560,14 @@ impl DioCopilot {
                     }
                     rounds += 1;
                     stats.repairs += 1;
+                    obs.registry()
+                        .counter(crate::obs::REPAIRS_NAME, crate::obs::REPAIRS_HELP)
+                        .inc();
+                    obs.tracer().event(
+                        tid,
+                        "repair_round",
+                        &[("round", &rounds.to_string()), ("error", &sandbox_err.to_string())],
+                    );
                     // Re-prompt with the failed query and the sandbox's
                     // structured hint riding in the system section; the
                     // question/context/examples stay identical.
@@ -492,14 +595,19 @@ impl DioCopilot {
                         max_tokens: self.config.max_output_tokens,
                         temperature: self.config.temperature,
                     };
-                    match Self::call_model(
-                        self.model.as_ref(),
-                        &mut self.breaker,
-                        &policy,
-                        &repair_request,
-                        usage,
-                        stats,
-                    ) {
+                    let repaired = time_stage(obs, tid, "generate", || {
+                        Self::call_model(
+                            self.model.as_ref(),
+                            &mut self.breaker,
+                            &policy,
+                            &repair_request,
+                            usage,
+                            stats,
+                            obs,
+                            tid,
+                        )
+                    });
+                    match repaired {
                         Ok(fixed) => query = fixed.trim().to_string(),
                         Err(model_err) => break model_err,
                     }
@@ -508,7 +616,7 @@ impl DioCopilot {
         };
 
         if policy.enabled {
-            self.degraded_fallback(query, error, hits, ts, stats)
+            self.degraded_fallback(query, error, hits, ts, stats, obs, tid)
         } else {
             // Ablation baseline: surface the failure as-is.
             ExecResolution {
@@ -526,6 +634,7 @@ impl DioCopilot {
     /// of the best retrieved metric that actually executes, labelled
     /// [`DegradationLevel::Degraded`] and carrying the error that
     /// forced the fallback.
+    #[allow(clippy::too_many_arguments)]
     fn degraded_fallback(
         &mut self,
         failed_query: String,
@@ -533,31 +642,37 @@ impl DioCopilot {
         hits: &[crate::extractor::Retrieved],
         ts: i64,
         stats: &mut RecoveryStats,
+        obs: &ObsHub,
+        tid: TraceId,
     ) -> ExecResolution {
         stats.degraded = true;
-        for h in hits.iter().take(5) {
-            let candidate = h.sample.name.clone();
-            if let Ok(out) = self.sandbox.execute(&candidate, ts) {
-                return ExecResolution {
-                    query: candidate,
-                    canonical: Some(out.canonical_query),
-                    numeric_answer: out.value.as_scalar_like(),
-                    values: out.value.numeric_values(),
-                    error: Some(error),
-                    degradation: DegradationLevel::Degraded,
-                };
+        obs.tracer()
+            .event(tid, "degraded_fallback", &[("error", &error.to_string())]);
+        time_stage(obs, tid, "fallback", || {
+            for h in hits.iter().take(5) {
+                let candidate = h.sample.name.clone();
+                if let Ok(out) = self.sandbox.execute(&candidate, ts) {
+                    return ExecResolution {
+                        query: candidate,
+                        canonical: Some(out.canonical_query),
+                        numeric_answer: out.value.as_scalar_like(),
+                        values: out.value.numeric_values(),
+                        error: Some(error),
+                        degradation: DegradationLevel::Degraded,
+                    };
+                }
             }
-        }
-        ExecResolution {
-            query: failed_query,
-            canonical: None,
-            numeric_answer: None,
-            values: Vec::new(),
-            error: Some(CopilotError::NoData {
-                message: format!("degraded fallback found no executable metric ({error})"),
-            }),
-            degradation: DegradationLevel::Degraded,
-        }
+            ExecResolution {
+                query: failed_query,
+                canonical: None,
+                numeric_answer: None,
+                values: Vec::new(),
+                error: Some(CopilotError::NoData {
+                    message: format!("degraded fallback found no executable metric ({error})"),
+                }),
+                degradation: DegradationLevel::Degraded,
+            }
+        })
     }
 
     /// File an expert-help issue for a response (the raise-hand button).
@@ -928,7 +1043,14 @@ mod tests {
         assert_eq!(r.degradation, crate::recovery::DegradationLevel::Repaired);
         assert_eq!(r.trace.recovery.repairs, 1);
         assert!(!r.query.contains(")("), "repaired query: {}", r.query);
-        assert_eq!(r.trace.stages.len(), 4);
+        // Per-invocation spans: the repair loop re-enters generate and
+        // execute, and both invocations are visible (satellite fix for
+        // the old first-match-only trace lookup).
+        assert_eq!(r.trace.invocations("generate"), 2);
+        assert_eq!(r.trace.invocations("execute"), 2);
+        assert_eq!(r.trace.stages.len(), 6);
+        let gen = r.trace.stage("generate").unwrap();
+        assert_eq!(gen.invocations, 2);
     }
 
     #[test]
@@ -1010,5 +1132,85 @@ mod tests {
             (1.5..=8.0).contains(&mean),
             "mean cost {mean}¢ outside plausible band"
         );
+    }
+
+    #[test]
+    fn registry_reflects_pipeline_activity() {
+        let (mut cp, ts) = copilot();
+        cp.ask("How many paging attempts?", ts);
+        cp.ask("How many service requests?", ts);
+        let snap = cp.obs().registry().snapshot();
+        assert_eq!(snap.total(crate::obs::ASKS_NAME), 2.0);
+        assert_eq!(snap.total(crate::obs::ANSWERS_NAME), 2.0);
+        // Two single-call asks: the observed model saw two completions.
+        assert_eq!(snap.total("dio_llm_model_calls_total"), 2.0);
+        assert!(snap.total("dio_llm_cost_cents_total") > 0.0);
+        // Sandbox executed both queries.
+        assert!(snap.total("dio_sandbox_executions_total") >= 2.0);
+        // Retrieval scanned candidates and observed similarities.
+        assert!(snap.total(crate::obs::CANDIDATES_NAME) > 0.0);
+        let sim = snap.family(crate::obs::SIMILARITY_NAME).unwrap();
+        assert!(sim
+            .series
+            .iter()
+            .any(|s| matches!(&s.value, dio_obs::SeriesValue::Histogram(h) if h.count > 0)));
+        // Stage latency histogram carries the retrieve stage.
+        let stage = snap.family(crate::obs::STAGE_DURATION_NAME).unwrap();
+        assert!(stage
+            .series
+            .iter()
+            .any(|s| s.labels.contains(&("stage".into(), "retrieve".into()))));
+        // Ask duration counted both asks.
+        let ask = snap.family(crate::obs::ASK_DURATION_NAME).unwrap();
+        let count: u64 = ask
+            .series
+            .iter()
+            .map(|s| match &s.value {
+                dio_obs::SeriesValue::Histogram(h) => h.count,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn breaker_transitions_and_retries_are_counted() {
+        let (mut cp, ts) = copilot_with_model(Box::new(FailFirstN {
+            inner: SimulatedModel::new(ModelProfile::gpt4_sim()),
+            remaining: std::cell::RefCell::new(usize::MAX),
+        }));
+        let r = cp.ask("How many paging attempts?", ts);
+        assert_eq!(r.degradation, crate::recovery::DegradationLevel::Degraded);
+        let snap = cp.obs().registry().snapshot();
+        // Retries per the policy (max_retries = 2).
+        assert_eq!(snap.total(crate::obs::RETRIES_NAME), 2.0);
+        // Recorded backoff: 100 + 200 ms.
+        assert_eq!(snap.total(crate::obs::BACKOFF_NAME), 300.0);
+        // The breaker opened once.
+        let fam = snap.family(crate::obs::BREAKER_NAME).unwrap();
+        let opened: f64 = fam
+            .series
+            .iter()
+            .filter(|s| s.labels.contains(&("to".into(), "open".into())))
+            .map(|s| match &s.value {
+                dio_obs::SeriesValue::Counter(v) => *v,
+                _ => 0.0,
+            })
+            .sum();
+        assert_eq!(opened, 1.0);
+        // Degraded answer counted under its label.
+        let answers = snap.family(crate::obs::ANSWERS_NAME).unwrap();
+        let degraded: f64 = answers
+            .series
+            .iter()
+            .filter(|s| s.labels.contains(&("degradation".into(), "degraded".into())))
+            .map(|s| match &s.value {
+                dio_obs::SeriesValue::Counter(v) => *v,
+                _ => 0.0,
+            })
+            .sum();
+        assert_eq!(degraded, 1.0);
+        // The fallback recorded its own span.
+        assert_eq!(r.trace.invocations("fallback"), 1);
     }
 }

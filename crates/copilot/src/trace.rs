@@ -1,24 +1,47 @@
 //! Per-stage pipeline timing (the measurable counterpart of the
 //! paper's Figure 2 architecture diagram).
+//!
+//! Since the `dio-obs` integration this is a thin *view* over the span
+//! tracer: the pipeline records spans against a per-`ask` correlation
+//! ID and [`PipelineTrace::from_spans`] projects them into the
+//! serialisable per-stage shape reports consume. Repeated stages (the
+//! repair loop re-enters `generate`/`execute`) keep one entry per
+//! invocation; [`PipelineTrace::stage`] aggregates them.
 
 use crate::recovery::RecoveryStats;
+use dio_obs::SpanRecord;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
-/// One stage's wall-clock timing.
+/// One stage invocation's wall-clock timing. Durations are `u64`
+/// microseconds everywhere (saturating on conversion) — enough for
+/// ~584k years, and immune to the silent truncation a `u128` invited in
+/// downstream report code.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StageTiming {
     /// Stage name (`retrieve`, `identify`, `generate`, `execute`,
     /// `dashboard`).
     pub stage: String,
     /// Duration in microseconds.
-    pub micros: u128,
+    pub micros: u64,
+}
+
+/// Aggregate over every invocation of one stage within a trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageAggregate {
+    /// Stage name.
+    pub stage: String,
+    /// How many times the stage ran (> 1 inside the repair loop).
+    pub invocations: usize,
+    /// Total microseconds across all invocations.
+    pub total_micros: u64,
 }
 
 /// Trace of one `ask` invocation.
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct PipelineTrace {
-    /// Stage timings in execution order.
+    /// Per-invocation stage timings in execution order. A stage name
+    /// may repeat; use [`PipelineTrace::stage`] for the aggregate view.
     pub stages: Vec<StageTiming>,
     /// What the recovery machinery did (attempts, repairs, backoff
     /// schedule, breaker trips, degradation).
@@ -26,25 +49,72 @@ pub struct PipelineTrace {
 }
 
 impl PipelineTrace {
-    /// Time a closure and record it as `stage`.
+    /// Project tracer spans (plus recovery stats) into a trace.
+    pub fn from_spans(spans: &[SpanRecord], recovery: RecoveryStats) -> Self {
+        PipelineTrace {
+            stages: spans
+                .iter()
+                .map(|s| StageTiming {
+                    stage: s.name.clone(),
+                    micros: s.micros,
+                })
+                .collect(),
+            recovery,
+        }
+    }
+
+    /// Time a closure and record it as one invocation of `stage`.
     pub fn time<T>(&mut self, stage: &str, f: impl FnOnce() -> T) -> T {
         let start = Instant::now();
         let out = f();
         self.stages.push(StageTiming {
             stage: stage.to_string(),
-            micros: start.elapsed().as_micros(),
+            micros: dio_obs::micros_u64(start.elapsed()),
         });
         out
     }
 
-    /// Total traced time in microseconds.
-    pub fn total_micros(&self) -> u128 {
-        self.stages.iter().map(|s| s.micros).sum()
+    /// Total traced time in microseconds (saturating).
+    pub fn total_micros(&self) -> u64 {
+        self.stages
+            .iter()
+            .fold(0u64, |acc, s| acc.saturating_add(s.micros))
     }
 
-    /// Timing of one stage, if recorded.
-    pub fn stage(&self, name: &str) -> Option<&StageTiming> {
-        self.stages.iter().find(|s| s.stage == name)
+    /// Aggregate timing of one stage across all its invocations, if it
+    /// ran at all. Unlike a first-match lookup, repair-loop re-entries
+    /// are counted, not hidden.
+    pub fn stage(&self, name: &str) -> Option<StageAggregate> {
+        let mut agg: Option<StageAggregate> = None;
+        for s in self.stages.iter().filter(|s| s.stage == name) {
+            let a = agg.get_or_insert_with(|| StageAggregate {
+                stage: name.to_string(),
+                invocations: 0,
+                total_micros: 0,
+            });
+            a.invocations += 1;
+            a.total_micros = a.total_micros.saturating_add(s.micros);
+        }
+        agg
+    }
+
+    /// Number of times `name` ran.
+    pub fn invocations(&self, name: &str) -> usize {
+        self.stages.iter().filter(|s| s.stage == name).count()
+    }
+
+    /// Aggregates for every stage, in first-appearance order.
+    pub fn aggregates(&self) -> Vec<StageAggregate> {
+        let mut order: Vec<&str> = Vec::new();
+        for s in &self.stages {
+            if !order.contains(&s.stage.as_str()) {
+                order.push(&s.stage);
+            }
+        }
+        order
+            .into_iter()
+            .filter_map(|name| self.stage(name))
+            .collect()
     }
 }
 
@@ -64,5 +134,60 @@ mod tests {
         assert!(t.stage("retrieve").is_some());
         assert!(t.stage("missing").is_none());
         assert!(t.total_micros() >= t.stages[0].micros);
+    }
+
+    #[test]
+    fn duplicate_stages_aggregate_and_keep_entries() {
+        let t = PipelineTrace {
+            stages: vec![
+                StageTiming { stage: "generate".into(), micros: 10 },
+                StageTiming { stage: "execute".into(), micros: 5 },
+                StageTiming { stage: "generate".into(), micros: 30 },
+                StageTiming { stage: "execute".into(), micros: 7 },
+            ],
+            recovery: RecoveryStats::default(),
+        };
+        // Per-invocation entries survive…
+        assert_eq!(t.stages.len(), 4);
+        assert_eq!(t.invocations("execute"), 2);
+        // …and the lookup aggregates instead of returning the first hit.
+        let gen = t.stage("generate").unwrap();
+        assert_eq!(gen.invocations, 2);
+        assert_eq!(gen.total_micros, 40);
+        let aggs = t.aggregates();
+        assert_eq!(aggs.len(), 2);
+        assert_eq!(aggs[0].stage, "generate");
+        assert_eq!(aggs[1].total_micros, 12);
+        assert_eq!(t.total_micros(), 52);
+    }
+
+    #[test]
+    fn builds_from_tracer_spans() {
+        let tracer = dio_obs::Tracer::new();
+        let id = tracer.begin("q");
+        tracer.record_span(id, "retrieve", 100);
+        tracer.record_span(id, "execute", 20);
+        tracer.record_span(id, "execute", 30);
+        let stats = RecoveryStats {
+            repairs: 1,
+            ..RecoveryStats::default()
+        };
+        let t = PipelineTrace::from_spans(&tracer.spans(id), stats.clone());
+        assert_eq!(t.stages.len(), 3);
+        assert_eq!(t.stage("execute").unwrap().total_micros, 50);
+        assert_eq!(t.recovery, stats);
+    }
+
+    #[test]
+    fn totals_saturate_instead_of_wrapping() {
+        let t = PipelineTrace {
+            stages: vec![
+                StageTiming { stage: "a".into(), micros: u64::MAX },
+                StageTiming { stage: "a".into(), micros: 10 },
+            ],
+            recovery: RecoveryStats::default(),
+        };
+        assert_eq!(t.total_micros(), u64::MAX);
+        assert_eq!(t.stage("a").unwrap().total_micros, u64::MAX);
     }
 }

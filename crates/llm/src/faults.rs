@@ -45,6 +45,17 @@ impl FaultKind {
         FaultKind::Unavailable,
         FaultKind::LatencySpike,
     ];
+
+    /// Stable snake-case label value for metrics.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            FaultKind::TruncatedCompletion => "truncated_completion",
+            FaultKind::MalformedPromql => "malformed_promql",
+            FaultKind::GarbageTokens => "garbage_tokens",
+            FaultKind::Unavailable => "unavailable",
+            FaultKind::LatencySpike => "latency_spike",
+        }
+    }
 }
 
 /// Configuration for the fault schedule.
@@ -97,12 +108,17 @@ struct FaultState {
     injected_latency_micros: u64,
 }
 
+/// Instrument name/help for the injected-fault counter.
+const FAULTS_NAME: &str = "dio_llm_faults_injected_total";
+const FAULTS_HELP: &str = "Faults the injection harness planted into model completions.";
+
 /// A [`FoundationModel`] wrapper that injects seeded faults.
 #[derive(Debug)]
 pub struct FaultyModel<M> {
     inner: M,
     config: FaultConfig,
     state: RefCell<FaultState>,
+    registry: Option<dio_obs::Registry>,
 }
 
 impl<M: FoundationModel> FaultyModel<M> {
@@ -118,7 +134,18 @@ impl<M: FoundationModel> FaultyModel<M> {
                 log: Vec::new(),
                 injected_latency_micros: 0,
             }),
+            registry: None,
         }
+    }
+
+    /// Count injected faults into `registry` as
+    /// `dio_llm_faults_injected_total{kind}`. The zero-valued family is
+    /// registered immediately so it exports before the first fault. The
+    /// counter only observes the schedule — it never perturbs it.
+    pub fn with_registry(mut self, registry: dio_obs::Registry) -> Self {
+        registry.counter_with(FAULTS_NAME, FAULTS_HELP, &[("kind", "unavailable")]);
+        self.registry = Some(registry);
+        self
     }
 
     /// The wrapped model.
@@ -223,6 +250,11 @@ impl<M: FoundationModel> FoundationModel for FaultyModel<M> {
         let fault = Self::draw_fault(&mut state, &self.config);
         if let Some(kind) = fault {
             state.log.push(FaultEvent { call, kind });
+            if let Some(registry) = &self.registry {
+                registry
+                    .counter_with(FAULTS_NAME, FAULTS_HELP, &[("kind", kind.slug())])
+                    .inc();
+            }
         }
 
         match fault {
@@ -428,5 +460,42 @@ mod tests {
         // Identical probability stream ⇒ the same calls are faulted (the
         // kinds may differ since the weight tables differ).
         assert_eq!(faulted_calls(a.fault_log()), faulted_calls(b.fault_log()));
+    }
+
+    #[test]
+    fn registry_counts_match_the_fault_log_without_perturbing_it() {
+        let registry = dio_obs::Registry::new();
+        let m = FaultyModel::new(
+            SimulatedModel::new(ModelProfile::gpt4_sim()),
+            FaultConfig::with_probability(42, 0.5),
+        )
+        .with_registry(registry.clone());
+        for i in 0..40 {
+            let _ = m.complete(&request(&format!("how many events of kind {i}?")));
+        }
+        // Same seed as `same_seed_same_fault_sequence`: attaching the
+        // registry must not change the schedule.
+        let (bare_log, _) = run_schedule(42, 0.5, 40);
+        assert_eq!(m.fault_log(), bare_log);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.total("dio_llm_faults_injected_total"),
+            m.fault_log().len() as f64
+        );
+        // Per-kind series match the log breakdown.
+        let fam = snap.family("dio_llm_faults_injected_total").unwrap();
+        for kind in FaultKind::ALL {
+            let logged = m.fault_log().iter().filter(|e| e.kind == kind).count();
+            let counted = fam
+                .series
+                .iter()
+                .find(|s| s.labels.contains(&("kind".into(), kind.slug().into())))
+                .map(|s| match &s.value {
+                    dio_obs::SeriesValue::Counter(v) => *v as usize,
+                    _ => panic!("not a counter"),
+                })
+                .unwrap_or(0);
+            assert_eq!(counted, logged, "kind {kind:?}");
+        }
     }
 }

@@ -33,6 +33,7 @@
 pub mod cost;
 pub mod faults;
 pub mod model;
+pub mod obs;
 pub mod prompt;
 pub mod sim;
 pub mod tokens;
@@ -40,6 +41,7 @@ pub mod tokens;
 pub use cost::{CostMeter, Pricing, TokenUsage};
 pub use faults::{FaultConfig, FaultEvent, FaultKind, FaultyModel};
 pub use model::{Completion, CompletionRequest, FoundationModel, ModelError, TaskKind};
+pub use obs::ObservedModel;
 pub use prompt::{ContextItem, FewShotExample, Prompt, PromptBuilder};
 pub use sim::profile::{ModelProfile, SimulatedModel};
 pub use tokens::count_tokens;

@@ -1,0 +1,367 @@
+//! Parser for the Prometheus text exposition format (0.0.4).
+//!
+//! This is the scraper's half of the loop: [`crate::exporter`] renders,
+//! this module parses back. Round-tripping through both is asserted in
+//! CI, so the exporter can never drift into producing text the scraper
+//! cannot ingest.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Parse failure with the 1-based line it occurred on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpoError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ExpoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "exposition parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ExpoError {}
+
+/// Kind declared by a `# TYPE` line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScrapedKind {
+    /// `counter`
+    Counter,
+    /// `gauge`
+    Gauge,
+    /// `histogram`
+    Histogram,
+    /// No `# TYPE` line seen.
+    Untyped,
+}
+
+/// One sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScrapedSample {
+    /// Full sample name (`family`, `family_bucket`, `family_sum`, …).
+    pub name: String,
+    /// Label pairs in appearance order, unescaped.
+    pub labels: Vec<(String, String)>,
+    /// The value.
+    pub value: f64,
+}
+
+/// One family: HELP/TYPE metadata plus its samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScrapedFamily {
+    /// Family name.
+    pub name: String,
+    /// HELP text (unescaped), empty when absent.
+    pub help: String,
+    /// Declared kind.
+    pub kind: ScrapedKind,
+    /// Samples in appearance order.
+    pub samples: Vec<ScrapedSample>,
+}
+
+/// Parse an exposition document into families. Histogram sub-samples
+/// (`_bucket`/`_sum`/`_count`) are attached to their declaring family;
+/// samples with no metadata become untyped families.
+pub fn parse_exposition(text: &str) -> Result<Vec<ScrapedFamily>, ExpoError> {
+    let mut families: Vec<ScrapedFamily> = Vec::new();
+    let mut index: HashMap<String, usize> = HashMap::new();
+
+    let ensure = |families: &mut Vec<ScrapedFamily>,
+                      index: &mut HashMap<String, usize>,
+                      name: &str|
+     -> usize {
+        if let Some(&i) = index.get(name) {
+            return i;
+        }
+        families.push(ScrapedFamily {
+            name: name.to_string(),
+            help: String::new(),
+            kind: ScrapedKind::Untyped,
+            samples: Vec::new(),
+        });
+        index.insert(name.to_string(), families.len() - 1);
+        families.len() - 1
+    };
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = match rest.split_once(' ') {
+                Some((n, h)) => (n, h),
+                None => (rest, ""),
+            };
+            let i = ensure(&mut families, &mut index, name);
+            families[i].help = unescape_help(help);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest.split_once(' ').ok_or_else(|| ExpoError {
+                line: lineno,
+                message: "TYPE line missing kind".into(),
+            })?;
+            let kind = match kind.trim() {
+                "counter" => ScrapedKind::Counter,
+                "gauge" => ScrapedKind::Gauge,
+                "histogram" => ScrapedKind::Histogram,
+                other => {
+                    return Err(ExpoError {
+                        line: lineno,
+                        message: format!("unknown TYPE '{other}'"),
+                    })
+                }
+            };
+            let i = ensure(&mut families, &mut index, name);
+            families[i].kind = kind;
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // ordinary comment
+        }
+
+        let sample = parse_sample_line(line, lineno)?;
+        // Attach histogram sub-samples to their declaring family.
+        let family_name = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suffix| {
+                let base = sample.name.strip_suffix(suffix)?;
+                let &i = index.get(base)?;
+                (families[i].kind == ScrapedKind::Histogram).then(|| base.to_string())
+            })
+            .unwrap_or_else(|| sample.name.clone());
+        let i = ensure(&mut families, &mut index, &family_name);
+        families[i].samples.push(sample);
+    }
+    Ok(families)
+}
+
+fn parse_sample_line(line: &str, lineno: usize) -> Result<ScrapedSample, ExpoError> {
+    let err = |message: String| ExpoError { line: lineno, message };
+    let bytes = line.as_bytes();
+    let mut pos = 0;
+
+    while pos < bytes.len() && !matches!(bytes[pos], b'{' | b' ' | b'\t') {
+        pos += 1;
+    }
+    if pos == 0 {
+        return Err(err("missing sample name".into()));
+    }
+    let name = line[..pos].to_string();
+
+    let mut labels = Vec::new();
+    if pos < bytes.len() && bytes[pos] == b'{' {
+        pos += 1;
+        loop {
+            while pos < bytes.len() && bytes[pos] == b' ' {
+                pos += 1;
+            }
+            if pos < bytes.len() && bytes[pos] == b'}' {
+                pos += 1;
+                break;
+            }
+            let key_start = pos;
+            while pos < bytes.len() && bytes[pos] != b'=' {
+                pos += 1;
+            }
+            if pos == bytes.len() {
+                return Err(err("unterminated label block".into()));
+            }
+            let key = line[key_start..pos].trim().to_string();
+            pos += 1; // '='
+            if pos >= bytes.len() || bytes[pos] != b'"' {
+                return Err(err(format!("label '{key}' value is not quoted")));
+            }
+            pos += 1; // opening quote
+            let mut value = String::new();
+            loop {
+                if pos >= bytes.len() {
+                    return Err(err(format!("unterminated value for label '{key}'")));
+                }
+                match bytes[pos] {
+                    b'"' => {
+                        pos += 1;
+                        break;
+                    }
+                    b'\\' => {
+                        pos += 1;
+                        if pos >= bytes.len() {
+                            return Err(err("dangling escape in label value".into()));
+                        }
+                        match bytes[pos] {
+                            b'\\' => value.push('\\'),
+                            b'"' => value.push('"'),
+                            b'n' => value.push('\n'),
+                            other => {
+                                // Unknown escape: keep both characters.
+                                value.push('\\');
+                                value.push(other as char);
+                            }
+                        }
+                        pos += 1;
+                    }
+                    _ => {
+                        // Advance one full UTF-8 character.
+                        let ch = line[pos..].chars().next().unwrap();
+                        value.push(ch);
+                        pos += ch.len_utf8();
+                    }
+                }
+            }
+            labels.push((key, value));
+            while pos < bytes.len() && bytes[pos] == b' ' {
+                pos += 1;
+            }
+            if pos < bytes.len() && bytes[pos] == b',' {
+                pos += 1;
+            }
+        }
+    }
+
+    let rest = line[pos..].trim();
+    if rest.is_empty() {
+        return Err(err(format!("sample '{name}' has no value")));
+    }
+    // Value, then optional timestamp (ignored).
+    let value_token = rest.split_whitespace().next().unwrap();
+    let value = parse_value(value_token)
+        .ok_or_else(|| err(format!("bad sample value '{value_token}'")))?;
+    Ok(ScrapedSample { name, labels, value })
+}
+
+fn parse_value(token: &str) -> Option<f64> {
+    match token {
+        "+Inf" | "Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        _ => token.parse::<f64>().ok(),
+    }
+}
+
+fn unescape_help(h: &str) -> String {
+    let mut out = String::with_capacity(h.len());
+    let mut chars = h.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exporter::to_prometheus;
+    use crate::registry::{Buckets, Registry};
+
+    #[test]
+    fn parses_simple_families() {
+        let text = "\
+# HELP asks_total Total asks.
+# TYPE asks_total counter
+asks_total{mode=\"flat\"} 3
+asks_total{mode=\"ivf\"} 2.5
+# TYPE depth gauge
+depth 7
+untyped_thing 1 1700000000
+";
+        let fams = parse_exposition(text).unwrap();
+        assert_eq!(fams.len(), 3);
+        assert_eq!(fams[0].name, "asks_total");
+        assert_eq!(fams[0].kind, ScrapedKind::Counter);
+        assert_eq!(fams[0].help, "Total asks.");
+        assert_eq!(fams[0].samples.len(), 2);
+        assert_eq!(fams[0].samples[1].value, 2.5);
+        assert_eq!(fams[1].kind, ScrapedKind::Gauge);
+        assert_eq!(fams[2].kind, ScrapedKind::Untyped);
+        assert_eq!(fams[2].samples[0].value, 1.0); // timestamp ignored
+    }
+
+    #[test]
+    fn attaches_histogram_subsamples_to_family() {
+        let text = "\
+# TYPE lat histogram
+lat_bucket{le=\"100\"} 1
+lat_bucket{le=\"+Inf\"} 3
+lat_sum 9350
+lat_count 3
+lat_suffixless 9
+";
+        let fams = parse_exposition(text).unwrap();
+        assert_eq!(fams[0].name, "lat");
+        assert_eq!(fams[0].samples.len(), 4);
+        assert_eq!(fams[0].samples[1].labels[0].1, "+Inf");
+        assert!(fams[0].samples[1].value.is_finite());
+        // Non-histogram-suffixed name becomes its own family.
+        assert_eq!(fams[1].name, "lat_suffixless");
+    }
+
+    #[test]
+    fn unescapes_label_values() {
+        let text = "m{q=\"say \\\"hi\\\"\\nback\\\\slash\",u=\"a,b\"} 1\n";
+        let fams = parse_exposition(text).unwrap();
+        let labels = &fams[0].samples[0].labels;
+        assert_eq!(labels[0], ("q".into(), "say \"hi\"\nback\\slash".into()));
+        assert_eq!(labels[1], ("u".into(), "a,b".into()));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_exposition("name_only\n").is_err());
+        assert!(parse_exposition("m{k=unquoted} 1\n").is_err());
+        assert!(parse_exposition("m{k=\"open} 1\n").is_err());
+        assert!(parse_exposition("m not_a_number\n").is_err());
+        assert!(parse_exposition("# TYPE m summary\n").is_err());
+        let e = parse_exposition("ok 1\nbad{\n").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn special_values_parse() {
+        let fams = parse_exposition("a +Inf\nb -Inf\nc NaN\n").unwrap();
+        assert!(fams[0].samples[0].value.is_infinite());
+        assert!(fams[1].samples[0].value < 0.0);
+        assert!(fams[2].samples[0].value.is_nan());
+    }
+
+    #[test]
+    fn round_trips_exporter_output() {
+        let r = Registry::new();
+        r.counter_with("rt_calls_total", "Calls with \"tricky\"\\chars\nand lines.", &[("model", "gpt4\nsim")])
+            .add(7.0);
+        r.gauge("rt_level", "Level.").set(-1.25);
+        let h = r.histogram("rt_lat_micros", "Latency.", &Buckets::latency_micros());
+        h.observe(250.0);
+        h.observe(5000.0);
+        let text = to_prometheus(&r.snapshot());
+        let fams = parse_exposition(&text).unwrap();
+        assert_eq!(fams.len(), 3);
+        let calls = fams.iter().find(|f| f.name == "rt_calls_total").unwrap();
+        assert_eq!(calls.kind, ScrapedKind::Counter);
+        assert_eq!(calls.help, "Calls with \"tricky\"\\chars\nand lines.");
+        assert_eq!(calls.samples[0].labels[0], ("model".into(), "gpt4\nsim".into()));
+        assert_eq!(calls.samples[0].value, 7.0);
+        let lat = fams.iter().find(|f| f.name == "rt_lat_micros").unwrap();
+        assert_eq!(lat.kind, ScrapedKind::Histogram);
+        // 10 finite buckets + the +Inf bucket + _sum + _count
+        assert_eq!(lat.samples.len(), 13);
+        let count = lat.samples.iter().find(|s| s.name == "rt_lat_micros_count").unwrap();
+        assert_eq!(count.value, 2.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! # dio-obs
+//!
+//! Self-hosted observability for the DIO copilot.
+//!
+//! The paper's copilot is an NL interface over operator telemetry; this
+//! crate gives the copilot telemetry *of its own*, shaped exactly like
+//! the operator data it serves:
+//!
+//! * [`registry`] — a lock-free-ish metrics registry: counters, gauges,
+//!   and exponential-bucket histograms, all labelable, with cheap
+//!   cloneable handles for the hot path;
+//! * [`tracer`] — a structured span/event tracer with per-`ask`
+//!   correlation IDs and a bounded ring of recent traces;
+//! * [`exporter`] — Prometheus text exposition (format 0.0.4);
+//! * [`expo`] — a parser for that same format;
+//! * [`scrape`] — the self-scrape loop: [`ObsScraper`] turns registry
+//!   snapshots into `dio-tsdb` series and auto-generates `dio-catalog`
+//!   descriptions for every instrument, so the copilot can answer
+//!   questions about its own health through the standard
+//!   retrieve→generate→execute path.
+//!
+//! Instrument naming convention: `dio_<crate>_<name>_<unit>`
+//! (e.g. `dio_copilot_stage_duration_micros`). Label cardinality is
+//! budgeted: labels hold closed enums (stage, outcome, fault kind, model
+//! name), never question text or metric names.
+
+pub mod exporter;
+pub mod expo;
+pub mod registry;
+pub mod scrape;
+pub mod tracer;
+
+pub use exporter::{escape_help, escape_label_value, to_prometheus};
+pub use expo::{parse_exposition, ExpoError, ScrapedFamily, ScrapedKind, ScrapedSample};
+pub use registry::{
+    Buckets, Counter, FamilySnapshot, Gauge, Histogram, HistogramSnapshot, InstrumentKind,
+    Registry, SeriesSnapshot, SeriesValue, Snapshot,
+};
+pub use scrape::{ObsScraper, ScrapeStats};
+pub use tracer::{micros_u64, EventRecord, SpanRecord, TraceId, TraceRecord, Tracer};
+
+/// The pair every instrumented component shares: one metrics registry,
+/// one tracer. Cheap to clone — clones observe the same state.
+#[derive(Debug, Clone, Default)]
+pub struct ObsHub {
+    registry: Registry,
+    tracer: Tracer,
+}
+
+impl ObsHub {
+    /// A fresh hub.
+    pub fn new() -> Self {
+        ObsHub::default()
+    }
+
+    /// The metrics registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The span/event tracer.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hub_clones_share_registry_and_tracer() {
+        let hub = ObsHub::new();
+        let clone = hub.clone();
+        clone.registry().counter("shared_total", "Shared.").inc();
+        let id = clone.tracer().begin("op");
+        clone.tracer().record_span(id, "step", 10);
+        assert_eq!(hub.registry().snapshot().total("shared_total"), 1.0);
+        assert_eq!(hub.tracer().spans(id).len(), 1);
+    }
+}

@@ -1,0 +1,652 @@
+//! Lock-free-ish metrics registry: counters, gauges, histograms.
+//!
+//! Registration (first sight of a family or a label set) takes a write
+//! lock; the hot path — incrementing through a handle — is a single
+//! atomic op on an [`Arc`]'d cell, so instrumented code never contends
+//! on the registry itself. Values are `f64` stored as bit patterns in
+//! `AtomicU64` (CAS loop for adds, plain store for gauge sets);
+//! histogram buckets are plain `AtomicU64` event counts.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// What a metric family measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstrumentKind {
+    /// Monotone sum of events.
+    Counter,
+    /// Point-in-time level, may go down.
+    Gauge,
+    /// Distribution of observations over fixed buckets.
+    Histogram,
+}
+
+impl InstrumentKind {
+    /// The Prometheus `# TYPE` keyword.
+    pub fn type_keyword(&self) -> &'static str {
+        match self {
+            InstrumentKind::Counter => "counter",
+            InstrumentKind::Gauge => "gauge",
+            InstrumentKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// Upper bucket bounds for a histogram (finite, strictly increasing).
+/// An implicit `+Inf` bucket is always appended.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Buckets(Vec<f64>);
+
+impl Buckets {
+    /// Explicit bounds. Panics unless finite and strictly increasing.
+    pub fn explicit(bounds: Vec<f64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        for w in bounds.windows(2) {
+            assert!(w[0] < w[1], "bucket bounds must be strictly increasing");
+        }
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "bucket bounds must be finite (+Inf is implicit)"
+        );
+        Buckets(bounds)
+    }
+
+    /// `count` bounds starting at `start`, each `factor` times the last.
+    pub fn exponential(start: f64, factor: f64, count: usize) -> Self {
+        assert!(start > 0.0 && factor > 1.0 && count >= 1);
+        let mut bounds = Vec::with_capacity(count);
+        let mut b = start;
+        for _ in 0..count {
+            bounds.push(b);
+            b *= factor;
+        }
+        Buckets::explicit(bounds)
+    }
+
+    /// `count` bounds starting at `start`, each `width` apart.
+    pub fn linear(start: f64, width: f64, count: usize) -> Self {
+        assert!(width > 0.0 && count >= 1);
+        let bounds = (0..count).map(|i| start + width * i as f64).collect();
+        Buckets::explicit(bounds)
+    }
+
+    /// Default latency buckets in microseconds: 100µs … ~26s, ×4 steps.
+    /// Wide enough for both in-process stage timings and whole asks.
+    pub fn latency_micros() -> Self {
+        Buckets::exponential(100.0, 4.0, 10)
+    }
+
+    /// Ten equal buckets over `(0, 1]` — similarity scores, ratios.
+    pub fn unit_fractions() -> Self {
+        Buckets::linear(0.1, 0.1, 10)
+    }
+
+    /// The finite upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.0
+    }
+}
+
+/// One stored series: the atomics behind every handle for a given
+/// (family, label set) pair.
+#[derive(Debug, Default)]
+struct SeriesCell {
+    /// Counter/gauge value as `f64` bits.
+    value_bits: AtomicU64,
+    /// Histogram per-bucket event counts (non-cumulative), one per
+    /// finite bound plus a final `+Inf` slot.
+    bucket_counts: Vec<AtomicU64>,
+    /// Histogram sum of observations as `f64` bits.
+    sum_bits: AtomicU64,
+    /// Histogram observation count.
+    count: AtomicU64,
+}
+
+fn atomic_f64_add(bits: &AtomicU64, delta: f64) {
+    let mut cur = bits.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(cur) + delta).to_bits();
+        match bits.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Canonical (sorted) label pairs identifying one series in a family.
+type LabelKey = Vec<(String, String)>;
+
+#[derive(Debug)]
+struct Family {
+    name: String,
+    help: String,
+    kind: InstrumentKind,
+    /// Finite bucket bounds (histograms only).
+    bounds: Vec<f64>,
+    series: RwLock<BTreeMap<LabelKey, Arc<SeriesCell>>>,
+}
+
+impl Family {
+    fn series(&self, labels: &[(&str, &str)]) -> Arc<SeriesCell> {
+        let mut key: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        key.sort();
+        if let Some(cell) = self.series.read().unwrap().get(&key) {
+            return Arc::clone(cell);
+        }
+        let mut w = self.series.write().unwrap();
+        Arc::clone(w.entry(key).or_insert_with(|| {
+            let mut cell = SeriesCell::default();
+            if self.kind == InstrumentKind::Histogram {
+                cell.bucket_counts = (0..=self.bounds.len()).map(|_| AtomicU64::new(0)).collect();
+            }
+            Arc::new(cell)
+        }))
+    }
+}
+
+/// The process-wide instrument registry. Cheap to clone; all clones
+/// share the same underlying families.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    families: Arc<RwLock<BTreeMap<String, Arc<Family>>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn family(
+        &self,
+        name: &str,
+        help: &str,
+        kind: InstrumentKind,
+        bounds: Vec<f64>,
+    ) -> Arc<Family> {
+        if let Some(f) = self.families.read().unwrap().get(name) {
+            assert!(
+                f.kind == kind,
+                "instrument '{name}' already registered as a {}",
+                f.kind.type_keyword()
+            );
+            assert!(
+                kind != InstrumentKind::Histogram || f.bounds == bounds,
+                "instrument '{name}' already registered with different buckets"
+            );
+            return Arc::clone(f);
+        }
+        let mut w = self.families.write().unwrap();
+        Arc::clone(w.entry(name.to_string()).or_insert_with(|| {
+            Arc::new(Family {
+                name: name.to_string(),
+                help: help.to_string(),
+                kind,
+                bounds,
+                series: RwLock::new(BTreeMap::new()),
+            })
+        }))
+    }
+
+    /// An unlabelled counter handle (registers on first use).
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// A labelled counter handle.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        let fam = self.family(name, help, InstrumentKind::Counter, Vec::new());
+        Counter {
+            cell: fam.series(labels),
+        }
+    }
+
+    /// An unlabelled gauge handle.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// A labelled gauge handle.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        let fam = self.family(name, help, InstrumentKind::Gauge, Vec::new());
+        Gauge {
+            cell: fam.series(labels),
+        }
+    }
+
+    /// An unlabelled histogram handle.
+    pub fn histogram(&self, name: &str, help: &str, buckets: &Buckets) -> Histogram {
+        self.histogram_with(name, help, buckets, &[])
+    }
+
+    /// A labelled histogram handle.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        buckets: &Buckets,
+        labels: &[(&str, &str)],
+    ) -> Histogram {
+        let fam = self.family(name, help, InstrumentKind::Histogram, buckets.0.clone());
+        let cell = fam.series(labels);
+        Histogram { fam, cell }
+    }
+
+    /// A consistent point-in-time copy of every family and series,
+    /// deterministically ordered (families and label sets sorted).
+    pub fn snapshot(&self) -> Snapshot {
+        let families = self.families.read().unwrap();
+        let mut out = Vec::with_capacity(families.len());
+        for fam in families.values() {
+            let series_map = fam.series.read().unwrap();
+            let mut series = Vec::with_capacity(series_map.len());
+            for (labels, cell) in series_map.iter() {
+                let value = match fam.kind {
+                    InstrumentKind::Counter => {
+                        SeriesValue::Counter(f64::from_bits(cell.value_bits.load(Ordering::Acquire)))
+                    }
+                    InstrumentKind::Gauge => {
+                        SeriesValue::Gauge(f64::from_bits(cell.value_bits.load(Ordering::Acquire)))
+                    }
+                    InstrumentKind::Histogram => {
+                        let mut cumulative = 0u64;
+                        let mut buckets = Vec::with_capacity(cell.bucket_counts.len());
+                        for (i, c) in cell.bucket_counts.iter().enumerate() {
+                            cumulative += c.load(Ordering::Acquire);
+                            let bound = fam.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+                            buckets.push((bound, cumulative));
+                        }
+                        SeriesValue::Histogram(HistogramSnapshot {
+                            buckets,
+                            sum: f64::from_bits(cell.sum_bits.load(Ordering::Acquire)),
+                            count: cell.count.load(Ordering::Acquire),
+                        })
+                    }
+                };
+                series.push(SeriesSnapshot {
+                    labels: labels.clone(),
+                    value,
+                });
+            }
+            out.push(FamilySnapshot {
+                name: fam.name.clone(),
+                help: fam.help.clone(),
+                kind: fam.kind,
+                series,
+            });
+        }
+        Snapshot { families: out }
+    }
+}
+
+/// Counter handle: monotone adds only.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    cell: Arc<SeriesCell>,
+}
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1.0);
+    }
+
+    /// Add `v`; negative or non-finite deltas are ignored (counters are
+    /// monotone).
+    pub fn add(&self, v: f64) {
+        if v.is_finite() && v > 0.0 {
+            atomic_f64_add(&self.cell.value_bits, v);
+        }
+    }
+
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.cell.value_bits.load(Ordering::Acquire))
+    }
+}
+
+/// Gauge handle: set/add/sub.
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    cell: Arc<SeriesCell>,
+}
+
+impl Gauge {
+    /// Set to `v`.
+    pub fn set(&self, v: f64) {
+        self.cell.value_bits.store(v.to_bits(), Ordering::Release);
+    }
+
+    /// Add `v` (may be negative).
+    pub fn add(&self, v: f64) {
+        atomic_f64_add(&self.cell.value_bits, v);
+    }
+
+    /// Subtract `v`.
+    pub fn sub(&self, v: f64) {
+        self.add(-v);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.cell.value_bits.load(Ordering::Acquire))
+    }
+}
+
+/// Histogram handle.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    fam: Arc<Family>,
+    cell: Arc<SeriesCell>,
+}
+
+impl Histogram {
+    /// Record one observation. Prometheus semantics: the value lands in
+    /// the first bucket whose upper bound is `>= v` (bounds are
+    /// inclusive), so zero and negative observations land in the lowest
+    /// bucket; NaN observations are dropped.
+    pub fn observe(&self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        let idx = self
+            .fam
+            .bounds
+            .iter()
+            .position(|b| v <= *b)
+            .unwrap_or(self.fam.bounds.len());
+        self.cell.bucket_counts[idx].fetch_add(1, Ordering::AcqRel);
+        atomic_f64_add(&self.cell.sum_bits, v);
+        self.cell.count.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.cell.count.load(Ordering::Acquire)
+    }
+
+    /// Sum of observations so far.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.cell.sum_bits.load(Ordering::Acquire))
+    }
+}
+
+/// Point-in-time copy of the whole registry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Families sorted by name.
+    pub families: Vec<FamilySnapshot>,
+}
+
+impl Snapshot {
+    /// Look up a family by name.
+    pub fn family(&self, name: &str) -> Option<&FamilySnapshot> {
+        self.families.iter().find(|f| f.name == name)
+    }
+
+    /// Sum of all counter/gauge series of `name` (0.0 when absent).
+    /// Histograms contribute their observation sums.
+    pub fn total(&self, name: &str) -> f64 {
+        self.family(name)
+            .map(|f| {
+                f.series
+                    .iter()
+                    .map(|s| match &s.value {
+                        SeriesValue::Counter(v) | SeriesValue::Gauge(v) => *v,
+                        SeriesValue::Histogram(h) => h.sum,
+                    })
+                    .sum()
+            })
+            .unwrap_or(0.0)
+    }
+}
+
+/// One family in a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilySnapshot {
+    /// Family (instrument) name.
+    pub name: String,
+    /// Help text.
+    pub help: String,
+    /// Instrument kind.
+    pub kind: InstrumentKind,
+    /// Series sorted by label set.
+    pub series: Vec<SeriesSnapshot>,
+}
+
+/// One series in a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesSnapshot {
+    /// Sorted label pairs (without `__name__`).
+    pub labels: Vec<(String, String)>,
+    /// The value.
+    pub value: SeriesValue,
+}
+
+/// A snapshotted value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SeriesValue {
+    /// Counter value.
+    Counter(f64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+/// Frozen histogram state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// `(upper bound, cumulative count)` per bucket; the final bound is
+    /// `+Inf` and its count equals `count`.
+    pub buckets: Vec<(f64, u64)>,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Estimate the `q`-quantile (0 ≤ q ≤ 1) by linear interpolation
+    /// within the bucket holding the target rank, Prometheus
+    /// `histogram_quantile` style. Values in the `+Inf` bucket clamp to
+    /// the highest finite bound. Returns `NaN` when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return f64::NAN;
+        }
+        let rank = q * self.count as f64;
+        let mut lower = 0.0f64;
+        let mut prev_cum = 0u64;
+        for (bound, cum) in &self.buckets {
+            if (*cum as f64) >= rank {
+                if !bound.is_finite() {
+                    // Clamp into the highest finite bound.
+                    return lower;
+                }
+                let in_bucket = (cum - prev_cum) as f64;
+                if in_bucket == 0.0 {
+                    return *bound;
+                }
+                let frac = (rank - prev_cum as f64) / in_bucket;
+                return lower + (bound - lower) * frac;
+            }
+            prev_cum = *cum;
+            if bound.is_finite() {
+                lower = *bound;
+            }
+        }
+        lower
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_and_ignores_negative() {
+        let r = Registry::new();
+        let c = r.counter("hits_total", "Hits.");
+        c.inc();
+        c.add(2.5);
+        c.add(-10.0); // ignored: counters are monotone
+        c.add(f64::NAN); // ignored
+        assert_eq!(c.value(), 3.5);
+        // A second handle to the same series shares the cell.
+        let c2 = r.counter("hits_total", "Hits.");
+        c2.inc();
+        assert_eq!(c.value(), 4.5);
+    }
+
+    #[test]
+    fn gauge_sets_and_moves_both_ways() {
+        let r = Registry::new();
+        let g = r.gauge("level", "Level.");
+        g.set(10.0);
+        g.sub(4.0);
+        g.add(1.0);
+        assert_eq!(g.value(), 7.0);
+    }
+
+    #[test]
+    fn labelled_series_are_distinct_and_order_insensitive() {
+        let r = Registry::new();
+        let a = r.counter_with("calls_total", "Calls.", &[("model", "gpt4"), ("outcome", "ok")]);
+        let b = r.counter_with("calls_total", "Calls.", &[("outcome", "ok"), ("model", "gpt4")]);
+        let c = r.counter_with("calls_total", "Calls.", &[("model", "gpt35"), ("outcome", "ok")]);
+        a.inc();
+        b.inc(); // same series as `a`: label order must not matter
+        c.inc();
+        let snap = r.snapshot();
+        let fam = snap.family("calls_total").unwrap();
+        assert_eq!(fam.series.len(), 2);
+        assert_eq!(snap.total("calls_total"), 3.0);
+        let gpt4 = fam
+            .series
+            .iter()
+            .find(|s| s.labels.iter().any(|(_, v)| v == "gpt4"))
+            .unwrap();
+        assert_eq!(gpt4.value, SeriesValue::Counter(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("thing", "A thing.");
+        r.gauge("thing", "A thing.");
+    }
+
+    #[test]
+    fn histogram_buckets_zero_negative_and_boundary_values() {
+        let r = Registry::new();
+        let h = r.histogram("lat", "Latency.", &Buckets::explicit(vec![1.0, 10.0, 100.0]));
+        h.observe(0.0); // zero → lowest bucket
+        h.observe(-5.0); // negative → lowest bucket
+        h.observe(1.0); // exactly on a bound → that bucket (le is inclusive)
+        h.observe(10.0);
+        h.observe(100.0);
+        h.observe(100.000001); // just over the top bound → +Inf bucket
+        h.observe(f64::NAN); // dropped
+        let snap = r.snapshot();
+        let fam = snap.family("lat").unwrap();
+        let SeriesValue::Histogram(hs) = &fam.series[0].value else {
+            panic!("not a histogram");
+        };
+        assert_eq!(hs.count, 6);
+        assert_eq!(hs.buckets.len(), 4);
+        assert_eq!(hs.buckets[0], (1.0, 3)); // 0, -5, 1
+        assert_eq!(hs.buckets[1], (10.0, 4));
+        assert_eq!(hs.buckets[2], (100.0, 5));
+        assert_eq!(hs.buckets[3].1, 6); // +Inf cumulative == count
+        assert!(!hs.buckets[3].0.is_finite());
+        assert!((hs.sum - 206.000001).abs() < 1e-6);
+    }
+
+    #[test]
+    fn histogram_quantiles_interpolate() {
+        let r = Registry::new();
+        let h = r.histogram("q", "Q.", &Buckets::linear(10.0, 10.0, 4));
+        for v in [5.0, 15.0, 25.0, 35.0] {
+            h.observe(v);
+        }
+        let snap = r.snapshot();
+        let SeriesValue::Histogram(hs) = &snap.family("q").unwrap().series[0].value else {
+            panic!("not a histogram");
+        };
+        // Median rank 2.0 falls on the second bucket (10, 20].
+        let p50 = hs.quantile(0.5);
+        assert!((10.0..=20.0).contains(&p50), "p50={p50}");
+        // Everything fits under the top bound.
+        assert!(hs.quantile(1.0) <= 40.0);
+        assert!(hs.quantile(-0.1).is_nan());
+        let empty = HistogramSnapshot {
+            buckets: vec![(1.0, 0), (f64::INFINITY, 0)],
+            sum: 0.0,
+            count: 0,
+        };
+        assert!(empty.quantile(0.5).is_nan());
+    }
+
+    #[test]
+    fn quantile_clamps_inf_bucket_to_highest_finite_bound() {
+        let r = Registry::new();
+        let h = r.histogram("c", "C.", &Buckets::explicit(vec![1.0, 2.0]));
+        h.observe(50.0);
+        h.observe(60.0);
+        let snap = r.snapshot();
+        let SeriesValue::Histogram(hs) = &snap.family("c").unwrap().series[0].value else {
+            panic!("not a histogram");
+        };
+        assert_eq!(hs.quantile(0.9), 2.0);
+    }
+
+    #[test]
+    fn exponential_and_linear_buckets() {
+        assert_eq!(
+            Buckets::exponential(100.0, 4.0, 3).bounds(),
+            &[100.0, 400.0, 1600.0]
+        );
+        assert_eq!(Buckets::linear(0.1, 0.1, 3).bounds(), &[0.1, 0.2, 0.30000000000000004]);
+        assert_eq!(Buckets::latency_micros().bounds().len(), 10);
+    }
+
+    #[test]
+    fn snapshot_is_deterministically_ordered() {
+        let r = Registry::new();
+        r.counter("z_total", "Z.").inc();
+        r.counter("a_total", "A.").inc();
+        r.counter_with("m_total", "M.", &[("k", "2")]).inc();
+        r.counter_with("m_total", "M.", &[("k", "1")]).inc();
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.families.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["a_total", "m_total", "z_total"]);
+        let m = snap.family("m_total").unwrap();
+        assert_eq!(m.series[0].labels[0].1, "1");
+        assert_eq!(m.series[1].labels[0].1, "2");
+    }
+
+    #[test]
+    fn registry_clones_share_state_across_threads() {
+        let r = Registry::new();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let r2 = r.clone();
+            handles.push(std::thread::spawn(move || {
+                let c = r2.counter("par_total", "Parallel.");
+                for _ in 0..1000 {
+                    c.inc();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.snapshot().total("par_total"), 4000.0);
+    }
+}

@@ -1,0 +1,270 @@
+//! Self-scraping: registry snapshots → `dio-tsdb` series + auto-built
+//! `dio-catalog` descriptions.
+//!
+//! This is what makes the telemetry *self-hosting*: the copilot's own
+//! instruments become ordinary operator metrics — stored in the same
+//! TSDB, documented in the same catalog — so the standard
+//! retrieve→generate→execute pipeline can answer natural-language
+//! questions about the copilot itself.
+
+use crate::exporter::to_prometheus;
+use crate::expo::{parse_exposition, ExpoError, ScrapedKind};
+use crate::registry::Registry;
+use dio_catalog::{Catalog, CounterType, MetricDef, MetricRole, NetworkFunction, TrafficHint, Unit};
+use dio_tsdb::{Labels, MetricStore, Sample};
+
+/// Result of one scrape pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScrapeStats {
+    /// Samples appended to the store.
+    pub appended: usize,
+    /// Samples skipped (NaN values, out-of-order timestamps).
+    pub skipped: usize,
+}
+
+/// Converts registry snapshots into TSDB series and catalog entries.
+///
+/// Scraping deliberately goes *through the text exposition* — export,
+/// parse, ingest — rather than reading the snapshot directly, so every
+/// scrape is also a round-trip proof that the exporter emits valid
+/// Prometheus text.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ObsScraper;
+
+impl ObsScraper {
+    /// A scraper.
+    pub fn new() -> Self {
+        ObsScraper
+    }
+
+    /// Export `registry`, parse the exposition text back, and append
+    /// every sample to `store` at timestamp `ts`. Call repeatedly at
+    /// increasing timestamps to build real history for rate queries.
+    pub fn scrape(
+        &self,
+        registry: &Registry,
+        ts: i64,
+        store: &mut MetricStore,
+    ) -> Result<ScrapeStats, ExpoError> {
+        self.scrape_text(&to_prometheus(&registry.snapshot()), ts, store)
+    }
+
+    /// Ingest already-rendered exposition text (the scrape half alone).
+    pub fn scrape_text(
+        &self,
+        text: &str,
+        ts: i64,
+        store: &mut MetricStore,
+    ) -> Result<ScrapeStats, ExpoError> {
+        let mut stats = ScrapeStats::default();
+        for family in parse_exposition(text)? {
+            for sample in family.samples {
+                if sample.value.is_nan() {
+                    stats.skipped += 1;
+                    continue;
+                }
+                let mut pairs: Vec<(String, String)> =
+                    Vec::with_capacity(1 + sample.labels.len());
+                pairs.push(("__name__".to_string(), sample.name));
+                pairs.extend(sample.labels);
+                match store.append(Labels::from_pairs(pairs), Sample::new(ts, sample.value)) {
+                    Ok(()) => stats.appended += 1,
+                    Err(_) => stats.skipped += 1,
+                }
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Build a catalog describing every instrument the registry would
+    /// export: one [`MetricDef`] per counter/gauge family and per
+    /// histogram sub-series (`_bucket`/`_sum`/`_count`), each carrying
+    /// the instrument's help text so retrieval can match questions
+    /// against it.
+    pub fn catalog(&self, registry: &Registry) -> Catalog {
+        let text = to_prometheus(&registry.snapshot());
+        let families = parse_exposition(&text).expect("exporter output must parse");
+        let mut metrics = Vec::new();
+        for family in &families {
+            let def = |name: &str, description: String, counter_type: CounterType| {
+                let role = match counter_type {
+                    CounterType::Gauge => MetricRole::ActiveGauge,
+                    _ => MetricRole::Event {
+                        event: "self_observation".to_string(),
+                    },
+                };
+                MetricDef {
+                    name: name.to_string(),
+                    nf: NetworkFunction::Dio,
+                    service: "obs".to_string(),
+                    procedure: family.name.clone(),
+                    procedure_display: family.name.replace('_', " "),
+                    role,
+                    counter_type,
+                    unit: if family.name.contains("micros") {
+                        Unit::Milliseconds
+                    } else {
+                        Unit::Count
+                    },
+                    description,
+                    spec_ref: "dio-obs self-telemetry".to_string(),
+                    traffic: TrafficHint {
+                        base_rate: 0.0,
+                        couple_ratio: None,
+                    },
+                }
+            };
+            match family.kind {
+                ScrapedKind::Histogram => {
+                    metrics.push(def(
+                        &format!("{}_sum", family.name),
+                        format!("{} Accumulated sum over every observation.", family.help),
+                        CounterType::Counter64,
+                    ));
+                    metrics.push(def(
+                        &format!("{}_count", family.name),
+                        format!(
+                            "The number of observations recorded by the {} histogram.",
+                            family.name.replace('_', " ")
+                        ),
+                        CounterType::Counter64,
+                    ));
+                    metrics.push(def(
+                        &format!("{}_bucket", family.name),
+                        format!(
+                            "Cumulative per-bucket observation tallies (le upper bounds) of the {} histogram.",
+                            family.name.replace('_', " ")
+                        ),
+                        CounterType::Counter64,
+                    ));
+                }
+                ScrapedKind::Gauge => {
+                    metrics.push(def(&family.name.clone(), family.help.clone(), CounterType::Gauge));
+                }
+                _ => {
+                    metrics.push(def(
+                        &family.name.clone(),
+                        family.help.clone(),
+                        CounterType::Counter64,
+                    ));
+                }
+            }
+        }
+        Catalog {
+            metrics,
+            groups: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Buckets;
+
+    fn seeded_registry() -> Registry {
+        let r = Registry::new();
+        r.counter("dio_copilot_repairs_total", "Repair rounds the copilot ran.")
+            .add(5.0);
+        r.counter_with(
+            "dio_llm_model_calls_total",
+            "Completion calls made to the foundation model.",
+            &[("outcome", "ok")],
+        )
+        .add(12.0);
+        r.gauge("dio_copilot_degradation_level", "Current degradation level.")
+            .set(1.0);
+        let h = r.histogram(
+            "dio_copilot_ask_duration_micros",
+            "Microseconds spent answering questions end to end.",
+            &Buckets::latency_micros(),
+        );
+        h.observe(2500.0);
+        h.observe(90000.0);
+        r
+    }
+
+    #[test]
+    fn scrape_lands_every_sample_in_the_store() {
+        let r = seeded_registry();
+        let mut store = MetricStore::new();
+        let stats = ObsScraper::new().scrape(&r, 60_000, &mut store).unwrap();
+        assert_eq!(stats.skipped, 0);
+        // 2 counters + 1 gauge + histogram (10 buckets + inf + sum + count)
+        assert_eq!(stats.appended, 3 + 13);
+        assert_eq!(store.series_count(), stats.appended);
+        let names = store.metric_names();
+        assert!(names.contains(&"dio_copilot_repairs_total"));
+        assert!(names.contains(&"dio_copilot_ask_duration_micros_sum"));
+    }
+
+    #[test]
+    fn repeated_scrapes_build_history() {
+        let r = seeded_registry();
+        let mut store = MetricStore::new();
+        let scraper = ObsScraper::new();
+        scraper.scrape(&r, 60_000, &mut store).unwrap();
+        r.counter("dio_copilot_repairs_total", "Repair rounds the copilot ran.")
+            .inc();
+        scraper.scrape(&r, 120_000, &mut store).unwrap();
+        let sel = store.select(
+            &[dio_tsdb::Matcher::eq("__name__", "dio_copilot_repairs_total")],
+        );
+        assert_eq!(sel.len(), 1);
+        assert_eq!(sel[0].samples().len(), 2);
+        assert_eq!(sel[0].samples()[1].value, 6.0);
+    }
+
+    #[test]
+    fn rescrape_at_same_timestamp_skips_not_fails() {
+        let r = seeded_registry();
+        let mut store = MetricStore::new();
+        let scraper = ObsScraper::new();
+        let first = scraper.scrape(&r, 60_000, &mut store).unwrap();
+        let second = scraper.scrape(&r, 60_000, &mut store).unwrap();
+        assert_eq!(second.appended, 0);
+        assert_eq!(second.skipped, first.appended);
+    }
+
+    #[test]
+    fn catalog_covers_every_exported_instrument() {
+        let r = seeded_registry();
+        let catalog = ObsScraper::new().catalog(&r);
+        let names: Vec<&str> = catalog.metrics.iter().map(|m| m.name.as_str()).collect();
+        assert!(names.contains(&"dio_copilot_repairs_total"));
+        assert!(names.contains(&"dio_llm_model_calls_total"));
+        assert!(names.contains(&"dio_copilot_degradation_level"));
+        assert!(names.contains(&"dio_copilot_ask_duration_micros_sum"));
+        assert!(names.contains(&"dio_copilot_ask_duration_micros_count"));
+        assert!(names.contains(&"dio_copilot_ask_duration_micros_bucket"));
+        for m in &catalog.metrics {
+            assert_eq!(m.nf, NetworkFunction::Dio);
+            assert!(!m.description.is_empty(), "{} lacks a description", m.name);
+        }
+        let gauge = catalog.metrics.iter().find(|m| m.name == "dio_copilot_degradation_level").unwrap();
+        assert_eq!(gauge.counter_type, CounterType::Gauge);
+        assert_eq!(gauge.role, MetricRole::ActiveGauge);
+        // Help text flows into the description so retrieval can match it.
+        let repairs = catalog.metrics.iter().find(|m| m.name == "dio_copilot_repairs_total").unwrap();
+        assert!(repairs.description.contains("Repair rounds"));
+    }
+
+    #[test]
+    fn scraped_store_answers_sum_queries_about_the_registry() {
+        // The end-to-end contract in miniature: registry → scrape →
+        // instant query over the scraped store equals the live total.
+        let r = seeded_registry();
+        let mut store = MetricStore::new();
+        ObsScraper::new().scrape(&r, 60_000, &mut store).unwrap();
+        let sel = store.select(&[dio_tsdb::Matcher::eq(
+            "__name__",
+            "dio_llm_model_calls_total",
+        )]);
+        let total: f64 = sel
+            .iter()
+            .filter_map(|s| s.samples().last())
+            .map(|s| s.value)
+            .sum();
+        assert_eq!(total, r.snapshot().total("dio_llm_model_calls_total"));
+    }
+}

@@ -1,0 +1,235 @@
+//! Structured span/event tracer with per-`ask` correlation IDs.
+//!
+//! Each pipeline invocation opens a trace (one [`TraceId`]); stages
+//! record spans (name + duration) and point events (name + attributes)
+//! against it. The buffer is bounded: oldest traces are evicted first,
+//! so a long-running copilot keeps a sliding window of recent asks.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Correlation ID for one traced operation (one `ask`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceId(u64);
+
+impl TraceId {
+    /// The raw ID.
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One timed span within a trace. Repeated stage names are kept as
+/// separate entries — the repair loop records one `execute` span per
+/// attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Stage name, e.g. `retrieve`.
+    pub name: String,
+    /// Wall-clock duration in microseconds.
+    pub micros: u64,
+}
+
+/// One point event within a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Event name, e.g. `breaker_transition`.
+    pub name: String,
+    /// Attribute pairs, e.g. `[("to", "open")]`.
+    pub attrs: Vec<(String, String)>,
+}
+
+/// Everything recorded against one trace ID.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// The correlation ID.
+    pub id: u64,
+    /// Operation label (the question text for copilot asks).
+    pub label: String,
+    /// Spans in recording order.
+    pub spans: Vec<SpanRecord>,
+    /// Events in recording order.
+    pub events: Vec<EventRecord>,
+}
+
+#[derive(Debug)]
+struct TracerInner {
+    next_id: u64,
+    capacity: usize,
+    traces: VecDeque<TraceRecord>,
+}
+
+/// Shared tracer. Cheap to clone; clones share the buffer.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    inner: Arc<Mutex<TracerInner>>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::with_capacity(512)
+    }
+}
+
+impl Tracer {
+    /// A tracer with the default buffer size.
+    pub fn new() -> Self {
+        Tracer::default()
+    }
+
+    /// A tracer keeping at most `capacity` traces.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Tracer {
+            inner: Arc::new(Mutex::new(TracerInner {
+                next_id: 1,
+                capacity: capacity.max(1),
+                traces: VecDeque::new(),
+            })),
+        }
+    }
+
+    /// Open a new trace and return its correlation ID.
+    pub fn begin(&self, label: &str) -> TraceId {
+        let mut inner = self.inner.lock().unwrap();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        if inner.traces.len() == inner.capacity {
+            inner.traces.pop_front();
+        }
+        inner.traces.push_back(TraceRecord {
+            id,
+            label: label.to_string(),
+            spans: Vec::new(),
+            events: Vec::new(),
+        });
+        TraceId(id)
+    }
+
+    /// Record a completed span against `id`. Spans against evicted
+    /// traces are dropped silently.
+    pub fn record_span(&self, id: TraceId, name: &str, micros: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(t) = inner.traces.iter_mut().rev().find(|t| t.id == id.0) {
+            t.spans.push(SpanRecord {
+                name: name.to_string(),
+                micros,
+            });
+        }
+    }
+
+    /// Record a point event against `id`.
+    pub fn event(&self, id: TraceId, name: &str, attrs: &[(&str, &str)]) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(t) = inner.traces.iter_mut().rev().find(|t| t.id == id.0) {
+            t.events.push(EventRecord {
+                name: name.to_string(),
+                attrs: attrs
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.to_string()))
+                    .collect(),
+            });
+        }
+    }
+
+    /// The full record for `id`, if still buffered.
+    pub fn trace(&self, id: TraceId) -> Option<TraceRecord> {
+        self.inner
+            .lock()
+            .unwrap()
+            .traces
+            .iter()
+            .find(|t| t.id == id.0)
+            .cloned()
+    }
+
+    /// The spans recorded against `id` (empty when evicted).
+    pub fn spans(&self, id: TraceId) -> Vec<SpanRecord> {
+        self.trace(id).map(|t| t.spans).unwrap_or_default()
+    }
+
+    /// The most recent `n` traces, oldest first.
+    pub fn recent(&self, n: usize) -> Vec<TraceRecord> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .traces
+            .iter()
+            .rev()
+            .take(n)
+            .rev()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of buffered traces.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().traces.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Saturating `Duration` → whole microseconds as `u64`.
+pub fn micros_u64(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_and_events_correlate_by_id() {
+        let t = Tracer::new();
+        let a = t.begin("ask one");
+        let b = t.begin("ask two");
+        t.record_span(a, "retrieve", 120);
+        t.record_span(b, "retrieve", 80);
+        t.record_span(a, "generate", 300);
+        t.event(a, "breaker_transition", &[("to", "open")]);
+        let ra = t.trace(a).unwrap();
+        assert_eq!(ra.label, "ask one");
+        assert_eq!(ra.spans.len(), 2);
+        assert_eq!(ra.spans[1].name, "generate");
+        assert_eq!(ra.events[0].attrs[0], ("to".into(), "open".into()));
+        assert_eq!(t.spans(b), vec![SpanRecord { name: "retrieve".into(), micros: 80 }]);
+    }
+
+    #[test]
+    fn duplicate_stage_names_keep_per_invocation_entries() {
+        let t = Tracer::new();
+        let id = t.begin("repair loop");
+        t.record_span(id, "execute", 10);
+        t.record_span(id, "generate", 20);
+        t.record_span(id, "execute", 30);
+        let spans = t.spans(id);
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].micros, 10);
+        assert_eq!(spans[2].micros, 30);
+    }
+
+    #[test]
+    fn buffer_evicts_oldest_and_drops_late_spans() {
+        let t = Tracer::with_capacity(2);
+        let a = t.begin("a");
+        let b = t.begin("b");
+        let c = t.begin("c");
+        assert_eq!(t.len(), 2);
+        assert!(t.trace(a).is_none());
+        t.record_span(a, "late", 1); // dropped silently
+        assert!(t.spans(a).is_empty());
+        let recent = t.recent(10);
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].id, b.raw());
+        assert_eq!(recent[1].id, c.raw());
+    }
+
+    #[test]
+    fn micros_u64_saturates() {
+        assert_eq!(micros_u64(Duration::from_micros(42)), 42);
+        assert_eq!(micros_u64(Duration::MAX), u64::MAX);
+    }
+}

@@ -111,12 +111,17 @@ impl std::fmt::Display for SandboxError {
 
 impl std::error::Error for SandboxError {}
 
+/// Instrument name/help for per-outcome execution counts.
+const EXECUTIONS_NAME: &str = "dio_sandbox_executions_total";
+const EXECUTIONS_HELP: &str = "Untrusted queries the sandbox vetted and executed, by outcome.";
+
 /// The sandbox: engine + policy + audit log.
 #[derive(Debug)]
 pub struct Sandbox {
     engine: Engine,
     policy: SafetyPolicy,
     audit: AuditLog,
+    registry: Option<dio_obs::Registry>,
 }
 
 impl Sandbox {
@@ -134,6 +139,24 @@ impl Sandbox {
             engine,
             policy,
             audit: AuditLog::new(),
+            registry: None,
+        }
+    }
+
+    /// Count executions into `registry` as
+    /// `dio_sandbox_executions_total{outcome}`. The `executed` series is
+    /// registered at zero immediately so the family exports before the
+    /// first query.
+    pub fn attach_obs(&mut self, registry: dio_obs::Registry) {
+        registry.counter_with(EXECUTIONS_NAME, EXECUTIONS_HELP, &[("outcome", "executed")]);
+        self.registry = Some(registry);
+    }
+
+    fn count_outcome(&self, outcome: &'static str) {
+        if let Some(registry) = &self.registry {
+            registry
+                .counter_with(EXECUTIONS_NAME, EXECUTIONS_HELP, &[("outcome", outcome)])
+                .inc();
         }
     }
 
@@ -164,6 +187,7 @@ impl Sandbox {
                         reason: e.to_string(),
                     },
                 );
+                self.count_outcome("parse_failed");
                 return Err(SandboxError::Parse(e));
             }
         };
@@ -175,11 +199,13 @@ impl Sandbox {
                     reason: v.to_string(),
                 },
             );
+            self.count_outcome("refused");
             return Err(SandboxError::Refused(v));
         }
         match self.engine.instant_query_expr(&expr, ts) {
             Ok((value, stats)) => {
                 self.audit.record(query, ts, AuditOutcome::Executed);
+                self.count_outcome("executed");
                 Ok(ExecutionOutcome {
                     value,
                     stats,
@@ -194,6 +220,7 @@ impl Sandbox {
                         reason: e.to_string(),
                     },
                 );
+                self.count_outcome("eval_failed");
                 Err(SandboxError::Eval(e.to_string()))
             }
         }
@@ -257,6 +284,32 @@ mod tests {
             sb.audit().entries()[0].outcome,
             AuditOutcome::EvalFailed { .. }
         ));
+    }
+
+    #[test]
+    fn outcome_counters_track_audit_log() {
+        let registry = dio_obs::Registry::new();
+        let mut sb = Sandbox::new(store(), SafetyPolicy::default());
+        sb.attach_obs(registry.clone());
+        sb.execute("sum(reqs_total)", 600_000).unwrap();
+        sb.execute("sum((", 0).unwrap_err(); // parse
+        sb.execute("rate(reqs_total[7d])", 600_000).unwrap_err(); // refused
+        let snap = registry.snapshot();
+        let fam = snap.family("dio_sandbox_executions_total").unwrap();
+        let count_for = |outcome: &str| {
+            fam.series
+                .iter()
+                .find(|s| s.labels.contains(&("outcome".into(), outcome.into())))
+                .map(|s| match &s.value {
+                    dio_obs::SeriesValue::Counter(v) => *v,
+                    _ => panic!("not a counter"),
+                })
+                .unwrap_or(0.0)
+        };
+        assert_eq!(count_for("executed"), 1.0);
+        assert_eq!(count_for("parse_failed"), 1.0);
+        assert_eq!(count_for("refused"), 1.0);
+        assert_eq!(count_for("eval_failed"), 0.0);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! text sample (a metric description or a function definition) is stored
 //! alongside its vector, and a search returns the payloads directly.
 
-use crate::index::{SearchHit, VectorIndex};
+use crate::index::{SearchHit, SearchStats, VectorIndex};
 use serde::{Deserialize, Serialize};
 
 /// A hit carrying the matched document.
@@ -67,6 +67,26 @@ impl<I: VectorIndex, T> DocIndex<I, T> {
                 doc: &self.docs[id],
             })
             .collect()
+    }
+
+    /// Top-k search that also reports how many candidate vectors the
+    /// underlying index scanned.
+    pub fn search_with_stats(
+        &self,
+        query: &dio_embed::Vector,
+        k: usize,
+    ) -> (Vec<DocHit<'_, T>>, SearchStats) {
+        let (hits, stats) = self.index.search_with_stats(query, k);
+        (
+            hits.into_iter()
+                .map(|SearchHit { id, score }| DocHit {
+                    id,
+                    score,
+                    doc: &self.docs[id],
+                })
+                .collect(),
+            stats,
+        )
     }
 
     /// Payload by id.

@@ -5,7 +5,7 @@
 //! most similar, scanning a fraction of the data. `nprobe == nlist`
 //! degenerates to exact search.
 
-use crate::index::{SearchHit, VectorIndex};
+use crate::index::{SearchHit, SearchStats, VectorIndex};
 use crate::kmeans::{kmeans, nearest_centroid, KMeansConfig};
 use dio_embed::similarity::top_k_by;
 use dio_embed::{cosine, Vector};
@@ -144,6 +144,18 @@ impl VectorIndex for IvfIndex {
         hits
     }
 
+    fn search_with_stats(&self, query: &Vector, k: usize) -> (Vec<SearchHit>, SearchStats) {
+        let candidates_scanned = if k == 0 {
+            0
+        } else {
+            self.probe_cells(query)
+                .into_iter()
+                .map(|cell| self.lists[cell].len())
+                .sum()
+        };
+        (self.search(query, k), SearchStats { candidates_scanned })
+    }
+
     fn len(&self) -> usize {
         self.len
     }
@@ -247,6 +259,26 @@ mod tests {
     fn search_k_zero_is_empty() {
         let ivf = IvfIndex::train(8, cfg(2, 1), dataset(10, 8));
         assert!(ivf.search(&dataset(1, 8)[0], 0).is_empty());
+    }
+
+    #[test]
+    fn stats_report_probed_fraction() {
+        let data = dataset(200, 8);
+        let mut ivf = IvfIndex::train(8, cfg(8, 2), data);
+        let q = dataset(1, 8).pop().unwrap();
+        let (hits, stats) = ivf.search_with_stats(&q, 5);
+        assert_eq!(hits, ivf.search(&q, 5));
+        assert!(stats.candidates_scanned > 0);
+        assert!(
+            stats.candidates_scanned < ivf.len(),
+            "2/8 probes must not scan the whole store"
+        );
+        // Full probe scans everything.
+        ivf.set_nprobe(8);
+        let (_, full) = ivf.search_with_stats(&q, 5);
+        assert_eq!(full.candidates_scanned, ivf.len());
+        // k == 0 does no work.
+        assert_eq!(ivf.search_with_stats(&q, 0).1.candidates_scanned, 0);
     }
 
     #[test]

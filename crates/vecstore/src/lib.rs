@@ -31,6 +31,6 @@ pub mod persist;
 pub use doc::DocIndex;
 pub use flat::FlatIndex;
 pub use hnsw::{HnswConfig, HnswIndex};
-pub use index::{SearchHit, VectorIndex};
+pub use index::{SearchHit, SearchStats, VectorIndex};
 pub use ivf::{IvfConfig, IvfIndex};
 pub use kmeans::{kmeans, KMeansConfig, KMeansResult};
