@@ -46,6 +46,20 @@ pub enum CopilotError {
         /// What was tried.
         message: String,
     },
+    /// A data-plane store failed transiently (tsdb, vecstore,
+    /// feedback). Retryable: the query itself is fine.
+    StorageFault {
+        /// Which storage layer faulted ("tsdb", "vecstore", ...).
+        layer: String,
+        /// Upstream diagnosis.
+        message: String,
+    },
+    /// A vector index was quarantined after corruption and every
+    /// fallback tier was exhausted.
+    IndexQuarantined {
+        /// Slug of the quarantined index tier.
+        index: String,
+    },
 }
 
 impl CopilotError {
@@ -60,6 +74,10 @@ impl CopilotError {
                 rule: v.to_string(),
             },
             SandboxError::Eval(m) => CopilotError::QueryEval { message: m.clone() },
+            SandboxError::Storage(m) => CopilotError::StorageFault {
+                layer: "tsdb".into(),
+                message: m.clone(),
+            },
         }
     }
 
@@ -91,6 +109,12 @@ impl std::fmt::Display for CopilotError {
             CopilotError::PolicyRefused { rule } => write!(f, "policy refusal: {rule}"),
             CopilotError::QueryEval { message } => write!(f, "evaluation error: {message}"),
             CopilotError::NoData { message } => write!(f, "no data: {message}"),
+            CopilotError::StorageFault { layer, message } => {
+                write!(f, "storage fault in {layer}: {message}")
+            }
+            CopilotError::IndexQuarantined { index } => {
+                write!(f, "index quarantined: {index}")
+            }
         }
     }
 }
@@ -117,6 +141,14 @@ mod tests {
             CopilotError::from_sandbox(&eval),
             CopilotError::QueryEval { .. }
         ));
+        let storage = SandboxError::Storage("tsdb read timed out".into());
+        assert_eq!(
+            CopilotError::from_sandbox(&storage),
+            CopilotError::StorageFault {
+                layer: "tsdb".into(),
+                message: "tsdb read timed out".into()
+            }
+        );
     }
 
     #[test]
@@ -145,5 +177,12 @@ mod tests {
             attempts: 2,
         };
         assert_eq!(e.to_string(), "model unavailable after 2 attempts: down");
+        let e = CopilotError::StorageFault {
+            layer: "vecstore".into(),
+            message: "crc mismatch".into(),
+        };
+        assert_eq!(e.to_string(), "storage fault in vecstore: crc mismatch");
+        let e = CopilotError::IndexQuarantined { index: "hnsw".into() };
+        assert_eq!(e.to_string(), "index quarantined: hnsw");
     }
 }

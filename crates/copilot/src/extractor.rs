@@ -65,6 +65,10 @@ enum IndexKind {
 pub struct ContextExtractor {
     embedder: Embedder,
     index: IndexKind,
+    /// The embedded corpus, retained so a quarantined index can be
+    /// rebuilt at a lower tier (HNSW → IVF → flat) without the
+    /// original `DomainDb`.
+    rebuild: Vec<(DocSample, String)>,
 }
 
 impl ContextExtractor {
@@ -85,6 +89,11 @@ impl ContextExtractor {
         };
         let texts: Vec<String> = samples.iter().map(|s| s.embedding_text()).collect();
         let embedder = Embedder::fit(&config, texts.iter().map(|s| s.as_str()));
+        let rebuild: Vec<(DocSample, String)> = samples
+            .iter()
+            .cloned()
+            .zip(texts.iter().cloned())
+            .collect();
         let index = match mode {
             RetrievalMode::Flat => {
                 let mut index = DocIndex::new(FlatIndex::new(embedder.dims()));
@@ -121,7 +130,55 @@ impl ContextExtractor {
             }
             RetrievalMode::Random { seed } => IndexKind::Random { samples, seed },
         };
-        ContextExtractor { embedder, index }
+        ContextExtractor {
+            embedder,
+            index,
+            rebuild,
+        }
+    }
+
+    /// Slug of the active index tier, for metrics and reports.
+    pub fn mode_slug(&self) -> &'static str {
+        match &self.index {
+            IndexKind::Flat(_) => "flat",
+            IndexKind::Ivf(_) => "ivf",
+            IndexKind::Hnsw(_) => "hnsw",
+            IndexKind::Random { .. } => "random",
+        }
+    }
+
+    /// Quarantine the active index and fall back one tier:
+    /// HNSW → IVF → flat scan; a damaged flat index is rebuilt from the
+    /// retained corpus (flat → flat). Returns `(from, to)` slugs, or
+    /// `None` for the random baseline (nothing to rebuild). The
+    /// embedder is unaffected, so retrieval quality degrades gracefully
+    /// along the recall/latency curve instead of failing.
+    pub fn demote(&mut self) -> Option<(&'static str, &'static str)> {
+        let (from, to) = match &self.index {
+            IndexKind::Hnsw(_) => ("hnsw", "ivf"),
+            IndexKind::Ivf(_) => ("ivf", "flat"),
+            IndexKind::Flat(_) => ("flat", "flat"),
+            IndexKind::Random { .. } => return None,
+        };
+        self.index = if to == "ivf" {
+            let vectors: Vec<_> = self
+                .rebuild
+                .iter()
+                .map(|(_, t)| self.embedder.embed(t))
+                .collect();
+            let ivf = IvfIndex::train(self.embedder.dims(), IvfConfig::default(), vectors);
+            IndexKind::Ivf(DocIndex::from_parts(
+                ivf,
+                self.rebuild.iter().map(|(s, _)| s.clone()).collect(),
+            ))
+        } else {
+            let mut index = DocIndex::new(FlatIndex::new(self.embedder.dims()));
+            for (sample, text) in &self.rebuild {
+                index.add(self.embedder.embed(text), sample.clone());
+            }
+            IndexKind::Flat(index)
+        };
+        Some((from, to))
     }
 
     /// Number of indexed samples.

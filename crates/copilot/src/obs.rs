@@ -60,6 +60,21 @@ pub const ASK_DURATION_NAME: &str = "dio_copilot_ask_duration_micros";
 pub(crate) const ASK_DURATION_HELP: &str =
     "End-to-end wall-clock duration of one ask, in microseconds.";
 
+/// Data-plane faults absorbed, labelled by layer and fault kind.
+pub const DATA_FAULTS_NAME: &str = "dio_copilot_data_faults_total";
+pub(crate) const DATA_FAULTS_HELP: &str =
+    "Data-plane faults the copilot absorbed, by storage layer and fault kind.";
+
+/// Vector-index demotions, labelled by destination tier.
+pub const DEMOTIONS_NAME: &str = "dio_copilot_index_demotions_total";
+pub(crate) const DEMOTIONS_HELP: &str =
+    "Vector-index fallbacks after corruption, by destination tier (ivf, flat).";
+
+/// Answers by data-completeness level.
+pub const COMPLETENESS_NAME: &str = "dio_copilot_data_completeness_total";
+pub(crate) const COMPLETENESS_HELP: &str =
+    "Answers the copilot returned, by data-completeness level (complete, partial).";
+
 /// Stable label value for a breaker state.
 pub(crate) fn breaker_slug(state: BreakerState) -> &'static str {
     match state {
@@ -121,6 +136,13 @@ pub(crate) fn register_zero_instruments(registry: &Registry) {
     registry.counter(BACKOFF_NAME, BACKOFF_HELP);
     registry.counter_with(BREAKER_NAME, BREAKER_HELP, &[("to", "open")]);
     registry.counter(CANDIDATES_NAME, CANDIDATES_HELP);
+    registry.counter_with(
+        DATA_FAULTS_NAME,
+        DATA_FAULTS_HELP,
+        &[("layer", "tsdb"), ("kind", "transient_io")],
+    );
+    registry.counter_with(DEMOTIONS_NAME, DEMOTIONS_HELP, &[("to", "flat")]);
+    registry.counter_with(COMPLETENESS_NAME, COMPLETENESS_HELP, &[("level", "complete")]);
     registry.histogram(SIMILARITY_NAME, SIMILARITY_HELP, &Buckets::unit_fractions());
     registry.histogram_with(
         STAGE_DURATION_NAME,

@@ -14,8 +14,9 @@ use dio_llm::{
     CompletionRequest, ContextItem, CostMeter, FewShotExample, FoundationModel, ModelProfile,
     ObservedModel, PromptBuilder, SimulatedModel, TaskKind, TokenUsage,
 };
+use dio_faults::{DataFaultKind, Injector};
 use dio_obs::{Buckets, ObsHub, TraceId};
-use dio_sandbox::{Sandbox, SafetyPolicy};
+use dio_sandbox::{DataCompleteness, Sandbox, SafetyPolicy};
 use dio_tsdb::MetricStore;
 use std::time::Instant;
 
@@ -92,10 +93,17 @@ impl CopilotBuilder {
             Box::new(ObservedModel::new(inner, self.obs.registry().clone()));
         let mut sandbox = Sandbox::new(self.store, self.policy);
         sandbox.attach_obs(self.obs.registry().clone());
+        // Data-plane chaos: derive one independent, reproducible fault
+        // schedule per storage layer from the shared config.
+        let retrieval_chaos = self.config.data_chaos.as_ref().map(|c| {
+            sandbox.attach_data_chaos(Injector::derived(c, "tsdb"));
+            Injector::derived(c, "vecstore")
+        });
         let breaker = CircuitBreaker::new(&self.config.recovery);
         DioCopilot {
             extractor,
             sandbox,
+            retrieval_chaos,
             db: self.db,
             config: self.config,
             model,
@@ -115,6 +123,7 @@ pub struct DioCopilot {
     extractor: ContextExtractor,
     model: Box<dyn FoundationModel>,
     sandbox: Sandbox,
+    retrieval_chaos: Option<Injector>,
     exemplars: Vec<FewShotExample>,
     tracker: IssueTracker,
     meter: CostMeter,
@@ -132,6 +141,7 @@ struct ExecResolution {
     values: Vec<f64>,
     error: Option<CopilotError>,
     degradation: DegradationLevel,
+    completeness: DataCompleteness,
 }
 
 impl DioCopilot {
@@ -215,6 +225,56 @@ impl DioCopilot {
         let mut usage = TokenUsage::default();
         let mut stats = RecoveryStats::default();
         let trips_before = self.breaker.trips();
+
+        // Stage 0 (chaos runs only): the retrieval index is a data
+        // plane too. A transient read fault is retried in place (the
+        // schedule decides again); a corrupt read quarantines the
+        // index tier and falls back HNSW → IVF → flat; a latency spike
+        // is recorded, never slept.
+        if let Some(mut injector) = self.retrieval_chaos.take() {
+            let mut retries = 0usize;
+            while let Some(fault) = injector.decide() {
+                stats.data_faults += 1;
+                obs.registry()
+                    .counter_with(
+                        crate::obs::DATA_FAULTS_NAME,
+                        crate::obs::DATA_FAULTS_HELP,
+                        &[("layer", "vecstore"), ("kind", fault.kind.slug())],
+                    )
+                    .inc();
+                match fault.kind {
+                    DataFaultKind::TransientIo => {
+                        retries += 1;
+                        if retries > self.config.recovery.max_retries {
+                            break;
+                        }
+                    }
+                    DataFaultKind::TruncatedRead | DataFaultKind::BitFlip => {
+                        if let Some((from, to)) = self.extractor.demote() {
+                            stats.index_demotions += 1;
+                            obs.registry()
+                                .counter_with(
+                                    crate::obs::DEMOTIONS_NAME,
+                                    crate::obs::DEMOTIONS_HELP,
+                                    &[("to", to)],
+                                )
+                                .inc();
+                            obs.tracer().event(
+                                tid,
+                                "index_demotion",
+                                &[("from", from), ("to", to)],
+                            );
+                        }
+                        break;
+                    }
+                    DataFaultKind::LatencySpike => {
+                        injector.note_latency_spike();
+                        break;
+                    }
+                }
+            }
+            self.retrieval_chaos = Some(injector);
+        }
 
         // Stage 1: context extraction (offline index, online search).
         let (hits, retrieval) = time_stage(&obs, tid, "retrieve", || {
@@ -363,8 +423,16 @@ impl DioCopilot {
             values,
             error,
             degradation,
+            completeness,
         } = resolution;
         stats.degraded = degradation == DegradationLevel::Degraded;
+        obs.registry()
+            .counter_with(
+                crate::obs::COMPLETENESS_NAME,
+                crate::obs::COMPLETENESS_HELP,
+                &[("level", completeness.slug())],
+            )
+            .inc();
 
         // Relevant metrics for the rendered response: the identified
         // set, falling back to whatever the query references.
@@ -436,6 +504,7 @@ impl DioCopilot {
             values,
             error,
             degradation,
+            data_completeness: completeness,
             dashboard,
             usage,
             cost_cents,
@@ -536,6 +605,7 @@ impl DioCopilot {
         };
 
         let mut rounds = 0usize;
+        let mut storage_retries = 0usize;
         let error = loop {
             let executed = time_stage(obs, tid, "execute", || self.sandbox.execute(&query, ts));
             match executed {
@@ -551,9 +621,33 @@ impl DioCopilot {
                         } else {
                             DegradationLevel::Repaired
                         },
+                        completeness: out.completeness,
                     };
                 }
                 Err(sandbox_err) => {
+                    // A storage fault is the store's failure, not the
+                    // query's: retry the same query unchanged (bounded)
+                    // instead of burning a model repair round on it.
+                    if sandbox_err.is_storage_fault() {
+                        stats.data_faults += 1;
+                        obs.registry()
+                            .counter_with(
+                                crate::obs::DATA_FAULTS_NAME,
+                                crate::obs::DATA_FAULTS_HELP,
+                                &[("layer", "tsdb"), ("kind", "transient_io")],
+                            )
+                            .inc();
+                        obs.tracer().event(
+                            tid,
+                            "storage_retry",
+                            &[("error", &sandbox_err.to_string())],
+                        );
+                        if policy.enabled && storage_retries < policy.max_retries {
+                            storage_retries += 1;
+                            continue;
+                        }
+                        break CopilotError::from_sandbox(&sandbox_err);
+                    }
                     let classified = CopilotError::from_sandbox(&sandbox_err);
                     if !policy.enabled || rounds >= policy.max_repair_rounds {
                         break classified;
@@ -626,6 +720,7 @@ impl DioCopilot {
                 values: Vec::new(),
                 error: Some(error),
                 degradation: DegradationLevel::Full,
+                completeness: DataCompleteness::Complete,
             }
         }
     }
@@ -659,6 +754,7 @@ impl DioCopilot {
                         values: out.value.numeric_values(),
                         error: Some(error),
                         degradation: DegradationLevel::Degraded,
+                        completeness: out.completeness,
                     };
                 }
             }
@@ -671,6 +767,7 @@ impl DioCopilot {
                     message: format!("degraded fallback found no executable metric ({error})"),
                 }),
                 degradation: DegradationLevel::Degraded,
+                completeness: DataCompleteness::Partial,
             }
         })
     }
@@ -1212,5 +1309,89 @@ mod tests {
         assert_eq!(degraded, 1.0);
         // The fallback recorded its own span.
         assert_eq!(r.trace.invocations("fallback"), 1);
+    }
+
+    use crate::extractor::RetrievalMode;
+
+    fn chaos_copilot(weights: [u32; 4], retrieval: RetrievalMode) -> (DioCopilot, i64) {
+        let (db, store, ts) = world();
+        let cp = CopilotBuilder::new(db, store)
+            .config(CopilotConfig {
+                retrieval,
+                data_chaos: Some(dio_faults::ChaosConfig {
+                    seed: 0xda7a,
+                    fault_probability: 1.0,
+                    weights,
+                    latency_spike_micros: 1_000,
+                }),
+                ..CopilotConfig::default()
+            })
+            .exemplars(exemplars())
+            .build();
+        (cp, ts)
+    }
+
+    #[test]
+    fn default_config_keeps_answers_complete_and_chaos_free() {
+        let (mut cp, ts) = copilot();
+        let r = cp.ask("How many paging attempts?", ts);
+        assert_eq!(r.data_completeness, dio_sandbox::DataCompleteness::Complete);
+        assert_eq!(r.trace.recovery.data_faults, 0);
+        assert_eq!(r.trace.recovery.index_demotions, 0);
+        let snap = cp.obs().registry().snapshot();
+        assert_eq!(snap.total(crate::obs::DATA_FAULTS_NAME), 0.0);
+        assert_eq!(snap.total(crate::obs::DEMOTIONS_NAME), 0.0);
+        // Completeness is still attributed: one complete answer.
+        assert_eq!(snap.total(crate::obs::COMPLETENESS_NAME), 1.0);
+    }
+
+    #[test]
+    fn total_storage_outage_degrades_without_panicking() {
+        // Every tsdb operation fails transiently: execution retries the
+        // unchanged query (no model repair burned), then degrades; the
+        // fallback's candidates fault too, so the answer is NoData —
+        // but classified, counted, and panic-free.
+        let (mut cp, ts) = chaos_copilot([0, 1, 0, 0], RetrievalMode::Flat);
+        let r = cp.ask("How many paging attempts?", ts);
+        assert_eq!(r.degradation, crate::recovery::DegradationLevel::Degraded);
+        assert!(matches!(r.error, Some(CopilotError::NoData { .. })), "{:?}", r.error);
+        assert_eq!(r.data_completeness, dio_sandbox::DataCompleteness::Partial);
+        assert!(r.trace.recovery.data_faults > 0);
+        // Storage retries are not model repair rounds.
+        assert_eq!(r.trace.recovery.repairs, 0);
+        let snap = cp.obs().registry().snapshot();
+        assert!(snap.total(crate::obs::DATA_FAULTS_NAME) > 0.0);
+    }
+
+    #[test]
+    fn index_corruption_demotes_hnsw_to_ivf_to_flat() {
+        // Every vecstore read is a bit flip: each ask quarantines the
+        // current tier and falls back one level, and the sandbox's
+        // corrupt reads mark answers partial instead of failing them.
+        let (mut cp, ts) =
+            chaos_copilot([0, 0, 0, 1], RetrievalMode::Hnsw { ef_search: 32 });
+        assert_eq!(cp.extractor().mode_slug(), "hnsw");
+        let r1 = cp.ask("How many paging attempts?", ts);
+        assert_eq!(cp.extractor().mode_slug(), "ivf");
+        assert_eq!(r1.trace.recovery.index_demotions, 1);
+        assert_eq!(r1.data_completeness, dio_sandbox::DataCompleteness::Partial);
+        let r2 = cp.ask("How many service requests?", ts);
+        assert_eq!(cp.extractor().mode_slug(), "flat");
+        assert_eq!(r2.trace.recovery.index_demotions, 1);
+        let snap = cp.obs().registry().snapshot();
+        assert_eq!(snap.total(crate::obs::DEMOTIONS_NAME), 2.0);
+        assert!(snap.total(crate::obs::DATA_FAULTS_NAME) >= 2.0);
+        assert!(r1.render().contains("partial data"));
+    }
+
+    #[test]
+    fn latency_spikes_are_recorded_never_slept() {
+        let (mut cp, ts) = chaos_copilot([1, 0, 0, 0], RetrievalMode::Flat);
+        let r = cp.ask("How many paging attempts?", ts);
+        // Spikes degrade nothing: the answer is full and complete.
+        assert!(r.error.is_none(), "{:?}", r.error);
+        assert_eq!(r.data_completeness, dio_sandbox::DataCompleteness::Complete);
+        assert!(r.trace.recovery.data_faults > 0);
+        assert!(cp.retrieval_chaos.as_ref().unwrap().injected_latency_micros() > 0);
     }
 }

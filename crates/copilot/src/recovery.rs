@@ -95,6 +95,11 @@ pub struct CircuitBreaker {
     trips: usize,
     threshold: usize,
     cooldown: usize,
+    /// The cooldown the next trip will impose. Starts at the policy
+    /// cooldown; doubles every time a half-open probe fails (the
+    /// upstream is still sick, so probe less often) and resets on any
+    /// success.
+    current_cooldown: usize,
 }
 
 impl CircuitBreaker {
@@ -107,6 +112,7 @@ impl CircuitBreaker {
             trips: 0,
             threshold: policy.breaker_threshold,
             cooldown: policy.breaker_cooldown,
+            current_cooldown: policy.breaker_cooldown,
         }
     }
 
@@ -118,6 +124,17 @@ impl CircuitBreaker {
     /// How many times the breaker has opened.
     pub fn trips(&self) -> usize {
         self.trips
+    }
+
+    /// Consecutive failures recorded since the last success.
+    pub fn consecutive_failures(&self) -> usize {
+        self.consecutive_failures
+    }
+
+    /// The cooldown the next trip will impose (doubles on failed
+    /// half-open probes, resets on success).
+    pub fn current_cooldown(&self) -> usize {
+        self.current_cooldown
     }
 
     /// Ask permission to place a model call. While open, each refusal
@@ -138,25 +155,33 @@ impl CircuitBreaker {
         }
     }
 
-    /// Record a successful model call.
+    /// Record a successful model call. Fully closes the breaker, resets
+    /// the failure streak, and restores the base cooldown for any
+    /// future trip.
     pub fn record_success(&mut self) {
         self.consecutive_failures = 0;
         self.state = BreakerState::Closed;
+        self.current_cooldown = self.cooldown;
     }
 
     /// Record a failed model call. Returns `true` when this failure
-    /// opened the breaker.
+    /// opened the breaker. A failed half-open probe re-opens with a
+    /// doubled cooldown — the upstream proved it is still sick, so the
+    /// next probe waits longer.
     pub fn record_failure(&mut self) -> bool {
         self.consecutive_failures += 1;
-        let should_open = match self.state {
-            // A failed half-open probe re-opens immediately.
-            BreakerState::HalfOpen => true,
-            BreakerState::Closed => self.consecutive_failures >= self.threshold,
-            BreakerState::Open => false,
+        let (should_open, escalate) = match self.state {
+            // A failed half-open probe re-opens immediately, escalated.
+            BreakerState::HalfOpen => (true, true),
+            BreakerState::Closed => (self.consecutive_failures >= self.threshold, false),
+            BreakerState::Open => (false, false),
         };
         if should_open {
+            if escalate {
+                self.current_cooldown = self.current_cooldown.max(1).saturating_mul(2);
+            }
             self.state = BreakerState::Open;
-            self.cooldown_remaining = self.cooldown.max(1);
+            self.cooldown_remaining = self.current_cooldown.max(1);
             self.trips += 1;
         }
         should_open
@@ -203,6 +228,12 @@ pub struct RecoveryStats {
     /// The deterministic backoff schedule that *would* have been slept,
     /// in order (recorded for the trace; no wall-clock is touched).
     pub backoff_schedule_ms: Vec<u64>,
+    /// Data-plane faults (storage, retrieval index) absorbed during
+    /// this ask.
+    pub data_faults: usize,
+    /// Vector-index fallbacks (HNSW → IVF → flat) taken after index
+    /// corruption.
+    pub index_demotions: usize,
 }
 
 #[cfg(test)]
@@ -263,8 +294,65 @@ mod tests {
         assert!(b.record_failure()); // failed probe re-opens (counts as a trip)
         assert_eq!(b.state(), BreakerState::Open);
         assert_eq!(b.trips(), 2);
+        // The failed probe doubled the cooldown (1 → 2): one refusal
+        // before the next probe is admitted.
+        assert!(!b.allow());
         assert!(b.allow());
         b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_success_fully_closes_and_resets_failure_count() {
+        let policy = RecoveryPolicy {
+            breaker_threshold: 2,
+            breaker_cooldown: 1,
+            ..RecoveryPolicy::default()
+        };
+        let mut b = CircuitBreaker::new(&policy);
+        b.record_failure();
+        b.record_failure(); // trips
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(b.allow()); // half-open probe
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.consecutive_failures(), 0);
+        // The streak really is reset: it takes the full threshold of
+        // fresh failures to trip again.
+        assert!(!b.record_failure());
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.record_failure());
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn failed_half_open_probes_escalate_the_cooldown() {
+        let policy = RecoveryPolicy {
+            breaker_threshold: 1,
+            breaker_cooldown: 2,
+            ..RecoveryPolicy::default()
+        };
+        let mut b = CircuitBreaker::new(&policy);
+        b.record_failure(); // trip #1, cooldown 2
+        assert_eq!(b.current_cooldown(), 2);
+        assert!(!b.allow());
+        assert!(b.allow()); // probe #1
+        b.record_failure(); // re-open with cooldown 4
+        assert_eq!(b.current_cooldown(), 4);
+        for i in 0..3 {
+            assert!(!b.allow(), "refusal {i} of the doubled cooldown");
+        }
+        assert!(b.allow()); // probe #2
+        b.record_failure(); // re-open with cooldown 8
+        assert_eq!(b.current_cooldown(), 8);
+        // A success anywhere restores the base cooldown.
+        for _ in 0..7 {
+            assert!(!b.allow());
+        }
+        assert!(b.allow());
+        b.record_success();
+        assert_eq!(b.current_cooldown(), 2);
         assert_eq!(b.state(), BreakerState::Closed);
     }
 

@@ -1,0 +1,238 @@
+//! Checksummed, length-prefixed record framing.
+//!
+//! Every durable record is written as one frame:
+//!
+//! ```text
+//! +------+------+----------------+----------------+---------+
+//! | 0xD1 | 0x0C | len (u32 LE)   | crc32 (u32 LE) | payload |
+//! +------+------+----------------+----------------+---------+
+//! ```
+//!
+//! [`decode_all`] scans a byte stream frame by frame and classifies
+//! every anomaly instead of aborting: a frame whose checksum fails (or
+//! whose header is garbled) is *quarantined* and the scan resynchronises
+//! on the next magic marker; a final frame cut short by a torn write is
+//! reported as clean truncation. Payloads are expected to be text
+//! (JSON): the magic byte `0xD1` cannot appear inside UTF-8 encoded
+//! ASCII, which keeps resynchronisation free of false positives.
+
+use crate::crc32::crc32;
+
+/// Frame magic marker.
+pub const MAGIC: [u8; 2] = [0xD1, 0x0C];
+
+/// Bytes of magic + length + checksum preceding each payload.
+pub const FRAME_HEADER_LEN: usize = 10;
+
+/// Encode one payload as a framed record.
+pub fn encode_record(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// What a scan of a framed byte stream found.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ScanReport {
+    /// Payloads of every frame that passed its checksum, in order.
+    pub records: Vec<Vec<u8>>,
+    /// Frame indexes (0-based, counting every frame attempt) that were
+    /// quarantined for a bad magic, bad length, or checksum mismatch.
+    pub corrupt_at: Vec<usize>,
+    /// The stream ended inside a frame — a torn final write. The
+    /// partial frame is discarded; everything before it is intact.
+    pub truncated_tail: bool,
+}
+
+impl ScanReport {
+    /// Number of quarantined frames.
+    pub fn corrupt_frames(&self) -> usize {
+        self.corrupt_at.len()
+    }
+
+    /// True when every byte decoded cleanly.
+    pub fn is_clean(&self) -> bool {
+        self.corrupt_at.is_empty() && !self.truncated_tail
+    }
+}
+
+/// Position of the next magic marker at or after `from`, if any.
+fn find_magic(bytes: &[u8], from: usize) -> Option<usize> {
+    if from >= bytes.len() {
+        return None;
+    }
+    bytes[from..]
+        .windows(MAGIC.len())
+        .position(|w| w == MAGIC)
+        .map(|p| from + p)
+}
+
+/// Scan `bytes` into records, quarantining corruption and detecting a
+/// torn tail. Never panics, never loses an intact record that precedes
+/// the damage.
+pub fn decode_all(bytes: &[u8]) -> ScanReport {
+    let mut report = ScanReport::default();
+    let mut pos = 0usize;
+    let mut frame_idx = 0usize;
+    while pos < bytes.len() {
+        // Not at a magic marker: quarantine the garbage run and resync.
+        if bytes[pos..].len() < MAGIC.len() || bytes[pos..pos + MAGIC.len()] != MAGIC {
+            match find_magic(bytes, pos + 1) {
+                Some(next) => {
+                    report.corrupt_at.push(frame_idx);
+                    frame_idx += 1;
+                    pos = next;
+                    continue;
+                }
+                None => {
+                    // Garbage to end of stream. If it is shorter than a
+                    // magic marker it may be a torn header byte.
+                    if bytes.len() - pos < MAGIC.len() {
+                        report.truncated_tail = true;
+                    } else {
+                        report.corrupt_at.push(frame_idx);
+                    }
+                    return report;
+                }
+            }
+        }
+        // Header incomplete: torn write at the end of the stream.
+        if bytes.len() - pos < FRAME_HEADER_LEN {
+            report.truncated_tail = true;
+            return report;
+        }
+        let len = u32::from_le_bytes(bytes[pos + 2..pos + 6].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 6..pos + 10].try_into().unwrap());
+        let payload_start = pos + FRAME_HEADER_LEN;
+        if payload_start + len > bytes.len() {
+            // Frame extends past the end: either a torn final write or a
+            // corrupted length field. A later magic marker means more
+            // data follows, so it must be corruption.
+            match find_magic(bytes, pos + MAGIC.len()) {
+                Some(next) => {
+                    report.corrupt_at.push(frame_idx);
+                    frame_idx += 1;
+                    pos = next;
+                    continue;
+                }
+                None => {
+                    report.truncated_tail = true;
+                    return report;
+                }
+            }
+        }
+        let payload = &bytes[payload_start..payload_start + len];
+        if crc32(payload) == crc {
+            report.records.push(payload.to_vec());
+            pos = payload_start + len;
+        } else {
+            report.corrupt_at.push(frame_idx);
+            pos = match find_magic(bytes, pos + MAGIC.len()) {
+                Some(next) => next,
+                None => return report,
+            };
+        }
+        frame_idx += 1;
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(payloads: &[&str]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for p in payloads {
+            out.extend_from_slice(&encode_record(p.as_bytes()));
+        }
+        out
+    }
+
+    #[test]
+    fn roundtrips_multiple_records() {
+        let s = stream(&["alpha", "", r#"{"k":"v"}"#]);
+        let r = decode_all(&s);
+        assert!(r.is_clean());
+        assert_eq!(r.records.len(), 3);
+        assert_eq!(r.records[0], b"alpha");
+        assert_eq!(r.records[1], b"");
+        assert_eq!(r.records[2], br#"{"k":"v"}"#);
+    }
+
+    #[test]
+    fn empty_stream_is_clean() {
+        assert!(decode_all(&[]).is_clean());
+    }
+
+    #[test]
+    fn every_truncation_point_is_clean_prefix_or_torn_tail() {
+        let payloads = ["first-record", "second", "third-one-longer"];
+        let s = stream(&payloads);
+        // Frame boundaries: records become visible exactly when their
+        // full frame fits in the prefix.
+        let mut boundary = Vec::new();
+        let mut acc = 0;
+        for p in &payloads {
+            acc += FRAME_HEADER_LEN + p.len();
+            boundary.push(acc);
+        }
+        for cut in 0..=s.len() {
+            let r = decode_all(&s[..cut]);
+            let expected = boundary.iter().filter(|&&b| b <= cut).count();
+            assert_eq!(r.records.len(), expected, "cut at {cut}");
+            assert_eq!(r.corrupt_frames(), 0, "cut at {cut} surfaced corruption");
+            let at_boundary = cut == 0 || boundary.contains(&cut);
+            assert_eq!(r.truncated_tail, !at_boundary, "cut at {cut}");
+            for (i, rec) in r.records.iter().enumerate() {
+                assert_eq!(rec, payloads[i].as_bytes(), "cut at {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flip_quarantines_only_the_hit_frame() {
+        let payloads = ["aaaa", "bbbb", "cccc"];
+        let s = stream(&payloads);
+        // Flip one bit in the middle record's payload.
+        let mut broken = s.clone();
+        let second_payload = FRAME_HEADER_LEN + 4 + FRAME_HEADER_LEN + 1;
+        broken[second_payload] ^= 0x10;
+        let r = decode_all(&broken);
+        assert_eq!(r.records.len(), 2);
+        assert_eq!(r.records[0], b"aaaa");
+        assert_eq!(r.records[1], b"cccc");
+        assert_eq!(r.corrupt_frames(), 1);
+        assert!(!r.truncated_tail);
+    }
+
+    #[test]
+    fn garbled_magic_resyncs_to_next_record() {
+        let mut s = stream(&["one", "two"]);
+        s[0] = 0x00; // destroy the first frame's magic
+        let r = decode_all(&s);
+        assert_eq!(r.records, vec![b"two".to_vec()]);
+        assert_eq!(r.corrupt_frames(), 1);
+    }
+
+    #[test]
+    fn corrupt_length_field_does_not_swallow_later_records() {
+        let mut s = stream(&["head", "tail"]);
+        s[2] = 0xFF; // inflate the first frame's length
+        let r = decode_all(&s);
+        assert_eq!(r.records, vec![b"tail".to_vec()]);
+        assert_eq!(r.corrupt_frames(), 1);
+        assert!(!r.truncated_tail);
+    }
+
+    #[test]
+    fn pure_garbage_is_quarantined_not_panicked() {
+        let garbage: Vec<u8> = (0u8..=255).filter(|&b| b != 0xD1).cycle().take(300).collect();
+        let r = decode_all(&garbage);
+        assert!(r.records.is_empty());
+        assert!(r.corrupt_frames() > 0 || r.truncated_tail);
+    }
+}

@@ -1,0 +1,284 @@
+//! Byte-level storage media for WALs and snapshots.
+//!
+//! [`Medium`] is the minimal append/load surface crash-consistent
+//! persistence needs. [`MemMedium`] is the deterministic in-memory
+//! implementation the tests and benches run against; [`ChaosMedium`]
+//! wraps any medium and applies an [`Injector`](crate::Injector)
+//! schedule to every operation — failing appends before any byte lands
+//! (so a caller that saw `Ok` really has a durable record), tearing
+//! writes, truncating or bit-flipping reads.
+
+use crate::injector::{DataFaultKind, Injector};
+
+/// A byte-level storage device. Append-oriented: WALs append frames,
+/// snapshots truncate-and-append.
+pub trait Medium {
+    /// Read the entire contents.
+    fn load(&mut self) -> std::io::Result<Vec<u8>>;
+    /// Append `bytes` atomically from the caller's perspective: on
+    /// `Err`, none of `bytes` may be considered durable (though a
+    /// chaotic device may still have torn them onto the media).
+    fn append(&mut self, bytes: &[u8]) -> std::io::Result<()>;
+    /// Discard all contents.
+    fn truncate(&mut self) -> std::io::Result<()>;
+    /// Current size in bytes.
+    fn len(&self) -> usize;
+    /// True when the medium holds no bytes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// In-memory medium; the deterministic baseline device.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemMedium {
+    bytes: Vec<u8>,
+}
+
+impl MemMedium {
+    /// An empty device.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The raw contents (for crash tests that cut the byte stream).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Borrow the raw contents.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl From<Vec<u8>> for MemMedium {
+    fn from(bytes: Vec<u8>) -> Self {
+        MemMedium { bytes }
+    }
+}
+
+impl Medium for MemMedium {
+    fn load(&mut self) -> std::io::Result<Vec<u8>> {
+        Ok(self.bytes.clone())
+    }
+
+    fn append(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.bytes.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn truncate(&mut self) -> std::io::Result<()> {
+        self.bytes.clear();
+        Ok(())
+    }
+
+    fn len(&self) -> usize {
+        self.bytes.len()
+    }
+}
+
+fn transient(op: &str, n: usize) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::Interrupted,
+        format!("injected transient I/O fault on {op} op {n}"),
+    )
+}
+
+/// Flip one bit of `bytes` in place, positioned by `aux`. No-op on an
+/// empty buffer.
+fn flip_bit(bytes: &mut [u8], aux: u64) {
+    if bytes.is_empty() {
+        return;
+    }
+    let bit = (aux as usize) % (bytes.len() * 8);
+    bytes[bit / 8] ^= 1 << (bit % 8);
+}
+
+/// A medium that applies an injector's fault schedule to every
+/// operation. Faults on `append` damage the stored bytes (a torn or
+/// corrupted write the device acknowledged or not); faults on `load`
+/// damage only the returned copy (a bad read — the media is fine).
+#[derive(Debug)]
+pub struct ChaosMedium<M> {
+    inner: M,
+    injector: Injector,
+}
+
+impl<M: Medium> ChaosMedium<M> {
+    /// Wrap `inner` with the given schedule.
+    pub fn new(inner: M, injector: Injector) -> Self {
+        ChaosMedium { inner, injector }
+    }
+
+    /// The wrapped medium.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// The fault schedule, for draining its event log.
+    pub fn injector(&self) -> &Injector {
+        &self.injector
+    }
+
+    /// Unwrap into the inner medium and the schedule.
+    pub fn into_parts(self) -> (M, Injector) {
+        (self.inner, self.injector)
+    }
+}
+
+impl<M: Medium> Medium for ChaosMedium<M> {
+    fn load(&mut self) -> std::io::Result<Vec<u8>> {
+        let op = self.injector.ops();
+        let fault = self.injector.decide();
+        let mut bytes = match fault.map(|f| f.kind) {
+            Some(DataFaultKind::TransientIo) => return Err(transient("load", op)),
+            _ => self.inner.load()?,
+        };
+        match fault {
+            Some(f) if f.kind == DataFaultKind::TruncatedRead && !bytes.is_empty() => {
+                bytes.truncate((f.aux as usize) % bytes.len());
+            }
+            Some(f) if f.kind == DataFaultKind::BitFlip => flip_bit(&mut bytes, f.aux),
+            Some(f) if f.kind == DataFaultKind::LatencySpike => {
+                self.injector.note_latency_spike();
+            }
+            _ => {}
+        }
+        Ok(bytes)
+    }
+
+    fn append(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        let op = self.injector.ops();
+        match self.injector.decide() {
+            Some(f) => match f.kind {
+                // Fail before any byte lands: an `Err` append is never
+                // partially durable, so acknowledged writes stay exact.
+                DataFaultKind::TransientIo => Err(transient("append", op)),
+                DataFaultKind::TruncatedRead => {
+                    // A torn write: only a prefix reaches the media, and
+                    // the device still reports failure (no ack).
+                    let cut = if bytes.is_empty() {
+                        0
+                    } else {
+                        (f.aux as usize) % bytes.len()
+                    };
+                    self.inner.append(&bytes[..cut])?;
+                    Err(transient("append (torn)", op))
+                }
+                DataFaultKind::BitFlip => {
+                    // A corrupted write the device acknowledged: the
+                    // caller believes the record is durable, recovery
+                    // must quarantine it by checksum.
+                    let mut damaged = bytes.to_vec();
+                    flip_bit(&mut damaged, f.aux);
+                    self.inner.append(&damaged)
+                }
+                DataFaultKind::LatencySpike => {
+                    self.injector.note_latency_spike();
+                    self.inner.append(bytes)
+                }
+            },
+            None => self.inner.append(bytes),
+        }
+    }
+
+    fn truncate(&mut self) -> std::io::Result<()> {
+        self.inner.truncate()
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::injector::ChaosConfig;
+
+    fn only(kind_index: usize, p: f64, seed: u64) -> Injector {
+        let mut weights = [0u32; 4];
+        weights[kind_index] = 1;
+        Injector::new(ChaosConfig {
+            seed,
+            fault_probability: p,
+            weights,
+            latency_spike_micros: 100,
+        })
+    }
+
+    #[test]
+    fn mem_medium_roundtrips() {
+        let mut m = MemMedium::new();
+        assert!(m.is_empty());
+        m.append(b"abc").unwrap();
+        m.append(b"def").unwrap();
+        assert_eq!(m.load().unwrap(), b"abcdef");
+        assert_eq!(m.len(), 6);
+        m.truncate().unwrap();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn disabled_chaos_is_transparent() {
+        let mut m = ChaosMedium::new(MemMedium::new(), Injector::new(ChaosConfig::disabled(1)));
+        m.append(b"hello").unwrap();
+        assert_eq!(m.load().unwrap(), b"hello");
+        assert!(m.injector().log().is_empty());
+    }
+
+    #[test]
+    fn transient_io_append_leaves_media_untouched() {
+        let mut m = ChaosMedium::new(MemMedium::new(), only(1, 1.0, 2));
+        assert!(m.append(b"record").is_err());
+        assert_eq!(m.inner().bytes(), b"");
+    }
+
+    #[test]
+    fn torn_append_writes_a_strict_prefix_and_errors() {
+        let mut m = ChaosMedium::new(MemMedium::new(), only(2, 1.0, 3));
+        let payload = b"0123456789";
+        assert!(m.append(payload).is_err());
+        let written = m.inner().bytes();
+        assert!(written.len() < payload.len());
+        assert_eq!(written, &payload[..written.len()]);
+    }
+
+    #[test]
+    fn bit_flip_append_is_acknowledged_but_damaged() {
+        let mut m = ChaosMedium::new(MemMedium::new(), only(3, 1.0, 4));
+        m.append(b"0123456789").unwrap();
+        let written = m.inner().bytes();
+        assert_eq!(written.len(), 10);
+        assert_ne!(written, b"0123456789");
+        // Exactly one bit differs.
+        let diff: u32 = written
+            .iter()
+            .zip(b"0123456789".iter())
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(diff, 1);
+    }
+
+    #[test]
+    fn truncated_read_damages_the_copy_not_the_media() {
+        let mut m = ChaosMedium::new(MemMedium::new(), only(2, 0.0, 5));
+        m.append(b"0123456789").unwrap();
+        // Re-wrap with p=1 so the next load is cut short.
+        let (inner, _) = m.into_parts();
+        let mut m = ChaosMedium::new(inner, only(2, 1.0, 5));
+        let got = m.load().unwrap();
+        assert!(got.len() < 10);
+        assert_eq!(m.inner().bytes().len(), 10);
+    }
+
+    #[test]
+    fn latency_spike_records_and_succeeds() {
+        let mut m = ChaosMedium::new(MemMedium::new(), only(0, 1.0, 6));
+        m.append(b"abc").unwrap();
+        let _ = m.load().unwrap();
+        assert_eq!(m.injector().injected_latency_micros(), 200);
+        assert_eq!(m.inner().bytes(), b"abc");
+    }
+}

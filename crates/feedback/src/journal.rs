@@ -1,0 +1,313 @@
+//! Write-ahead journal for the issue tracker.
+//!
+//! The tracker's `to_json`/`from_json` snapshot is all-or-nothing: a
+//! torn write loses the whole issue history. The journal instead logs
+//! every mutating operation as one checksummed frame (same framing as
+//! the tsdb WAL, see `dio_faults::framing`) and rebuilds the tracker by
+//! replay. Ack-on-`Ok`: an operation acknowledged by
+//! [`Journal::record`] survives a crash at any byte offset; a torn
+//! final frame is quarantined as clean truncation of unacked work.
+
+use crate::contribution::Contribution;
+use crate::issue::IssueId;
+use crate::tracker::IssueTracker;
+use dio_catalog::DomainDb;
+use dio_faults::{decode_all, encode_record, Medium};
+use serde::{Deserialize, Serialize};
+
+/// One logged tracker mutation.
+// Ops are encoded and dropped immediately; the Resolve/Close size gap
+// never lives in a collection long enough to matter.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JournalOp {
+    /// `raise_hand` — file an issue.
+    RaiseHand {
+        /// The question that stumped the copilot.
+        question: String,
+        /// Metrics that were in context.
+        context_metrics: Vec<String>,
+        /// The copilot's (unsatisfying) response.
+        response: String,
+    },
+    /// `comment` — append a comment.
+    Comment {
+        /// Target issue.
+        id: IssueId,
+        /// Comment author.
+        author: String,
+        /// Comment text.
+        text: String,
+    },
+    /// `resolve` — expert resolution with a contribution.
+    Resolve {
+        /// Target issue.
+        id: IssueId,
+        /// Resolving expert.
+        expert_id: String,
+        /// What they contributed.
+        contribution: Contribution,
+    },
+    /// `close` — close without contribution.
+    Close {
+        /// Target issue.
+        id: IssueId,
+    },
+}
+
+/// What a journal recovery scan found.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct JournalRecovery {
+    /// Every intact operation, in log order.
+    pub ops: Vec<JournalOp>,
+    /// Frames quarantined for checksum/framing damage.
+    pub corrupt_frames: usize,
+    /// Frames that passed their checksum but did not parse as a
+    /// [`JournalOp`].
+    pub unparsable: usize,
+    /// The log ended mid-frame (torn final write, unacked).
+    pub truncated_tail: bool,
+}
+
+impl JournalRecovery {
+    /// True when every byte decoded cleanly.
+    pub fn is_clean(&self) -> bool {
+        self.corrupt_frames == 0 && self.unparsable == 0 && !self.truncated_tail
+    }
+}
+
+/// Outcome of replaying recovered operations into a tracker.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ReplayReport {
+    /// Operations applied successfully.
+    pub applied: usize,
+    /// Operations the tracker rejected (e.g. a resolve of an issue a
+    /// quarantined frame would have opened). Deterministic: the same
+    /// log replays to the same report.
+    pub rejected: usize,
+}
+
+/// An append-only operation journal over any [`Medium`].
+#[derive(Debug)]
+pub struct Journal<M> {
+    medium: M,
+    recorded: usize,
+}
+
+impl<M: Medium> Journal<M> {
+    /// Start journaling onto `medium`.
+    pub fn new(medium: M) -> Self {
+        Journal {
+            medium,
+            recorded: 0,
+        }
+    }
+
+    /// Record one operation. `Ok` acknowledges durability; on `Err`
+    /// nothing is acknowledged and the caller may retry.
+    pub fn record(&mut self, op: &JournalOp) -> std::io::Result<()> {
+        let payload = serde_json::to_string(op).map_err(|e| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+        })?;
+        self.medium.append(&encode_record(payload.as_bytes()))?;
+        self.recorded += 1;
+        Ok(())
+    }
+
+    /// Operations acknowledged through this handle.
+    pub fn recorded(&self) -> usize {
+        self.recorded
+    }
+
+    /// Bytes currently on the medium.
+    pub fn len(&self) -> usize {
+        self.medium.len()
+    }
+
+    /// True when the medium holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.medium.is_empty()
+    }
+
+    /// The underlying medium.
+    pub fn medium(&self) -> &M {
+        &self.medium
+    }
+
+    /// Unwrap into the underlying medium.
+    pub fn into_medium(self) -> M {
+        self.medium
+    }
+}
+
+/// Scan raw journal bytes into operations, quarantining damage.
+pub fn recover(bytes: &[u8]) -> JournalRecovery {
+    let scan = decode_all(bytes);
+    let mut out = JournalRecovery {
+        corrupt_frames: scan.corrupt_frames(),
+        truncated_tail: scan.truncated_tail,
+        ..JournalRecovery::default()
+    };
+    for payload in &scan.records {
+        match std::str::from_utf8(payload)
+            .ok()
+            .and_then(|s| serde_json::from_str::<JournalOp>(s).ok())
+        {
+            Some(op) => out.ops.push(op),
+            None => out.unparsable += 1,
+        }
+    }
+    out
+}
+
+/// Replay operations into `tracker` (and `db`, for resolutions).
+/// Rejections are counted, never fatal: after quarantined frames the
+/// remaining ops may reference issues that no longer exist.
+pub fn replay(ops: &[JournalOp], tracker: &mut IssueTracker, db: &mut DomainDb) -> ReplayReport {
+    let mut report = ReplayReport::default();
+    for op in ops {
+        let ok = match op {
+            JournalOp::RaiseHand {
+                question,
+                context_metrics,
+                response,
+            } => {
+                tracker.raise_hand(question, context_metrics.clone(), response);
+                true
+            }
+            JournalOp::Comment { id, author, text } => {
+                tracker.comment(*id, author, text).is_ok()
+            }
+            JournalOp::Resolve {
+                id,
+                expert_id,
+                contribution,
+            } => tracker
+                .resolve(*id, expert_id, contribution.clone(), db)
+                .is_ok(),
+            JournalOp::Close { id } => tracker.close(*id).is_ok(),
+        };
+        if ok {
+            report.applied += 1;
+        } else {
+            report.rejected += 1;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::issue::IssueState;
+    use dio_catalog::generator::{generate_catalog, CatalogConfig};
+    use dio_faults::MemMedium;
+
+    fn db() -> DomainDb {
+        DomainDb::from_catalog(generate_catalog(&CatalogConfig {
+            slice_variants: false,
+            sbi_counters: false,
+            ..CatalogConfig::default()
+        }))
+    }
+
+    fn ops() -> Vec<JournalOp> {
+        vec![
+            JournalOp::RaiseHand {
+                question: "what is the LCS NI-LR success rate".into(),
+                context_metrics: vec!["amflcs_lcs_ni_lr_attempt".into()],
+                response: "no confident answer".into(),
+            },
+            JournalOp::Comment {
+                id: 0,
+                author: "user:op1".into(),
+                text: "also fails for MT-LR".into(),
+            },
+            JournalOp::RaiseHand {
+                question: "paging success?".into(),
+                context_metrics: vec![],
+                response: "unsure".into(),
+            },
+            JournalOp::Resolve {
+                id: 0,
+                expert_id: "expert:alice".into(),
+                contribution: Contribution::Note {
+                    title: "lcs-guidance".into(),
+                    text: "use the NI-LR counters".into(),
+                },
+            },
+            JournalOp::Close { id: 1 },
+        ]
+    }
+
+    fn journal_bytes(ops: &[JournalOp]) -> (Vec<u8>, Vec<usize>) {
+        let mut j = Journal::new(MemMedium::new());
+        let mut boundaries = vec![];
+        for op in ops {
+            j.record(op).unwrap();
+            boundaries.push(j.len());
+        }
+        (j.into_medium().into_bytes(), boundaries)
+    }
+
+    #[test]
+    fn journal_replay_reproduces_tracker_state() {
+        let (bytes, _) = journal_bytes(&ops());
+        let rec = recover(&bytes);
+        assert!(rec.is_clean());
+        assert_eq!(rec.ops, ops());
+        let mut tracker = IssueTracker::new();
+        let mut d = db();
+        let before_notes = d.note_count();
+        let report = replay(&rec.ops, &mut tracker, &mut d);
+        assert_eq!(report.applied, 5);
+        assert_eq!(report.rejected, 0);
+        assert_eq!(tracker.len(), 2);
+        assert_eq!(tracker.get(0).unwrap().state, IssueState::Resolved);
+        assert_eq!(tracker.get(1).unwrap().state, IssueState::Closed);
+        assert_eq!(d.note_count(), before_notes + 1);
+    }
+
+    #[test]
+    fn crash_at_every_byte_offset_never_loses_an_acked_op() {
+        let all = ops();
+        let (bytes, boundaries) = journal_bytes(&all);
+        for cut in 0..=bytes.len() {
+            let rec = recover(&bytes[..cut]);
+            let acked = boundaries.iter().filter(|&&b| b <= cut).count();
+            assert_eq!(rec.ops.len(), acked, "cut at {cut}");
+            assert_eq!(rec.ops, all[..acked], "cut at {cut}");
+            assert_eq!(rec.corrupt_frames, 0, "cut at {cut} surfaced corruption");
+            assert_eq!(rec.unparsable, 0, "cut at {cut}");
+            // Replay of any acked prefix is rejection-free: ops only
+            // reference issues opened by earlier acked ops.
+            let mut tracker = IssueTracker::new();
+            let mut d = db();
+            let report = replay(&rec.ops, &mut tracker, &mut d);
+            assert_eq!(report.rejected, 0, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_frame_quarantines_and_replay_degrades_deterministically() {
+        let all = ops();
+        let (mut bytes, boundaries) = journal_bytes(&all);
+        // Damage the first frame (the RaiseHand that opens issue 0).
+        bytes[boundaries[0] / 2] ^= 0x01;
+        let rec = recover(&bytes);
+        assert_eq!(rec.corrupt_frames, 1);
+        assert_eq!(rec.ops.len(), 4);
+        let mut tracker = IssueTracker::new();
+        let mut d = db();
+        let report = replay(&rec.ops, &mut tracker, &mut d);
+        // Issue ids shifted: the comment/resolve/close land on whatever
+        // exists (or nothing). The exact split is deterministic.
+        assert_eq!(report.applied + report.rejected, 4);
+        assert!(report.rejected >= 1, "a dangling op must be rejected");
+        // Replaying the same damaged log yields the same outcome.
+        let mut tracker2 = IssueTracker::new();
+        let mut d2 = db();
+        assert_eq!(replay(&rec.ops, &mut tracker2, &mut d2), report);
+        assert_eq!(tracker2.len(), tracker.len());
+    }
+}

@@ -22,11 +22,13 @@
 pub mod contribution;
 pub mod experts;
 pub mod issue;
+pub mod journal;
 pub mod tracker;
 pub mod voting;
 
 pub use contribution::Contribution;
 pub use experts::{Expert, ExpertRegistry};
 pub use issue::{Issue, IssueBody, IssueId, IssueState};
+pub use journal::{Journal, JournalOp, JournalRecovery, ReplayReport};
 pub use tracker::{IssueTracker, TrackerError};
 pub use voting::{Vote, VotingBoard};

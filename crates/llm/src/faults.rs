@@ -53,7 +53,7 @@ impl FaultKind {
             FaultKind::MalformedPromql => "malformed_promql",
             FaultKind::GarbageTokens => "garbage_tokens",
             FaultKind::Unavailable => "unavailable",
-            FaultKind::LatencySpike => "latency_spike",
+            FaultKind::LatencySpike => "latency",
         }
     }
 }
@@ -139,11 +139,17 @@ impl<M: FoundationModel> FaultyModel<M> {
     }
 
     /// Count injected faults into `registry` as
-    /// `dio_llm_faults_injected_total{kind}`. The zero-valued family is
-    /// registered immediately so it exports before the first fault. The
-    /// counter only observes the schedule — it never perturbs it.
+    /// `dio_llm_faults_injected_total{kind}`. Zero-valued series for
+    /// the error-class kind and the latency kind are registered
+    /// immediately so both export before the first fault. The counter
+    /// only observes the schedule — it never perturbs it.
     pub fn with_registry(mut self, registry: dio_obs::Registry) -> Self {
         registry.counter_with(FAULTS_NAME, FAULTS_HELP, &[("kind", "unavailable")]);
+        registry.counter_with(
+            FAULTS_NAME,
+            FAULTS_HELP,
+            &[("kind", FaultKind::LatencySpike.slug())],
+        );
         self.registry = Some(registry);
         self
     }
@@ -460,6 +466,38 @@ mod tests {
         // Identical probability stream ⇒ the same calls are faulted (the
         // kinds may differ since the weight tables differ).
         assert_eq!(faulted_calls(a.fault_log()), faulted_calls(b.fault_log()));
+    }
+
+    #[test]
+    fn latency_spikes_are_counted_with_the_latency_label() {
+        let registry = dio_obs::Registry::new();
+        let cfg = FaultConfig {
+            seed: 17,
+            fault_probability: 1.0,
+            weights: [0, 0, 0, 0, 1], // only LatencySpike
+            latency_spike_micros: 500,
+        };
+        let m = FaultyModel::new(SimulatedModel::new(ModelProfile::gpt4_sim()), cfg)
+            .with_registry(registry.clone());
+        // Pre-registered at zero before any fault fires.
+        let zero = registry.snapshot();
+        let has_latency_series = |snap: &dio_obs::Snapshot| {
+            snap.family("dio_llm_faults_injected_total")
+                .map(|f| {
+                    f.series
+                        .iter()
+                        .any(|s| s.labels.contains(&("kind".into(), "latency".into())))
+                })
+                .unwrap_or(false)
+        };
+        assert!(has_latency_series(&zero));
+        assert_eq!(zero.total("dio_llm_faults_injected_total"), 0.0);
+        for i in 0..3 {
+            m.complete(&request(&format!("q{i}"))).unwrap();
+        }
+        let snap = registry.snapshot();
+        assert!(has_latency_series(&snap));
+        assert_eq!(snap.total("dio_llm_faults_injected_total"), 3.0);
     }
 
     #[test]

@@ -194,16 +194,29 @@ fn parse_sample_line(line: &str, lineno: usize) -> Result<ScrapedSample, ExpoErr
                             return Err(err("dangling escape in label value".into()));
                         }
                         match bytes[pos] {
-                            b'\\' => value.push('\\'),
-                            b'"' => value.push('"'),
-                            b'n' => value.push('\n'),
-                            other => {
-                                // Unknown escape: keep both characters.
+                            b'\\' => {
                                 value.push('\\');
-                                value.push(other as char);
+                                pos += 1;
+                            }
+                            b'"' => {
+                                value.push('"');
+                                pos += 1;
+                            }
+                            b'n' => {
+                                value.push('\n');
+                                pos += 1;
+                            }
+                            _ => {
+                                // Unknown escape: keep both characters,
+                                // advancing a whole UTF-8 character — a
+                                // byte-wise skip can land mid-character
+                                // and panic on the next slice.
+                                value.push('\\');
+                                let ch = line[pos..].chars().next().unwrap();
+                                value.push(ch);
+                                pos += ch.len_utf8();
                             }
                         }
-                        pos += 1;
                     }
                     _ => {
                         // Advance one full UTF-8 character.
@@ -319,6 +332,14 @@ lat_suffixless 9
         let labels = &fams[0].samples[0].labels;
         assert_eq!(labels[0], ("q".into(), "say \"hi\"\nback\\slash".into()));
         assert_eq!(labels[1], ("u".into(), "a,b".into()));
+    }
+
+    #[test]
+    fn multibyte_unknown_escape_is_kept_not_panicked_on() {
+        // Regression: `\é` used to advance one byte past the backslash,
+        // landing mid-character and panicking on the next slice.
+        let fams = parse_exposition("m{k=\"\\é\"} 1\n").unwrap();
+        assert_eq!(fams[0].samples[0].labels[0].1, "\\é");
     }
 
     #[test]

@@ -1,0 +1,69 @@
+//! Property test: the Prometheus exposition parser must *reject*
+//! damaged input with a structured error, never panic on it. A scrape
+//! that crosses a faulty link arrives byte-flipped, and the scraper
+//! sits inside the self-observation loop — a panic there takes the
+//! whole copilot down with it.
+
+use dio_obs::{parse_exposition, to_prometheus, Buckets, Registry};
+use proptest::prelude::*;
+
+/// A realistic exposition: counters with escaped label values, a gauge,
+/// and a histogram — every syntactic feature the parser handles.
+fn exposition() -> String {
+    let r = Registry::new();
+    r.counter_with(
+        "fz_calls_total",
+        "Calls with \"tricky\"\\chars\nand lines.",
+        &[("model", "gpt4\nsim"), ("outcome", "ok")],
+    )
+    .add(41.0);
+    r.gauge("fz_level", "Level.").set(-1.25);
+    let h = r.histogram("fz_lat_micros", "Latency.", &Buckets::latency_micros());
+    h.observe(250.0);
+    h.observe(5000.0);
+    to_prometheus(&r.snapshot())
+}
+
+proptest! {
+    /// Flip one byte anywhere in a valid exposition: parsing must
+    /// return (Ok or Err), not panic. Non-UTF-8 results model the
+    /// corrupted-wire case and must be rejected before the parser.
+    #[test]
+    fn single_byte_flip_never_panics(pos in 0usize..4096, bit in 0u8..8) {
+        let text = exposition();
+        let mut bytes = text.into_bytes();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        if let Ok(damaged) = String::from_utf8(bytes) {
+            let _ = parse_exposition(&damaged);
+        }
+    }
+
+    /// Flip several bytes at once — compound damage, same contract.
+    /// Each entry encodes (position, bit) as `pos * 8 + bit`.
+    #[test]
+    fn multi_byte_flips_never_panic(
+        flips in prop::collection::vec(0usize..32768, 1..16)
+    ) {
+        let text = exposition();
+        let mut bytes = text.into_bytes();
+        for flip in flips {
+            let pos = (flip / 8) % bytes.len();
+            bytes[pos] ^= 1 << (flip % 8);
+        }
+        if let Ok(damaged) = String::from_utf8(bytes) {
+            let _ = parse_exposition(&damaged);
+        }
+    }
+
+    /// Truncate at any byte boundary that is still valid UTF-8: the
+    /// parser must cope with an exposition cut mid-line.
+    #[test]
+    fn truncation_never_panics(cut in 0usize..4096) {
+        let text = exposition();
+        let cut = cut % (text.len() + 1);
+        if text.is_char_boundary(cut) {
+            let _ = parse_exposition(&text[..cut]);
+        }
+    }
+}

@@ -2,8 +2,40 @@
 
 use crate::audit::{AuditLog, AuditOutcome};
 use crate::policy::{PolicyViolation, SafetyPolicy};
+use dio_faults::{DataFaultKind, Injector};
 use dio_promql::{parse, Engine, EngineOptions, ParseError, QueryStats, Value};
 use dio_tsdb::MetricStore;
+use serde::{Deserialize, Serialize};
+
+/// How much of the underlying data an execution actually saw. A
+/// degraded tsdb (chaos-injected short reads, quarantined series) still
+/// answers, but the answer is annotated so downstream consumers — and
+/// the user — know it was computed over partial data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum DataCompleteness {
+    /// The store served every sample the query asked for.
+    #[default]
+    Complete,
+    /// The store was degraded during this execution; the result may be
+    /// computed over a subset of the data.
+    Partial,
+}
+
+impl DataCompleteness {
+    /// Stable label value for metrics and reports.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            DataCompleteness::Complete => "complete",
+            DataCompleteness::Partial => "partial",
+        }
+    }
+}
+
+impl std::fmt::Display for DataCompleteness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.slug())
+    }
+}
 
 /// A successfully executed query.
 #[derive(Debug, Clone, PartialEq)]
@@ -14,6 +46,8 @@ pub struct ExecutionOutcome {
     pub stats: QueryStats,
     /// Canonical form of the vetted expression.
     pub canonical_query: String,
+    /// Whether the store was healthy while the query ran.
+    pub completeness: DataCompleteness,
 }
 
 /// Why an execution failed. Each variant keeps the structured diagnosis
@@ -27,6 +61,9 @@ pub enum SandboxError {
     Refused(PolicyViolation),
     /// Runtime failure (type errors, limits).
     Eval(String),
+    /// The metric store failed transiently (an I/O fault, not a bad
+    /// query). The same query is expected to succeed on retry.
+    Storage(String),
 }
 
 impl SandboxError {
@@ -78,7 +115,17 @@ impl SandboxError {
                 }
             },
             SandboxError::Eval(m) => format!("rewrite the query to avoid: {m}"),
+            SandboxError::Storage(m) => format!(
+                "the data store failed transiently ({m}); retry the same query unchanged"
+            ),
         }
+    }
+
+    /// True when the failure is a transient storage fault: the query is
+    /// fine, the medium hiccuped, and a retry (not a repair) is the
+    /// right recovery.
+    pub fn is_storage_fault(&self) -> bool {
+        matches!(self, SandboxError::Storage(_))
     }
 
     /// The violated policy rule, when this is a refusal.
@@ -105,6 +152,7 @@ impl std::fmt::Display for SandboxError {
             SandboxError::Parse(e) => write!(f, "parse error: {e}"),
             SandboxError::Refused(v) => write!(f, "policy refusal: {v}"),
             SandboxError::Eval(m) => write!(f, "evaluation error: {m}"),
+            SandboxError::Storage(m) => write!(f, "storage fault: {m}"),
         }
     }
 }
@@ -115,6 +163,11 @@ impl std::error::Error for SandboxError {}
 const EXECUTIONS_NAME: &str = "dio_sandbox_executions_total";
 const EXECUTIONS_HELP: &str = "Untrusted queries the sandbox vetted and executed, by outcome.";
 
+/// Instrument name/help for injected data-plane fault counts.
+const DATA_FAULTS_NAME: &str = "dio_sandbox_data_faults_total";
+const DATA_FAULTS_HELP: &str =
+    "Data-plane faults the chaos layer injected into sandbox executions, by kind.";
+
 /// The sandbox: engine + policy + audit log.
 #[derive(Debug)]
 pub struct Sandbox {
@@ -122,6 +175,7 @@ pub struct Sandbox {
     policy: SafetyPolicy,
     audit: AuditLog,
     registry: Option<dio_obs::Registry>,
+    chaos: Option<Injector>,
 }
 
 impl Sandbox {
@@ -140,7 +194,25 @@ impl Sandbox {
             policy,
             audit: AuditLog::new(),
             registry: None,
+            chaos: None,
         }
+    }
+
+    /// Subject every execution to a data-plane fault schedule (the
+    /// chaos harness for the tsdb the engine reads). Transient I/O
+    /// faults become [`SandboxError::Storage`]; read corruption
+    /// degrades the outcome to [`DataCompleteness::Partial`] instead of
+    /// failing; latency spikes are recorded, never slept.
+    pub fn attach_data_chaos(&mut self, injector: Injector) {
+        if let Some(registry) = &self.registry {
+            registry.counter_with(DATA_FAULTS_NAME, DATA_FAULTS_HELP, &[("kind", "transient_io")]);
+        }
+        self.chaos = Some(injector);
+    }
+
+    /// The attached fault schedule, if any.
+    pub fn data_chaos(&self) -> Option<&Injector> {
+        self.chaos.as_ref()
     }
 
     /// Count executions into `registry` as
@@ -202,6 +274,43 @@ impl Sandbox {
             self.count_outcome("refused");
             return Err(SandboxError::Refused(v));
         }
+        // The chaos schedule models the store read underneath the
+        // engine: decide once per vetted execution.
+        let mut completeness = DataCompleteness::Complete;
+        if let Some(injector) = &mut self.chaos {
+            let op = injector.ops();
+            if let Some(fault) = injector.decide() {
+                if let Some(registry) = &self.registry {
+                    registry
+                        .counter_with(
+                            DATA_FAULTS_NAME,
+                            DATA_FAULTS_HELP,
+                            &[("kind", fault.kind.slug())],
+                        )
+                        .inc();
+                }
+                match fault.kind {
+                    DataFaultKind::TransientIo => {
+                        let reason = format!("injected transient store fault on op {op}");
+                        self.audit.record(
+                            query,
+                            ts,
+                            AuditOutcome::EvalFailed {
+                                reason: reason.clone(),
+                            },
+                        );
+                        self.count_outcome("storage_fault");
+                        return Err(SandboxError::Storage(reason));
+                    }
+                    DataFaultKind::TruncatedRead | DataFaultKind::BitFlip => {
+                        // The engine still answers, but over damaged
+                        // reads: annotate instead of aborting.
+                        completeness = DataCompleteness::Partial;
+                    }
+                    DataFaultKind::LatencySpike => injector.note_latency_spike(),
+                }
+            }
+        }
         match self.engine.instant_query_expr(&expr, ts) {
             Ok((value, stats)) => {
                 self.audit.record(query, ts, AuditOutcome::Executed);
@@ -210,6 +319,7 @@ impl Sandbox {
                     value,
                     stats,
                     canonical_query: dio_promql::format_expr(&expr),
+                    completeness,
                 })
             }
             Err(e) => {
@@ -353,5 +463,74 @@ mod tests {
         assert!(err.repair_hint("sum(x)").contains("sample budget exceeded"));
         assert!(err.violated_rule().is_none());
         assert!(err.parse_position().is_none());
+    }
+
+    use dio_faults::{ChaosConfig, Injector};
+
+    fn chaos_only(kind_index: usize, seed: u64) -> Injector {
+        let mut weights = [0u32; 4];
+        weights[kind_index] = 1;
+        Injector::new(ChaosConfig {
+            seed,
+            fault_probability: 1.0,
+            weights,
+            latency_spike_micros: 100,
+        })
+    }
+
+    #[test]
+    fn transient_store_fault_is_a_retryable_storage_error() {
+        let mut sb = Sandbox::new(store(), SafetyPolicy::default());
+        sb.attach_data_chaos(chaos_only(1, 7)); // TransientIo only
+        let err = sb.execute("sum(reqs_total)", 600_000).unwrap_err();
+        assert!(err.is_storage_fault());
+        assert!(err.repair_hint("sum(reqs_total)").contains("retry"));
+        assert!(matches!(
+            sb.audit().entries()[0].outcome,
+            AuditOutcome::EvalFailed { .. }
+        ));
+    }
+
+    #[test]
+    fn read_corruption_degrades_completeness_instead_of_failing() {
+        let mut sb = Sandbox::new(store(), SafetyPolicy::default());
+        sb.attach_data_chaos(chaos_only(3, 8)); // BitFlip only
+        let out = sb.execute("sum(reqs_total)", 600_000).unwrap();
+        assert_eq!(out.completeness, DataCompleteness::Partial);
+        // The value is still the engine's answer; only the annotation
+        // changed.
+        assert_eq!(out.value.as_scalar_like(), Some(600.0));
+    }
+
+    #[test]
+    fn latency_spike_records_and_stays_complete() {
+        let mut sb = Sandbox::new(store(), SafetyPolicy::default());
+        sb.attach_data_chaos(chaos_only(0, 9)); // LatencySpike only
+        let out = sb.execute("sum(reqs_total)", 600_000).unwrap();
+        assert_eq!(out.completeness, DataCompleteness::Complete);
+        assert_eq!(sb.data_chaos().unwrap().injected_latency_micros(), 100);
+    }
+
+    #[test]
+    fn healthy_executions_are_complete_without_chaos() {
+        let mut sb = Sandbox::new(store(), SafetyPolicy::default());
+        let out = sb.execute("sum(reqs_total)", 600_000).unwrap();
+        assert_eq!(out.completeness, DataCompleteness::Complete);
+    }
+
+    #[test]
+    fn data_faults_are_counted_by_kind() {
+        let registry = dio_obs::Registry::new();
+        let mut sb = Sandbox::new(store(), SafetyPolicy::default());
+        sb.attach_obs(registry.clone());
+        sb.attach_data_chaos(chaos_only(1, 10)); // TransientIo only
+        let _ = sb.execute("sum(reqs_total)", 600_000);
+        let snap = registry.snapshot();
+        assert_eq!(snap.total("dio_sandbox_data_faults_total"), 1.0);
+        let fam = snap.family("dio_sandbox_data_faults_total").unwrap();
+        assert!(fam
+            .series
+            .iter()
+            .any(|s| s.labels.contains(&("kind".into(), "transient_io".into()))));
     }
 }

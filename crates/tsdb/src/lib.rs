@@ -19,19 +19,25 @@
 //! The PromQL engine in `dio-promql` evaluates against
 //! [`MetricStore`] through these two lookups.
 
+pub mod durable;
 pub mod generator;
 pub mod labels;
 pub mod matchers;
 pub mod sample;
 pub mod series;
+pub mod snapshot;
 pub mod storage;
+pub mod wal;
 
+pub use durable::{DurableError, DurableStore, RecoveryReport};
 pub use generator::{SeriesShape, SeriesSpec, SynthConfig, Synthesizer};
 pub use labels::Labels;
 pub use matchers::{MatchOp, Matcher};
 pub use sample::Sample;
 pub use series::Series;
+pub use snapshot::{fsck_snapshot, write_snapshot, FsckReport};
 pub use storage::MetricStore;
+pub use wal::{Wal, WalRecord, WalRecovery};
 
 /// Milliseconds-since-epoch timestamp type used across the stack.
 pub type TimestampMs = i64;

@@ -4,12 +4,28 @@
 //! (paper §3.2: "an offline process of converting the text samples …
 //! into word embeddings"), so persistence lets the copilot skip that
 //! step on restart.
+//!
+//! Two formats:
+//!
+//! * the legacy plain-JSON format (`to_json`/`from_json`,
+//!   `save`/`load`), which detects truncation only as far as the JSON
+//!   parser happens to notice it;
+//! * the checked format (`to_bytes_checked`/`from_bytes_checked`,
+//!   `save_checked`/`load_checked`), which chunks the JSON into
+//!   CRC-framed segments (see `dio_faults::framing`) so *any*
+//!   truncation or bit flip is reported as a structured
+//!   [`PersistError::Corrupt`] naming the damaged segment — an index is
+//!   never silently rebuilt smaller than it was saved.
 
+use dio_faults::{decode_all, encode_record};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 use std::fs;
 use std::io;
 use std::path::Path;
+
+/// Target payload size of one checked-format segment.
+const SEGMENT_BYTES: usize = 1024;
 
 /// Errors from saving or loading an index.
 #[derive(Debug)]
@@ -18,6 +34,11 @@ pub enum PersistError {
     Io(io::Error),
     /// JSON (de)serialisation error.
     Codec(serde_json::Error),
+    /// The checked format detected truncation or corruption.
+    Corrupt {
+        /// What was damaged and where.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for PersistError {
@@ -25,6 +46,7 @@ impl std::fmt::Display for PersistError {
         match self {
             PersistError::Io(e) => write!(f, "io error: {e}"),
             PersistError::Codec(e) => write!(f, "codec error: {e}"),
+            PersistError::Corrupt { detail } => write!(f, "corrupt index: {detail}"),
         }
     }
 }
@@ -34,6 +56,7 @@ impl std::error::Error for PersistError {
         match self {
             PersistError::Io(e) => Some(e),
             PersistError::Codec(e) => Some(e),
+            PersistError::Corrupt { .. } => None,
         }
     }
 }
@@ -70,6 +93,77 @@ pub fn save<T: Serialize, P: AsRef<Path>>(value: &T, path: P) -> Result<(), Pers
 pub fn load<T: DeserializeOwned, P: AsRef<Path>>(path: P) -> Result<T, PersistError> {
     let data = fs::read_to_string(path)?;
     from_json(&data)
+}
+
+/// Serialise an index in the checked format: JSON chunked into
+/// CRC-framed segments of at most [`SEGMENT_BYTES`] payload bytes.
+pub fn to_bytes_checked<T: Serialize>(value: &T) -> Result<Vec<u8>, PersistError> {
+    let json = to_json(value)?;
+    let bytes = json.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len() + bytes.len() / SEGMENT_BYTES * 16 + 16);
+    // Chunk on byte boundaries: segments are reassembled before the
+    // JSON is parsed, so a cut inside a UTF-8 sequence is harmless.
+    // An empty JSON document still writes one (empty) segment so an
+    // empty file is distinguishable from "saved nothing".
+    let mut chunks = bytes.chunks(SEGMENT_BYTES);
+    let first = chunks.next().unwrap_or(b"");
+    out.extend_from_slice(&encode_record(first));
+    for chunk in chunks {
+        out.extend_from_slice(&encode_record(chunk));
+    }
+    Ok(out)
+}
+
+/// Deserialise an index from the checked format. Any truncation,
+/// bit flip, or framing damage is a [`PersistError::Corrupt`] naming
+/// the first damaged segment — never a silently smaller index.
+pub fn from_bytes_checked<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, PersistError> {
+    if bytes.is_empty() {
+        return Err(PersistError::Corrupt {
+            detail: "empty file (expected at least one segment)".to_string(),
+        });
+    }
+    let scan = decode_all(bytes);
+    if let Some(&seg) = scan.corrupt_at.first() {
+        return Err(PersistError::Corrupt {
+            detail: format!(
+                "segment {seg} failed its CRC ({} of {} segments damaged)",
+                scan.corrupt_at.len(),
+                scan.corrupt_at.len() + scan.records.len()
+            ),
+        });
+    }
+    if scan.truncated_tail {
+        return Err(PersistError::Corrupt {
+            detail: format!(
+                "truncated after segment {} (torn final segment)",
+                scan.records.len()
+            ),
+        });
+    }
+    let mut json = Vec::new();
+    for rec in &scan.records {
+        json.extend_from_slice(rec);
+    }
+    let json = String::from_utf8(json).map_err(|e| PersistError::Corrupt {
+        detail: format!("reassembled payload is not UTF-8: {e}"),
+    })?;
+    from_json(&json)
+}
+
+/// Write an index to a file in the checked format.
+pub fn save_checked<T: Serialize, P: AsRef<Path>>(
+    value: &T,
+    path: P,
+) -> Result<(), PersistError> {
+    fs::write(path, to_bytes_checked(value)?)?;
+    Ok(())
+}
+
+/// Read a checked-format index back from a file.
+pub fn load_checked<T: DeserializeOwned, P: AsRef<Path>>(path: P) -> Result<T, PersistError> {
+    let data = fs::read(path)?;
+    from_bytes_checked(&data)
 }
 
 #[cfg(test)]
@@ -132,5 +226,85 @@ mod tests {
     fn missing_file_reports_io_error() {
         let err = load::<FlatIndex, _>("/nonexistent/dir/idx.json").unwrap_err();
         assert!(matches!(err, PersistError::Io(_)));
+    }
+
+    fn big_flat() -> FlatIndex {
+        // Large enough for several checked segments.
+        let mut idx = FlatIndex::new(8);
+        for i in 0..200 {
+            let mut coords = vec![0.0f32; 8];
+            coords[i % 8] = 1.0 + (i as f32) * 0.01;
+            coords[(i + 3) % 8] = 0.5;
+            idx.add(v(&coords));
+        }
+        idx
+    }
+
+    #[test]
+    fn checked_format_roundtrips() {
+        let idx = big_flat();
+        let bytes = to_bytes_checked(&idx).unwrap();
+        assert!(
+            bytes.len() > 2 * SEGMENT_BYTES,
+            "test index too small to span segments"
+        );
+        let back: FlatIndex = from_bytes_checked(&bytes).unwrap();
+        assert_eq!(back.len(), idx.len());
+        let q = v(&[0.9, 0.1, 0.0, 0.0, 0.2, 0.0, 0.0, 0.0]);
+        assert_eq!(idx.search(&q, 5), back.search(&q, 5));
+    }
+
+    #[test]
+    fn every_truncation_is_a_structured_error_never_a_smaller_index() {
+        // The satellite bugfix: a truncated index file must never load
+        // as a silently smaller index. Every strict prefix of the
+        // checked format is an error.
+        let bytes = to_bytes_checked(&big_flat()).unwrap();
+        for cut in 0..bytes.len() {
+            let err = from_bytes_checked::<FlatIndex>(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, PersistError::Corrupt { .. } | PersistError::Codec(_)),
+                "cut at {cut} gave {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_bit_flip_is_detected() {
+        // Sample bit flips across the file (every byte is too slow for
+        // a unit test; stride through all regions incl. headers).
+        let bytes = to_bytes_checked(&big_flat()).unwrap();
+        for pos in (0..bytes.len()).step_by(97) {
+            for bit in [0, 5] {
+                let mut damaged = bytes.clone();
+                damaged[pos] ^= 1 << bit;
+                assert!(
+                    from_bytes_checked::<FlatIndex>(&damaged).is_err(),
+                    "flip at byte {pos} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn checked_save_and_load_file() {
+        let dir = std::env::temp_dir().join("dio_vecstore_persist_checked_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("flat.dio");
+        let idx = big_flat();
+        save_checked(&idx, &path).unwrap();
+        let back: FlatIndex = load_checked(&path).unwrap();
+        assert_eq!(back.len(), idx.len());
+        // Truncate the file on disk: load must error, not shrink.
+        let data = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &data[..data.len() / 2]).unwrap();
+        assert!(load_checked::<FlatIndex, _>(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_checked_file_is_corrupt_not_empty_index() {
+        let err = from_bytes_checked::<FlatIndex>(&[]).unwrap_err();
+        assert!(matches!(err, PersistError::Corrupt { .. }));
     }
 }

@@ -18,6 +18,8 @@
 //! | [`sandbox`] | `dio-sandbox` | vetted, resource-limited query execution |
 //! | [`dashboard`] | `dio-dashboard` | dashboard model, generation, ASCII rendering |
 //! | [`feedback`] | `dio-feedback` | issue tracker, expert contributions, voting |
+//! | [`faults`] | `dio-faults` | seeded data-plane chaos + checksummed record framing |
+//! | [`obs`] | `dio-obs` | metrics registry, tracer, Prometheus text exposition |
 //! | [`baselines`] | `dio-baselines` | DIN-SQL-style and bare-model baselines |
 //! | [`benchmark`] | `dio-benchmark` | 200-question benchmark + EX evaluation |
 //!
@@ -41,8 +43,10 @@ pub use dio_catalog as catalog;
 pub use dio_copilot as copilot;
 pub use dio_dashboard as dashboard;
 pub use dio_embed as embed;
+pub use dio_faults as faults;
 pub use dio_feedback as feedback;
 pub use dio_llm as llm;
+pub use dio_obs as obs;
 pub use dio_promql as promql;
 pub use dio_sandbox as sandbox;
 pub use dio_tsdb as tsdb;
