@@ -54,6 +54,7 @@ pub enum RetrievalMode {
     },
 }
 
+#[derive(Clone)]
 enum IndexKind {
     Flat(DocIndex<FlatIndex, DocSample>),
     Ivf(DocIndex<IvfIndex, DocSample>),
@@ -62,6 +63,12 @@ enum IndexKind {
 }
 
 /// Embedder + vector index over the domain DB's text samples.
+///
+/// Searches take `&self` and the index holds no interior mutability, so
+/// one extractor can serve top-k queries from many threads at once
+/// (typically behind an `Arc` in the serving worker pool). `Clone`
+/// exists for copy-on-write in the chaos-demotion path.
+#[derive(Clone)]
 pub struct ContextExtractor {
     embedder: Embedder,
     index: IndexKind,
@@ -245,6 +252,21 @@ impl ContextExtractor {
     /// the standard diversification used in retrieval-augmented
     /// pipelines over FAISS-style stores.
     pub fn retrieve(&self, question: &str, k: usize) -> Vec<Retrieved> {
+        self.retrieve_vec(question, None, k)
+    }
+
+    /// Like [`ContextExtractor::retrieve`], but reuse a precomputed
+    /// question embedding when one is supplied — the serving layer's
+    /// embedding cache hands back vectors for repeated questions so the
+    /// hot path skips the tokenise+hash+IDF pass entirely. The vector
+    /// must come from this extractor's [`ContextExtractor::embed_question`]
+    /// (same embedder fit), or search quality is undefined.
+    pub fn retrieve_vec(
+        &self,
+        question: &str,
+        qvec: Option<&dio_embed::Vector>,
+        k: usize,
+    ) -> Vec<Retrieved> {
         const LAMBDA: f32 = 0.75;
         const PREFETCH_FACTOR: usize = 4;
         if k == 0 {
@@ -277,8 +299,12 @@ impl ContextExtractor {
             return out;
         }
 
-        let q = self.embedder.embed(question);
-        let prefetch = self.raw_search(&q, k.saturating_mul(PREFETCH_FACTOR).max(k));
+        let owned = match qvec {
+            Some(_) => None,
+            None => Some(self.embedder.embed(question)),
+        };
+        let q = qvec.unwrap_or_else(|| owned.as_ref().expect("embedded above"));
+        let prefetch = self.raw_search(q, k.saturating_mul(PREFETCH_FACTOR).max(k));
         if prefetch.is_empty() {
             return Vec::new();
         }
@@ -333,25 +359,55 @@ impl ContextExtractor {
             .collect()
     }
 
+    /// Embed a question with this extractor's fitted embedder. The
+    /// serving layer calls this once per distinct (normalized) question
+    /// and caches the vector for [`ContextExtractor::retrieve_vec`].
+    pub fn embed_question(&self, question: &str) -> dio_embed::Vector {
+        self.embedder.embed(question)
+    }
+
     /// [`ContextExtractor::retrieve`] plus work accounting. For exact
     /// indexes (flat, HNSW) the scan count is the store size — HNSW's
     /// graph walk touches fewer, so this is an upper bound; IVF reports
     /// exactly the probed-list candidates.
     pub fn retrieve_with_stats(&self, question: &str, k: usize) -> (Vec<Retrieved>, RetrievalStats) {
-        let candidates_scanned = if k == 0 {
-            0
-        } else {
-            match &self.index {
-                IndexKind::Flat(i) => i.len(),
-                IndexKind::Hnsw(i) => i.len(),
-                IndexKind::Ivf(i) => {
-                    let q = self.embedder.embed(question);
-                    i.index().search_with_stats(&q, k).1.candidates_scanned
-                }
-                IndexKind::Random { .. } => 0,
-            }
+        self.retrieve_with_stats_vec(question, None, k)
+    }
+
+    /// [`ContextExtractor::retrieve_with_stats`] with an optional
+    /// precomputed question embedding. The vector is computed at most
+    /// once here and shared between the stats probe and the search
+    /// proper (the old path embedded twice for IVF).
+    pub fn retrieve_with_stats_vec(
+        &self,
+        question: &str,
+        qvec: Option<&dio_embed::Vector>,
+        k: usize,
+    ) -> (Vec<Retrieved>, RetrievalStats) {
+        if k == 0 {
+            return (Vec::new(), RetrievalStats { candidates_scanned: 0 });
+        }
+        if matches!(self.index, IndexKind::Random { .. }) {
+            return (
+                self.retrieve_vec(question, None, k),
+                RetrievalStats { candidates_scanned: 0 },
+            );
+        }
+        let owned = match qvec {
+            Some(_) => None,
+            None => Some(self.embedder.embed(question)),
         };
-        (self.retrieve(question, k), RetrievalStats { candidates_scanned })
+        let q = qvec.unwrap_or_else(|| owned.as_ref().expect("embedded above"));
+        let candidates_scanned = match &self.index {
+            IndexKind::Flat(i) => i.len(),
+            IndexKind::Hnsw(i) => i.len(),
+            IndexKind::Ivf(i) => i.index().search_with_stats(q, k).1.candidates_scanned,
+            IndexKind::Random { .. } => unreachable!("handled above"),
+        };
+        (
+            self.retrieve_vec(question, Some(q), k),
+            RetrievalStats { candidates_scanned },
+        )
     }
 }
 

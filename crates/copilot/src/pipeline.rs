@@ -18,6 +18,8 @@ use dio_faults::{DataFaultKind, Injector};
 use dio_obs::{Buckets, ObsHub, TraceId};
 use dio_sandbox::{DataCompleteness, Sandbox, SafetyPolicy};
 use dio_tsdb::MetricStore;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Builder for [`DioCopilot`].
@@ -101,33 +103,46 @@ impl CopilotBuilder {
         });
         let breaker = CircuitBreaker::new(&self.config.recovery);
         DioCopilot {
-            extractor,
+            extractor: Arc::new(extractor),
             sandbox,
             retrieval_chaos,
-            db: self.db,
+            db: Arc::new(self.db),
             config: self.config,
             model,
-            exemplars: self.exemplars,
+            exemplars: Arc::new(self.exemplars),
             tracker: IssueTracker::new(),
             meter: CostMeter::new(),
             breaker,
+            generation: Arc::new(AtomicU64::new(0)),
             obs: self.obs,
         }
     }
 }
 
 /// The assembled copilot.
+///
+/// Shared, read-mostly state — the domain DB, the embedded retrieval
+/// index, the few-shot pool, and (inside the sandbox engine) the metric
+/// store — rides behind `Arc`s so [`DioCopilot::fork_with_model`] can
+/// stamp out per-worker pipeline instances without re-running the
+/// offline embedding pass or copying the tsdb. Per-request/per-worker
+/// mutable state (sandbox audit log, cost meter, circuit breaker, issue
+/// tracker, chaos schedules) stays owned. The feedback loop mutates the
+/// shared state copy-on-write and bumps a shared knowledge-generation
+/// counter that serving-layer caches use for invalidation.
 pub struct DioCopilot {
     config: CopilotConfig,
-    db: DomainDb,
-    extractor: ContextExtractor,
+    db: Arc<DomainDb>,
+    extractor: Arc<ContextExtractor>,
     model: Box<dyn FoundationModel>,
     sandbox: Sandbox,
     retrieval_chaos: Option<Injector>,
-    exemplars: Vec<FewShotExample>,
+    exemplars: Arc<Vec<FewShotExample>>,
     tracker: IssueTracker,
     meter: CostMeter,
     breaker: CircuitBreaker,
+    /// Monotone count of expert-knowledge updates (shared across forks).
+    generation: Arc<AtomicU64>,
     obs: ObsHub,
 }
 
@@ -206,6 +221,53 @@ impl DioCopilot {
         self.config.recovery = policy;
     }
 
+    /// Number of expert-knowledge updates applied so far (via
+    /// [`DioCopilot::resolve_issue`]) across this copilot and every
+    /// fork sharing its state. Serving-layer answer caches key entries
+    /// by this generation and treat a mismatch as an invalidation.
+    pub fn knowledge_generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// The shared generation counter handle (for cache invalidation
+    /// without holding a copilot reference).
+    pub fn generation_handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.generation)
+    }
+
+    /// Stamp out an independent pipeline instance sharing this
+    /// copilot's read-only state — domain DB, embedded retrieval index,
+    /// few-shot pool, and the resident metric store — by `Arc` handle,
+    /// not by copy. The fork gets its own model (wrapped for
+    /// observation like the original), sandbox (fresh audit log over
+    /// the shared store), circuit breaker, cost meter, and issue
+    /// tracker, so forks never contend on mutable state: this is the
+    /// worker-pool constructor for the serving layer. Chaos schedules
+    /// are not inherited.
+    pub fn fork_with_model(&self, model: Box<dyn FoundationModel>) -> DioCopilot {
+        let model: Box<dyn FoundationModel> =
+            Box::new(ObservedModel::new(model, self.obs.registry().clone()));
+        let mut sandbox = Sandbox::new_shared(
+            self.sandbox.store_arc(),
+            self.sandbox.policy().clone(),
+        );
+        sandbox.attach_obs(self.obs.registry().clone());
+        DioCopilot {
+            config: self.config.clone(),
+            db: Arc::clone(&self.db),
+            extractor: Arc::clone(&self.extractor),
+            model,
+            sandbox,
+            retrieval_chaos: None,
+            exemplars: Arc::clone(&self.exemplars),
+            tracker: IssueTracker::new(),
+            meter: CostMeter::new(),
+            breaker: CircuitBreaker::new(&self.config.recovery),
+            generation: Arc::clone(&self.generation),
+            obs: self.obs.clone(),
+        }
+    }
+
     /// Answer a question, evaluating data at timestamp `ts`.
     ///
     /// The model and sandbox are both treated as fallible: transient
@@ -216,6 +278,21 @@ impl DioCopilot {
     /// lookup of the top retrieved metric rather than returning
     /// nothing. See [`RecoveryPolicy`].
     pub fn ask(&mut self, question: &str, ts: i64) -> CopilotResponse {
+        self.ask_prepared(question, ts, None)
+    }
+
+    /// [`DioCopilot::ask`] with an optional precomputed question
+    /// embedding. The serving layer's embedding cache passes vectors
+    /// for repeated (normalized-equal) questions here so the retrieval
+    /// stage skips re-embedding; `None` embeds as usual. The vector
+    /// must come from this pipeline's extractor
+    /// ([`ContextExtractor::embed_question`]).
+    pub fn ask_prepared(
+        &mut self,
+        question: &str,
+        ts: i64,
+        qvec: Option<&dio_embed::Vector>,
+    ) -> CopilotResponse {
         let obs = self.obs.clone();
         let tid = obs.tracer().begin(question);
         let ask_start = Instant::now();
@@ -250,7 +327,10 @@ impl DioCopilot {
                         }
                     }
                     DataFaultKind::TruncatedRead | DataFaultKind::BitFlip => {
-                        if let Some((from, to)) = self.extractor.demote() {
+                        // Copy-on-write: a fork quarantining its index
+                        // splits off its own extractor; unshared
+                        // extractors demote in place.
+                        if let Some((from, to)) = Arc::make_mut(&mut self.extractor).demote() {
                             stats.index_demotions += 1;
                             obs.registry()
                                 .counter_with(
@@ -279,7 +359,7 @@ impl DioCopilot {
         // Stage 1: context extraction (offline index, online search).
         let (hits, retrieval) = time_stage(&obs, tid, "retrieve", || {
             self.extractor
-                .retrieve_with_stats(question, self.config.top_k)
+                .retrieve_with_stats_vec(question, qvec, self.config.top_k)
         });
         obs.registry()
             .counter(crate::obs::CANDIDATES_NAME, crate::obs::CANDIDATES_HELP)
@@ -795,21 +875,24 @@ impl DioCopilot {
         expert_id: &str,
         contribution: Contribution,
     ) -> Result<(), TrackerError> {
-        let exemplar = self
-            .tracker
-            .resolve(id, expert_id, contribution, &mut self.db)?;
+        let exemplar =
+            self.tracker
+                .resolve(id, expert_id, contribution, Arc::make_mut(&mut self.db))?;
         if let Some((question, metrics, promql)) = exemplar {
-            self.exemplars.push(FewShotExample {
+            Arc::make_mut(&mut self.exemplars).push(FewShotExample {
                 question,
                 metrics,
                 promql,
             });
         }
-        self.extractor = ContextExtractor::build_with_mode(
+        self.extractor = Arc::new(ContextExtractor::build_with_mode(
             &self.db,
             self.config.domain_embedder,
             self.config.retrieval,
-        );
+        ));
+        // Publish the knowledge update: serving caches watching this
+        // generation drop answers computed against the old catalog.
+        self.generation.fetch_add(1, Ordering::AcqRel);
         Ok(())
     }
 }
@@ -1382,6 +1465,90 @@ mod tests {
         assert_eq!(snap.total(crate::obs::DEMOTIONS_NAME), 2.0);
         assert!(snap.total(crate::obs::DATA_FAULTS_NAME) >= 2.0);
         assert!(r1.render().contains("partial data"));
+    }
+
+    /// Compile-time Send/Sync audit for the shared serving state: a
+    /// worker pool moves whole pipelines across threads (`Send`) and
+    /// shares the read-only retrieval/catalog/tsdb state by reference
+    /// (`Sync`). A regression here (an `Rc`, a `RefCell` in shared
+    /// state) fails compilation, not runtime.
+    #[test]
+    fn shared_pipeline_state_is_send_and_sync() {
+        fn assert_send<T: Send>() {}
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send::<DioCopilot>();
+        assert_send::<Box<dyn FoundationModel>>();
+        assert_send::<CopilotResponse>();
+        assert_send_sync::<ContextExtractor>();
+        assert_send_sync::<DomainDb>();
+        assert_send_sync::<MetricStore>();
+        assert_send_sync::<ObsHub>();
+        assert_send_sync::<dio_llm::FewShotExample>();
+        assert_send_sync::<std::sync::Arc<ContextExtractor>>();
+    }
+
+    #[test]
+    fn forks_share_state_and_answer_identically() {
+        let (cp, ts) = copilot();
+        let mut forks: Vec<DioCopilot> = (0..2)
+            .map(|_| cp.fork_with_model(Box::new(SimulatedModel::new(ModelProfile::gpt4_sim()))))
+            .collect();
+        // Shared by handle, not by copy.
+        for f in &forks {
+            assert!(Arc::ptr_eq(&cp.extractor, &f.extractor));
+            assert!(Arc::ptr_eq(&cp.db, &f.db));
+            assert!(Arc::ptr_eq(&cp.exemplars, &f.exemplars));
+        }
+        let q = "How many initial registration attempts did the AMF handle?";
+        let mut cp = cp;
+        let reference = cp.ask(q, ts);
+        for f in &mut forks {
+            let r = f.ask(q, ts);
+            assert_eq!(r.query, reference.query);
+            assert_eq!(r.numeric_answer, reference.numeric_answer);
+        }
+        // Forks run on separate threads (the whole point).
+        let f = cp.fork_with_model(Box::new(SimulatedModel::new(ModelProfile::gpt4_sim())));
+        let handle = std::thread::spawn(move || {
+            let mut f = f;
+            f.ask(q, ts).numeric_answer
+        });
+        assert_eq!(handle.join().unwrap(), reference.numeric_answer);
+    }
+
+    #[test]
+    fn feedback_update_bumps_shared_generation_copy_on_write() {
+        let (mut cp, ts) = copilot();
+        let fork = cp.fork_with_model(Box::new(SimulatedModel::new(ModelProfile::gpt4_sim())));
+        assert_eq!(cp.knowledge_generation(), 0);
+        let r = cp.ask("What is the LCS NI-LR procedure success rate?", ts);
+        let issue = cp.request_expert_help(&r);
+        cp.resolve_issue(
+            issue,
+            "expert:alice",
+            Contribution::Note {
+                title: "lcs-update".into(),
+                text: "LCS NI-LR rates are tracked by amflcs counters.".into(),
+            },
+        )
+        .unwrap();
+        // The generation is shared (both sides see the update signal)…
+        assert_eq!(cp.knowledge_generation(), 1);
+        assert_eq!(fork.knowledge_generation(), 1);
+        // …but the catalog update itself was copy-on-write: the fork
+        // still reads the pre-update state until it is rebuilt.
+        assert!(!Arc::ptr_eq(&cp.db, &fork.db));
+    }
+
+    #[test]
+    fn precomputed_question_vector_matches_default_path() {
+        let (mut cp, ts) = copilot();
+        let q = "How many paging attempts were there?";
+        let vec = cp.extractor().embed_question(q);
+        let prepared = cp.ask_prepared(q, ts, Some(&vec));
+        let plain = cp.ask(q, ts);
+        assert_eq!(prepared.query, plain.query);
+        assert_eq!(prepared.numeric_answer, plain.numeric_answer);
     }
 
     #[test]

@@ -18,7 +18,7 @@ use crate::model::{Completion, CompletionRequest, FoundationModel, ModelError};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
-use std::cell::RefCell;
+use std::sync::Mutex;
 
 /// The failure modes the injector can produce.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -117,7 +117,7 @@ const FAULTS_HELP: &str = "Faults the injection harness planted into model compl
 pub struct FaultyModel<M> {
     inner: M,
     config: FaultConfig,
-    state: RefCell<FaultState>,
+    state: Mutex<FaultState>,
     registry: Option<dio_obs::Registry>,
 }
 
@@ -128,7 +128,7 @@ impl<M: FoundationModel> FaultyModel<M> {
         FaultyModel {
             inner,
             config,
-            state: RefCell::new(FaultState {
+            state: Mutex::new(FaultState {
                 rng,
                 calls: 0,
                 log: Vec::new(),
@@ -166,18 +166,18 @@ impl<M: FoundationModel> FaultyModel<M> {
 
     /// Every fault injected so far, in call order.
     pub fn fault_log(&self) -> Vec<FaultEvent> {
-        self.state.borrow().log.clone()
+        self.state.lock().unwrap().log.clone()
     }
 
     /// Number of `complete` calls observed.
     pub fn calls(&self) -> usize {
-        self.state.borrow().calls
+        self.state.lock().unwrap().calls
     }
 
     /// Total simulated latency injected by spikes (µs). Recorded, never
     /// slept — determinism forbids touching the clock.
     pub fn injected_latency_micros(&self) -> u64 {
-        self.state.borrow().injected_latency_micros
+        self.state.lock().unwrap().injected_latency_micros
     }
 
     /// Decide the fault for the current call. Always draws the same
@@ -250,7 +250,7 @@ impl<M: FoundationModel> FoundationModel for FaultyModel<M> {
     }
 
     fn complete(&self, request: &CompletionRequest) -> Result<Completion, ModelError> {
-        let mut state = self.state.borrow_mut();
+        let mut state = self.state.lock().unwrap();
         let call = state.calls;
         state.calls += 1;
         let fault = Self::draw_fault(&mut state, &self.config);

@@ -136,7 +136,7 @@ impl std::fmt::Display for ModelError {
 impl std::error::Error for ModelError {}
 
 /// A foundation model: prompt in, completion out.
-pub trait FoundationModel {
+pub trait FoundationModel: Send {
     /// Model identifier, e.g. `gpt-4-sim`.
     fn name(&self) -> &str;
 

@@ -1,0 +1,96 @@
+//! Registry thread-safety: the serving tier has many workers writing
+//! the same counter/histogram families through cloned handles. Eight
+//! threads hammer shared instruments; afterwards every total must be
+//! exactly the sum of the per-thread contributions — no lost updates,
+//! no torn histogram buckets.
+
+use dio_obs::{Buckets, Registry};
+use std::sync::Arc;
+
+const THREADS: usize = 8;
+const OPS: usize = 2_000;
+
+#[test]
+fn counters_survive_contention_without_lost_updates() {
+    let registry = Arc::new(Registry::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let registry = Arc::clone(&registry);
+            std::thread::spawn(move || {
+                // One shared series plus one per-thread series, both
+                // resolved through the registry on every iteration to
+                // exercise the family lookup path under contention.
+                for i in 0..OPS {
+                    registry
+                        .counter("conc_shared_total", "shared series")
+                        .inc();
+                    registry
+                        .counter_with(
+                            "conc_per_thread_total",
+                            "per-thread series",
+                            &[("thread", &t.to_string())],
+                        )
+                        .add((i % 3) as f64);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("writer thread panicked");
+    }
+
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.total("conc_shared_total"),
+        (THREADS * OPS) as f64,
+        "shared counter lost updates"
+    );
+    // Each thread contributes sum(i % 3 for i in 0..OPS).
+    let per_thread: usize = (0..OPS).map(|i| i % 3).sum();
+    assert_eq!(
+        snap.total("conc_per_thread_total"),
+        (THREADS * per_thread) as f64,
+        "labelled counters lost updates"
+    );
+    let fam = snap.family("conc_per_thread_total").unwrap();
+    assert_eq!(fam.series.len(), THREADS, "one series per thread label");
+}
+
+#[test]
+fn gauges_and_histograms_are_consistent_under_contention() {
+    let registry = Arc::new(Registry::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let registry = Arc::clone(&registry);
+            std::thread::spawn(move || {
+                let hist = registry.histogram(
+                    "conc_latency_micros",
+                    "synthetic latencies",
+                    &Buckets::latency_micros(),
+                );
+                let gauge = registry.gauge("conc_inflight", "synthetic gauge");
+                for i in 0..OPS {
+                    gauge.add(1.0);
+                    hist.observe((t * OPS + i) as f64);
+                    gauge.sub(1.0);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("writer thread panicked");
+    }
+
+    let hist = registry.histogram(
+        "conc_latency_micros",
+        "synthetic latencies",
+        &Buckets::latency_micros(),
+    );
+    assert_eq!(hist.count(), (THREADS * OPS) as u64, "histogram lost observations");
+    // Sum of 0..THREADS*OPS.
+    let n = THREADS * OPS;
+    assert_eq!(hist.sum(), (n * (n - 1) / 2) as f64, "histogram sum drifted");
+    // Every increment was matched by a decrement.
+    let gauge = registry.gauge("conc_inflight", "synthetic gauge");
+    assert_eq!(gauge.value(), 0.0, "gauge lost paired add/sub updates");
+}

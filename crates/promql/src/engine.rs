@@ -46,9 +46,15 @@ pub struct RangeResult {
 }
 
 /// A PromQL query engine bound to a store.
+///
+/// The store rides behind an [`Arc`] so many engines — one per serving
+/// worker — can evaluate concurrently over a single resident copy of
+/// the data. Evaluation is read-only (`&self`); mutation for ingestion
+/// goes through [`Engine::store_mut`], which copy-on-writes when the
+/// store is shared.
 #[derive(Debug, Clone)]
 pub struct Engine {
-    store: MetricStore,
+    store: std::sync::Arc<MetricStore>,
     options: EngineOptions,
 }
 
@@ -56,13 +62,22 @@ impl Engine {
     /// Engine with default options.
     pub fn new(store: MetricStore) -> Self {
         Engine {
-            store,
+            store: std::sync::Arc::new(store),
             options: EngineOptions::default(),
         }
     }
 
     /// Engine with explicit options.
     pub fn with_options(store: MetricStore, options: EngineOptions) -> Self {
+        Engine {
+            store: std::sync::Arc::new(store),
+            options,
+        }
+    }
+
+    /// Engine over an already-shared store (no copy): the concurrent
+    /// serving path, where every worker reads the same resident tsdb.
+    pub fn with_options_shared(store: std::sync::Arc<MetricStore>, options: EngineOptions) -> Self {
         Engine { store, options }
     }
 
@@ -71,9 +86,16 @@ impl Engine {
         &self.store
     }
 
-    /// Mutable access to the store (for ingestion).
+    /// The shared handle to the store (cheap clone; no data copy).
+    pub fn store_arc(&self) -> std::sync::Arc<MetricStore> {
+        std::sync::Arc::clone(&self.store)
+    }
+
+    /// Mutable access to the store (for ingestion). Copy-on-write: if
+    /// other engines share the store, this engine splits off its own
+    /// copy first.
     pub fn store_mut(&mut self) -> &mut MetricStore {
-        &mut self.store
+        std::sync::Arc::make_mut(&mut self.store)
     }
 
     /// The configured options.

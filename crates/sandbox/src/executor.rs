@@ -182,7 +182,14 @@ impl Sandbox {
     /// Build a sandbox over a store with a policy. The policy's sample
     /// budget is installed into the engine.
     pub fn new(store: MetricStore, policy: SafetyPolicy) -> Self {
-        let engine = Engine::with_options(
+        Sandbox::new_shared(std::sync::Arc::new(store), policy)
+    }
+
+    /// Build a sandbox over an already-shared store: the serving path,
+    /// where N worker sandboxes read one resident tsdb concurrently.
+    /// Audit log, registry handle, and chaos schedule stay per-sandbox.
+    pub fn new_shared(store: std::sync::Arc<MetricStore>, policy: SafetyPolicy) -> Self {
+        let engine = Engine::with_options_shared(
             store,
             EngineOptions {
                 max_samples: policy.max_samples,
@@ -196,6 +203,11 @@ impl Sandbox {
             registry: None,
             chaos: None,
         }
+    }
+
+    /// The shared handle to the underlying store (cheap clone).
+    pub fn store_arc(&self) -> std::sync::Arc<MetricStore> {
+        self.engine.store_arc()
     }
 
     /// Subject every execution to a data-plane fault schedule (the

@@ -1,0 +1,68 @@
+//! # dio-serve
+//!
+//! The concurrent multi-tenant query service over the DIO copilot.
+//!
+//! The paper's copilot is a single-operator loop: one question in, one
+//! answer out. A deployed analytics service fields many operators (and
+//! dashboards auto-refreshing on their behalf) against one resident
+//! copy of the telemetry, the catalog, and the vector index. This
+//! crate adds that serving tier without taking on an async runtime:
+//! plain `std::thread` workers, a mutex-and-condvar admission queue,
+//! and `Arc`-shared read-only pipeline state.
+//!
+//! Layers, bottom to top:
+//!
+//! * [`normalize`] — cache-key normalization for NL questions;
+//! * [`cache`] — the TTL + knowledge-generation LRU behind both the
+//!   answer cache and the embedding cache;
+//! * [`tenant`] — per-tenant fair-share token buckets;
+//! * [`admission`] — the bounded earliest-deadline-first queue and the
+//!   [`ShedReason`] taxonomy;
+//! * [`service`] — [`QueryService`]: worker pool, request path,
+//!   instrumentation.
+//!
+//! Load shedding is explicit and observable: every refusal carries a
+//! [`ShedReason`] plus a `retry_after` hint, and is counted in
+//! `dio_serve_shed_total{reason=...}`. Accepted requests are never
+//! dropped — shutdown drains the queue before the workers exit.
+
+#![deny(missing_docs)]
+
+pub mod admission;
+pub mod cache;
+pub mod normalize;
+pub mod service;
+pub mod tenant;
+
+pub use admission::{AdmissionQueue, PushRefused, ShedReason};
+pub use cache::{CacheStats, TtlLru};
+pub use normalize::normalize_question;
+pub use service::{
+    QueryRequest, QueryService, ServeConfig, ServeOutcome, ServedAnswer, Shed, Ticket,
+};
+pub use tenant::{RateLimiter, TenantPolicy};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_send<T: Send>() {}
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    /// The whole serving plane must be shareable across worker
+    /// threads; this is the compile-time contract the thread pool
+    /// relies on. (`QueryService` itself moves tickets around, so it
+    /// only needs `Send + Sync` for the `&self` submit path.)
+    #[test]
+    fn serving_types_are_thread_safe() {
+        assert_send_sync::<QueryService>();
+        assert_send_sync::<AdmissionQueue<String>>();
+        assert_send_sync::<TtlLru<String>>();
+        assert_send_sync::<RateLimiter>();
+        assert_send_sync::<ServeConfig>();
+        assert_send_sync::<ShedReason>();
+        assert_send::<Ticket>();
+        assert_send::<ServeOutcome>();
+        assert_send::<QueryRequest>();
+    }
+}

@@ -1,0 +1,494 @@
+//! The concurrent query service.
+//!
+//! [`QueryService::spawn`] stamps out one pipeline instance per worker
+//! thread via [`DioCopilot::fork_with_model`]: every worker shares the
+//! prototype's read-only state (catalog, vector index, resident tsdb,
+//! few-shot pool) behind `Arc`s and owns only its per-request mutable
+//! state (model handle, sandbox audit log, cost meter, breaker).
+//!
+//! The request path:
+//!
+//! 1. **Admission** — the tenant's token bucket is charged
+//!    ([`crate::RateLimiter`]); a dry bucket sheds with
+//!    `TenantThrottle` and a refill-derived `retry_after`. Admitted
+//!    requests enter the bounded earliest-deadline-first queue
+//!    ([`crate::AdmissionQueue`]); a full queue sheds with `QueueFull`.
+//! 2. **Caching** — a worker first consults the answer cache keyed on
+//!    `(eval_ts, normalized question)`; a hit skips the pipeline
+//!    entirely. On a miss it consults the embedding cache for the
+//!    question vector before falling back to embedding, then runs
+//!    [`DioCopilot::ask_prepared`] with the shared vector. Both caches
+//!    are stamped with the copilot's knowledge generation so
+//!    feedback-loop catalog updates invalidate them atomically.
+//! 3. **Reply** — every *accepted* request receives exactly one
+//!    [`ServeOutcome`] on its ticket, even if its deadline lapsed in
+//!    the queue (`DeadlineExpired`), the pipeline panicked
+//!    (`WorkerPanic`), or the service shut down first (drained, then
+//!    served — never dropped).
+
+use crate::admission::{AdmissionQueue, PushRefused, ShedReason};
+use crate::cache::{CacheStats, TtlLru};
+use crate::normalize::normalize_question;
+use crate::tenant::{RateLimiter, TenantPolicy};
+use dio_copilot::{CopilotResponse, DioCopilot};
+use dio_llm::FoundationModel;
+use dio_obs::{Buckets, Counter, Gauge, Histogram, ObsHub};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Service sizing and policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Worker threads (= concurrent pipeline instances).
+    pub workers: usize,
+    /// Admission-queue capacity; arrivals beyond it are shed.
+    pub queue_depth: usize,
+    /// Deadline granted to requests that do not specify one.
+    pub default_deadline: Duration,
+    /// Per-tenant token-bucket policy.
+    pub tenant: TenantPolicy,
+    /// Answer-cache capacity (entries). 0 disables it.
+    pub answer_cache_capacity: usize,
+    /// Embedding-cache capacity (entries). 0 disables it.
+    pub embed_cache_capacity: usize,
+    /// Answer TTL; `None` relies on generation invalidation alone.
+    pub answer_ttl: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 8,
+            queue_depth: 64,
+            default_deadline: Duration::from_secs(30),
+            tenant: TenantPolicy::default(),
+            answer_cache_capacity: 1024,
+            embed_cache_capacity: 4096,
+            answer_ttl: None,
+        }
+    }
+}
+
+/// One tenant question bound to an evaluation timestamp.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct QueryRequest {
+    /// Tenant identity for fair-share accounting.
+    pub tenant: String,
+    /// The natural-language question.
+    pub question: String,
+    /// Evaluation timestamp (ms) the question is asked *as of*.
+    pub ts: i64,
+}
+
+impl QueryRequest {
+    /// Convenience constructor.
+    pub fn new(tenant: impl Into<String>, question: impl Into<String>, ts: i64) -> Self {
+        QueryRequest {
+            tenant: tenant.into(),
+            question: question.into(),
+            ts,
+        }
+    }
+}
+
+/// A successfully served answer plus serving telemetry.
+#[derive(Debug, Clone)]
+pub struct ServedAnswer {
+    /// The pipeline's (or cache's) response.
+    pub response: CopilotResponse,
+    /// Whether the answer cache short-circuited the pipeline.
+    pub answer_cache_hit: bool,
+    /// Time spent queued before a worker picked the request up.
+    pub queue_wait: Duration,
+    /// Time the worker spent producing the response.
+    pub service_time: Duration,
+    /// Index of the worker that served it.
+    pub worker: usize,
+}
+
+/// A refusal, with a backoff hint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Shed {
+    /// Why the request was not answered.
+    pub reason: ShedReason,
+    /// How long the caller should wait before retrying.
+    pub retry_after: Duration,
+}
+
+/// Terminal outcome of one submitted request.
+#[derive(Debug, Clone)]
+pub enum ServeOutcome {
+    /// Served to completion.
+    Answered(Box<ServedAnswer>),
+    /// Refused or abandoned.
+    Shed(Shed),
+}
+
+impl ServeOutcome {
+    /// The answer, if any.
+    pub fn answer(&self) -> Option<&ServedAnswer> {
+        match self {
+            ServeOutcome::Answered(a) => Some(a),
+            ServeOutcome::Shed(_) => None,
+        }
+    }
+
+    /// The shed record, if any.
+    pub fn shed(&self) -> Option<Shed> {
+        match self {
+            ServeOutcome::Answered(_) => None,
+            ServeOutcome::Shed(s) => Some(*s),
+        }
+    }
+}
+
+/// Handle to one accepted request; resolves to exactly one outcome.
+pub struct Ticket {
+    rx: mpsc::Receiver<ServeOutcome>,
+}
+
+impl Ticket {
+    /// Block until the request resolves. A severed channel (worker
+    /// thread died outside the panic guard) reports as `WorkerPanic`
+    /// rather than hanging or panicking the caller.
+    pub fn wait(self) -> ServeOutcome {
+        self.rx.recv().unwrap_or(ServeOutcome::Shed(Shed {
+            reason: ShedReason::WorkerPanic,
+            retry_after: Duration::from_millis(100),
+        }))
+    }
+}
+
+struct Job {
+    req: QueryRequest,
+    key: String,
+    submitted: Instant,
+    reply: mpsc::Sender<ServeOutcome>,
+}
+
+struct Metrics {
+    answered: Counter,
+    shed_total: Counter,
+    shed: HashMap<ShedReason, Counter>,
+    queue_depth: Gauge,
+    queue_wait: Histogram,
+    duration_hit: Histogram,
+    duration_miss: Histogram,
+    worker_panics: Counter,
+}
+
+impl Metrics {
+    fn register(obs: &ObsHub) -> Self {
+        let r = obs.registry();
+        let shed = ShedReason::all()
+            .into_iter()
+            .map(|reason| {
+                (
+                    reason,
+                    r.counter_with(
+                        "dio_serve_shed_total",
+                        "requests shed by the query service, by reason",
+                        &[("reason", reason.label())],
+                    ),
+                )
+            })
+            .collect();
+        let duration = |cache: &str| {
+            r.histogram_with(
+                "dio_serve_request_duration_micros",
+                "submit-to-reply latency of answered requests",
+                &Buckets::latency_micros(),
+                &[("cache", cache)],
+            )
+        };
+        Metrics {
+            answered: r.counter_with(
+                "dio_serve_requests_total",
+                "requests resolved by the query service, by outcome",
+                &[("outcome", "answered")],
+            ),
+            shed_total: r.counter_with(
+                "dio_serve_requests_total",
+                "requests resolved by the query service, by outcome",
+                &[("outcome", "shed")],
+            ),
+            shed,
+            queue_depth: r.gauge(
+                "dio_serve_queue_depth",
+                "requests currently in the admission queue",
+            ),
+            queue_wait: r.histogram(
+                "dio_serve_queue_wait_micros",
+                "time requests spend queued before a worker picks them up",
+                &Buckets::latency_micros(),
+            ),
+            duration_hit: duration("hit"),
+            duration_miss: duration("miss"),
+            worker_panics: r.counter(
+                "dio_serve_worker_panics_total",
+                "pipeline panics caught by the worker guard",
+            ),
+        }
+    }
+
+    fn count_shed(&self, reason: ShedReason) {
+        self.shed_total.inc();
+        if let Some(c) = self.shed.get(&reason) {
+            c.inc();
+        }
+    }
+}
+
+struct Core {
+    queue: AdmissionQueue<Job>,
+    limiter: RateLimiter,
+    answers: TtlLru<CopilotResponse>,
+    embeds: TtlLru<Arc<dio_embed::Vector>>,
+    generation: Arc<AtomicU64>,
+    metrics: Metrics,
+    config: ServeConfig,
+    obs: ObsHub,
+}
+
+/// The concurrent multi-tenant query service.
+pub struct QueryService {
+    core: Arc<Core>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl QueryService {
+    /// Launch the service: fork `config.workers` pipeline instances
+    /// off `prototype` (each with a model from `make_model`) and start
+    /// their worker threads. The prototype itself is not consumed and
+    /// can keep serving as a sequential baseline or feedback-loop
+    /// writer; its knowledge-generation bumps invalidate this
+    /// service's caches.
+    pub fn spawn<F>(prototype: &DioCopilot, mut make_model: F, config: ServeConfig) -> Self
+    where
+        F: FnMut() -> Box<dyn FoundationModel>,
+    {
+        let obs = prototype.obs().clone();
+        let core = Arc::new(Core {
+            queue: AdmissionQueue::new(config.queue_depth),
+            limiter: RateLimiter::new(config.tenant),
+            answers: TtlLru::new(
+                obs.registry(),
+                "answer",
+                config.answer_cache_capacity,
+                config.answer_ttl,
+            ),
+            embeds: TtlLru::new(obs.registry(), "embed", config.embed_cache_capacity, None),
+            generation: prototype.generation_handle(),
+            metrics: Metrics::register(&obs),
+            config: config.clone(),
+            obs,
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|idx| {
+                let copilot = prototype.fork_with_model(make_model());
+                let core = Arc::clone(&core);
+                std::thread::Builder::new()
+                    .name(format!("dio-serve-{idx}"))
+                    .spawn(move || worker_loop(core, copilot, idx))
+                    .expect("spawn dio-serve worker")
+            })
+            .collect();
+        QueryService { core, workers }
+    }
+
+    /// Submit with the default deadline.
+    pub fn submit(&self, req: QueryRequest) -> Result<Ticket, Shed> {
+        let deadline = self.core.config.default_deadline;
+        self.submit_with_deadline(req, deadline)
+    }
+
+    /// Submit with an explicit deadline budget. Sheds synchronously on
+    /// throttle/overload; an `Ok` ticket is guaranteed a reply.
+    pub fn submit_with_deadline(&self, req: QueryRequest, budget: Duration) -> Result<Ticket, Shed> {
+        let now = Instant::now();
+        if let Err(refill) = self.core.limiter.try_acquire_at(&req.tenant, now) {
+            let shed = Shed {
+                reason: ShedReason::TenantThrottle,
+                retry_after: refill,
+            };
+            self.core.metrics.count_shed(shed.reason);
+            return Err(shed);
+        }
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            key: normalize_question(&req.question),
+            req,
+            submitted: now,
+            reply: tx,
+        };
+        match self.core.queue.try_push(job, now + budget) {
+            Ok(()) => {
+                self.core
+                    .metrics
+                    .queue_depth
+                    .set(self.core.queue.len() as f64);
+                Ok(Ticket { rx })
+            }
+            Err(PushRefused { reason, .. }) => {
+                let shed = Shed {
+                    reason,
+                    // The queue drains at the service rate; a short,
+                    // bounded backoff keeps well-behaved clients from
+                    // hammering a saturated queue.
+                    retry_after: Duration::from_millis(100),
+                };
+                self.core.metrics.count_shed(shed.reason);
+                Err(shed)
+            }
+        }
+    }
+
+    /// Submit and block for the outcome (convenience for tests and
+    /// sequential callers).
+    pub fn ask(&self, tenant: &str, question: &str, ts: i64) -> ServeOutcome {
+        match self.submit(QueryRequest::new(tenant, question, ts)) {
+            Ok(ticket) => ticket.wait(),
+            Err(shed) => ServeOutcome::Shed(shed),
+        }
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.core.config
+    }
+
+    /// The shared observability hub (same registry as the copilots).
+    pub fn obs(&self) -> &ObsHub {
+        &self.core.obs
+    }
+
+    /// Answer-cache counters.
+    pub fn answer_cache_stats(&self) -> CacheStats {
+        self.core.answers.stats()
+    }
+
+    /// Embedding-cache counters.
+    pub fn embed_cache_stats(&self) -> CacheStats {
+        self.core.embeds.stats()
+    }
+
+    /// Requests currently queued.
+    pub fn queue_len(&self) -> usize {
+        self.core.queue.len()
+    }
+
+    /// Total sheds so far (all reasons).
+    pub fn shed_count(&self) -> u64 {
+        self.core.metrics.shed_total.value() as u64
+    }
+
+    /// Stop accepting work, serve everything already accepted, and
+    /// join the workers.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.core.queue.shutdown();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+fn worker_loop(core: Arc<Core>, mut copilot: DioCopilot, worker: usize) {
+    while let Some((job, deadline)) = core.queue.pop() {
+        core.metrics.queue_depth.set(core.queue.len() as f64);
+        let picked_up = Instant::now();
+        let queue_wait = picked_up.duration_since(job.submitted);
+        core.metrics
+            .queue_wait
+            .observe(queue_wait.as_micros() as f64);
+        if picked_up >= deadline {
+            let shed = Shed {
+                reason: ShedReason::DeadlineExpired,
+                retry_after: Duration::from_millis(100),
+            };
+            core.metrics.count_shed(shed.reason);
+            let _ = job.reply.send(ServeOutcome::Shed(shed));
+            continue;
+        }
+        let reply = job.reply.clone();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            serve_one(&core, &mut copilot, &job, queue_wait, picked_up, worker)
+        }));
+        match outcome {
+            Ok(answer) => {
+                core.metrics.answered.inc();
+                let _ = reply.send(ServeOutcome::Answered(Box::new(answer)));
+            }
+            Err(_) => {
+                core.metrics.worker_panics.inc();
+                let shed = Shed {
+                    reason: ShedReason::WorkerPanic,
+                    retry_after: Duration::from_millis(100),
+                };
+                core.metrics.count_shed(shed.reason);
+                let _ = reply.send(ServeOutcome::Shed(shed));
+            }
+        }
+    }
+}
+
+fn serve_one(
+    core: &Core,
+    copilot: &mut DioCopilot,
+    job: &Job,
+    queue_wait: Duration,
+    picked_up: Instant,
+    worker: usize,
+) -> ServedAnswer {
+    let generation = core.generation.load(Ordering::Acquire);
+    // The answer depends on both the question and the as-of timestamp.
+    let answer_key = format!("{}\u{1f}{}", job.req.ts, job.key);
+    if let Some(response) = core.answers.get(&answer_key, generation) {
+        let service_time = picked_up.elapsed();
+        core.metrics
+            .duration_hit
+            .observe((queue_wait + service_time).as_micros() as f64);
+        return ServedAnswer {
+            response,
+            answer_cache_hit: true,
+            queue_wait,
+            service_time,
+            worker,
+        };
+    }
+    let qvec = match core.embeds.get(&job.key, generation) {
+        Some(v) => v,
+        None => {
+            let v = Arc::new(copilot.extractor().embed_question(&job.req.question));
+            core.embeds.insert(job.key.clone(), Arc::clone(&v), generation);
+            v
+        }
+    };
+    let response = copilot.ask_prepared(&job.req.question, job.req.ts, Some(&qvec));
+    core.answers
+        .insert(answer_key, response.clone(), generation);
+    let service_time = picked_up.elapsed();
+    core.metrics
+        .duration_miss
+        .observe((queue_wait + service_time).as_micros() as f64);
+    ServedAnswer {
+        response,
+        answer_cache_hit: false,
+        queue_wait,
+        service_time,
+        worker,
+    }
+}

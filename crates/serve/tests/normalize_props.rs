@@ -1,0 +1,64 @@
+//! Property tests for answer-cache key normalization: questions that
+//! differ only in whitespace or letter case must map to the same key,
+//! and normalization must be a projection (idempotent, canonical).
+
+use dio_serve::normalize_question;
+use proptest::prelude::*;
+
+proptest! {
+    /// Normalizing twice changes nothing (the codomain is the set of
+    /// fixed points).
+    #[test]
+    fn idempotent(q in ".{0,80}") {
+        let once = normalize_question(&q);
+        prop_assert_eq!(normalize_question(&once), once);
+    }
+
+    /// The canonical form never carries leading/trailing whitespace,
+    /// runs of spaces, or uppercase ASCII.
+    #[test]
+    fn canonical_shape(q in ".{0,80}") {
+        let n = normalize_question(&q);
+        prop_assert!(!n.starts_with(' '));
+        prop_assert!(!n.ends_with(' '));
+        prop_assert!(!n.contains("  "));
+        prop_assert!(!n.contains('\t'));
+        prop_assert!(!n.contains('\n'));
+        prop_assert!(!n.chars().any(|c| c.is_ascii_uppercase()));
+    }
+
+    /// Whitespace placement is irrelevant: padding the word joints
+    /// with arbitrary whitespace yields the same cache key.
+    #[test]
+    fn whitespace_variants_collide(
+        a in "[a-zA-Z0-9?%]{1,12}",
+        b in "[a-zA-Z0-9?%]{1,12}",
+        c in "[a-zA-Z0-9?%]{1,12}",
+        pad in "[ \t\n]{0,4}",
+    ) {
+        let plain = format!("{a} {b} {c}");
+        let padded = format!("{pad}{a}{pad} \t{b}\n {c}{pad}");
+        prop_assert_eq!(normalize_question(&plain), normalize_question(&padded));
+    }
+
+    /// Letter case is irrelevant: upper-, lower-, and mixed-case
+    /// renderings of a question share one cache key.
+    #[test]
+    fn case_variants_collide(q in "[a-zA-Z0-9 ?%]{0,60}") {
+        let lower = normalize_question(&q.to_lowercase());
+        prop_assert_eq!(normalize_question(&q.to_uppercase()), lower.clone());
+        prop_assert_eq!(normalize_question(&q), lower);
+    }
+
+    /// Normalization preserves the word sequence itself — it never
+    /// merges, drops, or reorders words.
+    #[test]
+    fn words_preserved(q in "[a-zA-Z0-9 ?%]{0,60}") {
+        let n = normalize_question(&q);
+        let expect: Vec<String> =
+            q.split_whitespace().map(|w| w.to_lowercase()).collect();
+        let got: Vec<String> =
+            n.split_whitespace().map(str::to_string).collect();
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,250 @@
+//! End-to-end tests of the query service over a small operator world:
+//! concurrency parity with the sequential pipeline, warm-cache
+//! behaviour, generation invalidation, fair-share throttling, and the
+//! overload/shutdown guarantees (shed explicitly, never drop).
+
+use dio_benchmark::{fewshot_exemplars, generate_benchmark, BenchmarkQuestion, OperatorWorld, WorldConfig};
+use dio_copilot::{CopilotBuilder, DioCopilot};
+use dio_llm::{FoundationModel, ModelProfile, SimulatedModel};
+use dio_serve::{
+    QueryRequest, QueryService, ServeConfig, ServeOutcome, ShedReason, TenantPolicy,
+};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+struct Setup {
+    world: OperatorWorld,
+    questions: Vec<BenchmarkQuestion>,
+}
+
+fn setup() -> &'static Setup {
+    static CELL: OnceLock<Setup> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let world = OperatorWorld::build(WorldConfig::small());
+        let questions = generate_benchmark(&world, 12, 0xbe9c_4a11);
+        Setup { world, questions }
+    })
+}
+
+fn model() -> Box<dyn FoundationModel> {
+    Box::new(SimulatedModel::new(ModelProfile::gpt4_sim()))
+}
+
+fn prototype() -> DioCopilot {
+    let s = setup();
+    CopilotBuilder::new(s.world.domain_db(), s.world.store.clone())
+        .model(model())
+        .exemplars(fewshot_exemplars(&s.world.catalog))
+        .build()
+}
+
+fn open_config(workers: usize) -> ServeConfig {
+    ServeConfig {
+        workers,
+        queue_depth: 256,
+        tenant: TenantPolicy::unlimited(),
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn concurrent_answers_match_sequential_pipeline() {
+    let s = setup();
+    let mut sequential = prototype();
+    let expected: Vec<_> = s
+        .questions
+        .iter()
+        .map(|q| sequential.ask(&q.text, s.world.eval_ts).numeric_answer)
+        .collect();
+
+    let service = QueryService::spawn(&prototype(), || model(), open_config(4));
+    let tickets: Vec<_> = s
+        .questions
+        .iter()
+        .map(|q| {
+            service
+                .submit(QueryRequest::new("ops-a", &q.text, s.world.eval_ts))
+                .expect("open config must admit")
+        })
+        .collect();
+    for (ticket, want) in tickets.into_iter().zip(&expected) {
+        match ticket.wait() {
+            ServeOutcome::Answered(a) => assert_eq!(a.response.numeric_answer, *want),
+            ServeOutcome::Shed(s) => panic!("unexpected shed: {s:?}"),
+        }
+    }
+    service.shutdown();
+}
+
+#[test]
+fn warm_pass_is_served_from_the_answer_cache() {
+    let s = setup();
+    let service = QueryService::spawn(&prototype(), || model(), open_config(2));
+    for q in &s.questions {
+        assert!(service.ask("t", &q.text, s.world.eval_ts).answer().is_some());
+    }
+    let cold = service.answer_cache_stats();
+    assert_eq!(cold.hits, 0);
+    assert_eq!(cold.misses as usize, s.questions.len());
+
+    // Second pass: same questions, messier phrasing — all hits.
+    for q in &s.questions {
+        let noisy = format!("  {}  ", q.text.to_uppercase());
+        let out = service.ask("t", &noisy, s.world.eval_ts);
+        let a = out.answer().expect("warm pass answered");
+        assert!(a.answer_cache_hit, "expected cache hit for {noisy:?}");
+    }
+    let warm = service.answer_cache_stats();
+    assert_eq!(warm.hits as usize, s.questions.len());
+    // The embedding cache only sees answer-cache misses: one per
+    // unique question from the cold pass.
+    assert_eq!(service.embed_cache_stats().misses as usize, s.questions.len());
+    service.shutdown();
+}
+
+#[test]
+fn knowledge_generation_bump_invalidates_caches() {
+    let s = setup();
+    let proto = prototype();
+    let generation = proto.generation_handle();
+    let service = QueryService::spawn(&proto, || model(), open_config(2));
+    let q = &s.questions[0].text;
+
+    assert!(service.ask("t", q, s.world.eval_ts).answer().is_some());
+    let first = service.ask("t", q, s.world.eval_ts);
+    assert!(first.answer().unwrap().answer_cache_hit);
+
+    // A feedback-loop catalog update bumps the shared generation …
+    generation.fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+
+    // … so the next lookup must re-run the pipeline, not serve stale.
+    let after = service.ask("t", q, s.world.eval_ts);
+    assert!(!after.answer().unwrap().answer_cache_hit);
+    assert!(service.answer_cache_stats().invalidations >= 1);
+    service.shutdown();
+}
+
+#[test]
+fn tenant_throttling_is_isolated_per_tenant() {
+    let s = setup();
+    let mut config = open_config(1);
+    config.tenant = TenantPolicy {
+        rate_per_sec: 0.001, // effectively no refill during the test
+        burst: 2.0,
+    };
+    let service = QueryService::spawn(&prototype(), || model(), config);
+    let q = &s.questions[0].text;
+
+    let mut throttled = 0;
+    let mut tickets = Vec::new();
+    for _ in 0..5 {
+        match service.submit(QueryRequest::new("noisy", q, s.world.eval_ts)) {
+            Ok(t) => tickets.push(t),
+            Err(shed) => {
+                assert_eq!(shed.reason, ShedReason::TenantThrottle);
+                assert!(shed.retry_after > Duration::ZERO);
+                throttled += 1;
+            }
+        }
+    }
+    assert_eq!(tickets.len(), 2, "burst admits exactly two");
+    assert_eq!(throttled, 3);
+
+    // A different tenant is unaffected by the noisy one.
+    assert!(service
+        .submit(QueryRequest::new("quiet", q, s.world.eval_ts))
+        .is_ok());
+    for t in tickets {
+        assert!(t.wait().answer().is_some());
+    }
+    service.shutdown();
+}
+
+#[test]
+fn undersized_queue_sheds_overload_without_dropping_accepted_requests() {
+    let s = setup();
+    let config = ServeConfig {
+        workers: 1,
+        queue_depth: 2,
+        tenant: TenantPolicy::unlimited(),
+        ..ServeConfig::default()
+    };
+    let service = QueryService::spawn(&prototype(), || model(), config);
+
+    let total = 30;
+    let mut tickets = Vec::new();
+    let mut shed_sync = 0;
+    for i in 0..total {
+        let q = &s.questions[i % s.questions.len()].text;
+        match service.submit(QueryRequest::new("burst", q, s.world.eval_ts)) {
+            Ok(t) => tickets.push(t),
+            Err(shed) => {
+                assert_eq!(shed.reason, ShedReason::QueueFull);
+                shed_sync += 1;
+            }
+        }
+    }
+    assert!(shed_sync > 0, "a 2-deep queue must shed a 30-burst");
+    assert_eq!(service.shed_count(), shed_sync);
+
+    // Every accepted request resolves — answered or explicitly shed,
+    // never silently dropped.
+    let mut answered = 0;
+    for t in tickets {
+        match t.wait() {
+            ServeOutcome::Answered(_) => answered += 1,
+            ServeOutcome::Shed(s) => panic!("accepted request shed: {s:?}"),
+        }
+    }
+    assert_eq!(answered + shed_sync as usize, total);
+
+    // The sheds are visible in the shared registry under the reason
+    // label the dashboards alert on.
+    let snap = service.obs().registry().snapshot();
+    assert_eq!(snap.total("dio_serve_shed_total") as u64, shed_sync);
+    service.shutdown();
+}
+
+#[test]
+fn zero_budget_requests_are_shed_as_expired_not_dropped() {
+    let s = setup();
+    let service = QueryService::spawn(&prototype(), || model(), open_config(1));
+    let q = &s.questions[0].text;
+    let ticket = service
+        .submit_with_deadline(
+            QueryRequest::new("t", q, s.world.eval_ts),
+            Duration::ZERO,
+        )
+        .expect("zero budget is admitted, then expires in queue");
+    match ticket.wait() {
+        ServeOutcome::Shed(shed) => assert_eq!(shed.reason, ShedReason::DeadlineExpired),
+        ServeOutcome::Answered(_) => {
+            // Tolerated only if the worker dequeued it in the same
+            // instant it was submitted — impossible with Duration::ZERO
+            // since picked_up >= submitted == deadline.
+            panic!("zero-budget request must expire");
+        }
+    }
+    service.shutdown();
+}
+
+#[test]
+fn shutdown_drains_accepted_requests() {
+    let s = setup();
+    let service = QueryService::spawn(&prototype(), || model(), open_config(1));
+    let tickets: Vec<_> = s.questions[..4]
+        .iter()
+        .map(|q| {
+            service
+                .submit(QueryRequest::new("t", &q.text, s.world.eval_ts))
+                .unwrap()
+        })
+        .collect();
+    service.shutdown();
+    for t in tickets {
+        assert!(
+            t.wait().answer().is_some(),
+            "shutdown must drain accepted requests"
+        );
+    }
+}

@@ -49,5 +49,6 @@ pub use dio_llm as llm;
 pub use dio_obs as obs;
 pub use dio_promql as promql;
 pub use dio_sandbox as sandbox;
+pub use dio_serve as serve;
 pub use dio_tsdb as tsdb;
 pub use dio_vecstore as vecstore;

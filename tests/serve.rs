@@ -1,0 +1,80 @@
+//! Facade-level smoke test: the serving tier is reachable through the
+//! `dio` crate and upholds its headline guarantees end to end — cache
+//! parity on repeat questions and explicit, counted load shedding.
+
+use dio::benchmark::{fewshot_exemplars, OperatorWorld, WorldConfig};
+use dio::copilot::CopilotBuilder;
+use dio::llm::{FoundationModel, ModelProfile, SimulatedModel};
+use dio::serve::{QueryRequest, QueryService, ServeConfig, ServeOutcome, TenantPolicy};
+
+fn model() -> Box<dyn FoundationModel> {
+    Box::new(SimulatedModel::new(ModelProfile::gpt4_sim()))
+}
+
+#[test]
+fn service_answers_caches_and_sheds_through_the_facade() {
+    let world = OperatorWorld::build(WorldConfig::small());
+    let questions = dio::benchmark::generate_benchmark(&world, 6, 0xbe9c_4a11);
+    let prototype = CopilotBuilder::new(world.domain_db(), world.store.clone())
+        .model(model())
+        .exemplars(fewshot_exemplars(&world.catalog))
+        .build();
+
+    let service = QueryService::spawn(
+        &prototype,
+        model,
+        ServeConfig {
+            workers: 2,
+            queue_depth: 32,
+            tenant: TenantPolicy::unlimited(),
+            ..ServeConfig::default()
+        },
+    );
+
+    // Cold pass answers; warm pass hits the cache under noisy phrasing.
+    for q in &questions {
+        let out = service.ask("noc", &q.text, world.eval_ts);
+        assert!(out.answer().is_some(), "cold pass must answer");
+    }
+    for q in &questions {
+        let noisy = format!("  {}  ", q.text.to_uppercase());
+        match service.ask("noc", &noisy, world.eval_ts) {
+            ServeOutcome::Answered(a) => assert!(a.answer_cache_hit),
+            ServeOutcome::Shed(s) => panic!("warm pass shed: {s:?}"),
+        }
+    }
+    assert_eq!(service.answer_cache_stats().hits as usize, questions.len());
+    service.shutdown();
+
+    // An undersized service sheds explicitly and visibly.
+    let tiny = QueryService::spawn(
+        &CopilotBuilder::new(world.domain_db(), world.store.clone())
+            .model(model())
+            .exemplars(fewshot_exemplars(&world.catalog))
+            .build(),
+        model,
+        ServeConfig {
+            workers: 1,
+            queue_depth: 1,
+            tenant: TenantPolicy::unlimited(),
+            ..ServeConfig::default()
+        },
+    );
+    let mut tickets = Vec::new();
+    let mut shed = 0u64;
+    for _ in 0..12 {
+        match tiny.submit(QueryRequest::new("noc", &questions[0].text, world.eval_ts)) {
+            Ok(t) => tickets.push(t),
+            Err(_) => shed += 1,
+        }
+    }
+    assert!(shed > 0, "a 1-deep queue must shed a 12-burst");
+    assert_eq!(
+        tiny.obs().registry().snapshot().total("dio_serve_shed_total") as u64,
+        shed
+    );
+    for t in tickets {
+        assert!(t.wait().answer().is_some(), "accepted requests must resolve");
+    }
+    tiny.shutdown();
+}
