@@ -1,0 +1,1018 @@
+//! The cluster: topology, appends, replication, failover, routing.
+//!
+//! A [`Cluster`] simulates N nodes in one process. Shard `i`'s primary
+//! lives on node `i`; its replica on node `(i+1) % N` (no replica when
+//! `N == 1`). Metric families are placed on shards by the consistent
+//! hash ring, so every family's data lives on exactly one shard — the
+//! invariant the scatter-gather router leans on for result parity with
+//! a single-node store.
+//!
+//! **Write path.** An append routes by family to the owning shard's
+//! primary, frames into the primary WAL (the durability point), then
+//! synchronously ships the WAL gap to the replica. `Ok` is returned
+//! only once the replica applied the chunk (or has no live replica —
+//! the tolerated degraded window). Ack-implies-replicated is what
+//! makes "zero acknowledged-write loss through one node crash" hold:
+//! whichever copy survives has every acked record.
+//!
+//! **Failover.** Primary liveness is checked on access. A dead primary
+//! promotes the replica after an integrity scan of its WAL; the old
+//! primary's durable bytes stay around so a restart can rebuild the
+//! copy, catch up the missing suffix from the promoted primary, and
+//! rejoin as the new replica.
+//!
+//! **Read path.** [`Cluster`] implements `dio_sandbox::StoreResolver`:
+//! queries naming families on one shard are pushed down (an `Arc`
+//! clone of that shard's store), queries spanning shards gather the
+//! named families into a scratch store, and dynamic selectors (regex /
+//! name-pattern) gather every shard. Resolution failures surface as
+//! retryable storage faults, riding the copilot's existing
+//! retry-then-degrade machinery.
+
+use crate::ring::HashRing;
+use crate::shard::{damage_chunk, ShardCopy, ShipReject};
+use dio_faults::{ChaosConfig, Injector};
+use dio_obs::{Counter, Gauge, Registry};
+use dio_sandbox::StoreResolver;
+use dio_tsdb::series::AppendError;
+use dio_tsdb::{Labels, MetricStore, Sample};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Cluster shape and replication behaviour.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Node (== shard) count at construction.
+    pub nodes: usize,
+    /// Virtual nodes per shard on the hash ring.
+    pub vnodes: usize,
+    /// Ship WALs to replicas. Forced off when `nodes == 1`.
+    pub replication: bool,
+    /// Chaos schedule for the replication link (bit flips, torn
+    /// chunks, lost shipments). `None` = a clean link.
+    pub link_chaos: Option<ChaosConfig>,
+    /// Chaotic ship attempts per chunk before falling back to the
+    /// reliable recovery channel (a retransmitting transport delivers
+    /// eventually; this bounds how long we let chaos stall an ack).
+    pub max_reships: usize,
+}
+
+impl ClusterConfig {
+    /// `nodes` nodes, replication on (when more than one), clean link.
+    pub fn new(nodes: usize) -> Self {
+        assert!(nodes > 0, "cluster needs at least one node");
+        ClusterConfig {
+            nodes,
+            vnodes: HashRing::DEFAULT_VNODES,
+            replication: nodes > 1,
+            link_chaos: None,
+            max_reships: 4,
+        }
+    }
+
+    /// Same, with a chaotic replication link.
+    pub fn with_link_chaos(nodes: usize, chaos: ChaosConfig) -> Self {
+        let mut c = Self::new(nodes);
+        c.link_chaos = Some(chaos);
+        c
+    }
+}
+
+/// Errors from the write path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// The store rejected the sample (out of order). Matches
+    /// single-node semantics; the record is WAL-logged on every copy.
+    Rejected(AppendError),
+    /// The shard has no live copy: primary down and no promotable
+    /// replica. Retryable once a node restarts.
+    Unavailable {
+        /// The shard without a live primary.
+        shard: usize,
+    },
+    /// A WAL medium failed.
+    Io(String),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Rejected(e) => write!(f, "append rejected: {e}"),
+            ClusterError::Unavailable { shard } => {
+                write!(f, "shard {shard} unavailable: no live copy")
+            }
+            ClusterError::Io(e) => write!(f, "wal i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// A successful acknowledged append.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendAck {
+    /// The shard that owns the family.
+    pub shard: usize,
+    /// True when a live replica applied the record before the ack.
+    /// False only in the degraded single-copy window.
+    pub replicated: bool,
+}
+
+/// What restarting a node did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RejoinReport {
+    /// Shard copies rebuilt from durable WAL bytes.
+    pub recovered_copies: usize,
+    /// WAL bytes replayed from the node's own durable media.
+    pub replayed_wal_bytes: usize,
+    /// Records caught up from the current primaries.
+    pub caught_up_records: usize,
+    /// Bytes shipped for catch-up.
+    pub caught_up_bytes: usize,
+    /// Shards where the node resumed as primary (it died unnoticed —
+    /// nothing triggered a failover while it was down).
+    pub resumed_primary: usize,
+    /// Shards the node rejoined as replica.
+    pub rejoined_replica: usize,
+}
+
+/// What adding a node did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddNodeReport {
+    /// The new node's id (also its shard's primary seat).
+    pub node: usize,
+    /// The new shard's id.
+    pub shard: usize,
+    /// Metric families whose ownership moved to the new shard.
+    pub moved_families: usize,
+    /// Samples migrated into the new shard.
+    pub moved_samples: usize,
+}
+
+const HELP_FAILOVERS: &str = "Replica promotions after a primary was found dead";
+const HELP_LAG: &str = "Worst primary-to-replica applied-timestamp gap across shards (s)";
+const HELP_REBALANCED: &str = "Metric families moved to a new shard by rebalancing";
+const HELP_RESHIPS: &str = "Replication chunks re-sent after loss or CRC rejection";
+const HELP_APPENDS: &str = "Acknowledged cluster appends";
+const HELP_ROUTES: &str = "Query store resolutions by routing path";
+const HELP_UNAVAILABLE: &str = "Operations refused because a shard had no live copy";
+
+#[derive(Debug)]
+struct ClusterMetrics {
+    registry: Registry,
+    failovers: Counter,
+    lag: Gauge,
+    rebalanced: Counter,
+    reships: Counter,
+    appends: Counter,
+    route_pushdown: Counter,
+    route_gather: Counter,
+    route_gather_all: Counter,
+    unavailable: Counter,
+}
+
+impl ClusterMetrics {
+    fn new(registry: Registry) -> Self {
+        ClusterMetrics {
+            failovers: registry.counter("dio_cluster_failovers_total", HELP_FAILOVERS),
+            lag: registry.gauge("dio_cluster_replication_lag_seconds", HELP_LAG),
+            rebalanced: registry.counter("dio_cluster_rebalanced_keys_total", HELP_REBALANCED),
+            reships: registry.counter("dio_cluster_reships_total", HELP_RESHIPS),
+            appends: registry.counter("dio_cluster_appends_total", HELP_APPENDS),
+            route_pushdown: registry.counter_with(
+                "dio_cluster_routes_total",
+                HELP_ROUTES,
+                &[("path", "pushdown")],
+            ),
+            route_gather: registry.counter_with(
+                "dio_cluster_routes_total",
+                HELP_ROUTES,
+                &[("path", "gather")],
+            ),
+            route_gather_all: registry.counter_with(
+                "dio_cluster_routes_total",
+                HELP_ROUTES,
+                &[("path", "gather_all")],
+            ),
+            unavailable: registry.counter("dio_cluster_unavailable_total", HELP_UNAVAILABLE),
+            registry,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ShardState {
+    primary_node: usize,
+    replica_node: Option<usize>,
+    /// Copies by hosting node. Dead nodes keep their entry — that is
+    /// the durable media a restart recovers from.
+    copies: BTreeMap<usize, ShardCopy>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    ring: HashRing,
+    /// Liveness by node id.
+    up: Vec<bool>,
+    /// By shard id (dense; the cluster never removes shards).
+    shards: Vec<ShardState>,
+    /// Chaos on the replication link.
+    link: Option<Injector>,
+    /// Detection-to-takeover times (µs), drained by the bench.
+    failover_latencies: Vec<u64>,
+}
+
+/// A simulated shard-per-node cluster with WAL-shipping replication.
+#[derive(Debug)]
+pub struct Cluster {
+    cfg: ClusterConfig,
+    inner: Mutex<Inner>,
+    metrics: ClusterMetrics,
+}
+
+impl Cluster {
+    /// Build a cluster with its own private metrics registry.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        Self::with_registry(cfg, Registry::new())
+    }
+
+    /// Build a cluster registering its metrics into `registry` (so a
+    /// serving stack scrapes cluster health alongside everything else).
+    pub fn with_registry(cfg: ClusterConfig, registry: Registry) -> Self {
+        let n = cfg.nodes;
+        let replication = cfg.replication && n > 1;
+        let shards = (0..n)
+            .map(|i| {
+                let replica_node = replication.then_some((i + 1) % n);
+                let mut copies = BTreeMap::new();
+                copies.insert(i, ShardCopy::new());
+                if let Some(r) = replica_node {
+                    copies.insert(r, ShardCopy::new());
+                }
+                ShardState {
+                    primary_node: i,
+                    replica_node,
+                    copies,
+                }
+            })
+            .collect();
+        let link = cfg.link_chaos.as_ref().map(|c| Injector::derived(c, "replication"));
+        Cluster {
+            inner: Mutex::new(Inner {
+                ring: HashRing::with_vnodes(n, cfg.vnodes),
+                up: vec![true; n],
+                shards,
+                link,
+                failover_latencies: Vec::new(),
+            }),
+            metrics: ClusterMetrics::new(registry),
+            cfg: ClusterConfig {
+                replication,
+                ..cfg
+            },
+        }
+    }
+
+    /// The metrics registry (cluster counters live here).
+    pub fn registry(&self) -> &Registry {
+        &self.metrics.registry
+    }
+
+    /// Current node count.
+    pub fn nodes(&self) -> usize {
+        self.inner.lock().unwrap().up.len()
+    }
+
+    /// Current shard count.
+    pub fn shard_count(&self) -> usize {
+        self.inner.lock().unwrap().shards.len()
+    }
+
+    /// Nodes currently down.
+    pub fn down_nodes(&self) -> Vec<usize> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .up
+            .iter()
+            .enumerate()
+            .filter_map(|(i, u)| (!u).then_some(i))
+            .collect()
+    }
+
+    /// The node currently holding `shard`'s primary seat.
+    pub fn primary_of(&self, shard: usize) -> usize {
+        self.inner.lock().unwrap().shards[shard].primary_node
+    }
+
+    /// The node holding `shard`'s replica, if any.
+    pub fn replica_of(&self, shard: usize) -> Option<usize> {
+        self.inner.lock().unwrap().shards[shard].replica_node
+    }
+
+    /// The shard owning metric family `family`.
+    pub fn shard_for(&self, family: &str) -> usize {
+        self.inner.lock().unwrap().ring.owner(family)
+    }
+
+    /// The shard a tenant's requests home to (routing affinity: a
+    /// tenant's dashboards mostly touch its own slice of the keyspace,
+    /// so co-locating its cache/retrieval state with that shard keeps
+    /// fan-out low). Same ring, namespaced key.
+    pub fn tenant_home(&self, tenant: &str) -> usize {
+        self.inner
+            .lock()
+            .unwrap()
+            .ring
+            .owner(&format!("tenant:{tenant}"))
+    }
+
+    /// Primary and replica WAL byte images for `shard` (tests use this
+    /// to prove byte-level convergence).
+    pub fn shard_wal_images(&self, shard: usize) -> (Vec<u8>, Option<Vec<u8>>) {
+        let inner = self.inner.lock().unwrap();
+        let s = &inner.shards[shard];
+        let primary = s.copies[&s.primary_node].wal_bytes().to_vec();
+        let replica = s
+            .replica_node
+            .map(|r| s.copies[&r].wal_bytes().to_vec());
+        (primary, replica)
+    }
+
+    /// Acked records per shard on the current primaries.
+    pub fn shard_records(&self) -> Vec<usize> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .shards
+            .iter()
+            .map(|s| s.copies[&s.primary_node].records())
+            .collect()
+    }
+
+    /// Worst primary-to-replica applied-timestamp gap (seconds).
+    pub fn replication_lag_seconds(&self) -> f64 {
+        self.metrics.lag.value()
+    }
+
+    /// Failovers performed so far.
+    pub fn failovers(&self) -> u64 {
+        self.metrics.failovers.value() as u64
+    }
+
+    /// Replication chunks re-sent after damage or loss.
+    pub fn reships(&self) -> u64 {
+        self.metrics.reships.value() as u64
+    }
+
+    /// Drain recorded detection-to-takeover latencies (µs).
+    pub fn take_failover_latencies(&self) -> Vec<u64> {
+        std::mem::take(&mut self.inner.lock().unwrap().failover_latencies)
+    }
+
+    /// Load every series of a single-node store into the cluster
+    /// (bulk path: local appends per shard, then one catch-up ship per
+    /// shard). Returns the number of samples loaded.
+    pub fn load_from(&self, source: &MetricStore) -> Result<usize, ClusterError> {
+        let mut inner = self.inner.lock().unwrap();
+        let mut loaded = 0usize;
+        for series in source.iter() {
+            let family = series.labels().name().unwrap_or("").to_string();
+            let shard = inner.ring.owner(&family);
+            self.ensure_primary(&mut inner, shard)
+                .map_err(|e| self.note_unavailable(e))?;
+            let primary = inner.shards[shard].primary_node;
+            let copy = inner.shards[shard]
+                .copies
+                .get_mut(&primary)
+                .expect("primary copy exists");
+            for sample in series.samples() {
+                copy.append_local(series.labels().clone(), *sample)
+                    .map_err(|e| ClusterError::Io(e.to_string()))?
+                    .map_err(ClusterError::Rejected)?;
+                loaded += 1;
+            }
+        }
+        let shard_count = inner.shards.len();
+        for shard in 0..shard_count {
+            self.ship(&mut inner, shard)?;
+        }
+        self.metrics.appends.add(loaded as f64);
+        self.update_lag(&inner);
+        Ok(loaded)
+    }
+
+    /// Append one sample. `Ok` means the record is framed in the
+    /// primary WAL *and* applied by a live replica (when one exists):
+    /// the ack survives any single node crash.
+    pub fn append(&self, labels: Labels, sample: Sample) -> Result<AppendAck, ClusterError> {
+        let family = labels.name().unwrap_or("").to_string();
+        let mut inner = self.inner.lock().unwrap();
+        let shard = inner.ring.owner(&family);
+        self.ensure_primary(&mut inner, shard)
+            .map_err(|e| self.note_unavailable(e))?;
+        let primary = inner.shards[shard].primary_node;
+        let copy = inner.shards[shard]
+            .copies
+            .get_mut(&primary)
+            .expect("primary copy exists");
+        let applied = copy
+            .append_local(labels, sample)
+            .map_err(|e| ClusterError::Io(e.to_string()))?;
+        // Ship before surfacing a rejection: the rejected record is
+        // WAL-logged and the replica must mirror it byte-for-byte.
+        let replicated = self.ship(&mut inner, shard)?;
+        self.update_lag(&inner);
+        match applied {
+            Ok(()) => {
+                self.metrics.appends.inc();
+                Ok(AppendAck { shard, replicated })
+            }
+            Err(e) => Err(ClusterError::Rejected(e)),
+        }
+    }
+
+    /// Kill a node: it stops serving and loses volatile state. Its
+    /// WAL bytes (durable media) survive for [`Cluster::restart_node`].
+    /// Returns whether the node was up.
+    pub fn kill_node(&self, node: usize) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        std::mem::replace(&mut inner.up[node], false)
+    }
+
+    /// Restart a dead node: rebuild every copy it hosts from durable
+    /// WAL bytes (the volatile store is dropped and replayed — the
+    /// crash-consistency path), catch up missing records from the
+    /// current primaries over the reliable channel, and rejoin as
+    /// replica wherever the shard lost one.
+    pub fn restart_node(&self, node: usize) -> RejoinReport {
+        let mut inner = self.inner.lock().unwrap();
+        let mut report = RejoinReport::default();
+        if std::mem::replace(&mut inner.up[node], true) {
+            return report; // already up
+        }
+        for shard in 0..inner.shards.len() {
+            if !inner.shards[shard].copies.contains_key(&node) {
+                continue;
+            }
+            // Crash-consistent rebuild from the node's own durable log.
+            let old = inner.shards[shard]
+                .copies
+                .get(&node)
+                .expect("checked above");
+            let bytes = old.wal_bytes().to_vec();
+            let (rebuilt, _recovery) = ShardCopy::recover_from_bytes(&bytes);
+            report.recovered_copies += 1;
+            report.replayed_wal_bytes += bytes.len();
+            inner.shards[shard].copies.insert(node, rebuilt);
+
+            // If the shard's primary seat is dead, settle it first so
+            // catch-up reads from a live log. Normally this promotes
+            // the standing replica; if no other copy is live, the
+            // restarting node itself takes over (best effort — under
+            // a double failure its log may be the shorter one, which
+            // is outside the single-failure tolerance).
+            if self.ensure_primary(&mut inner, shard).is_err() {
+                inner.shards[shard].primary_node = node;
+                inner.shards[shard].replica_node = None;
+                self.metrics.failovers.inc();
+            }
+            if inner.shards[shard].primary_node == node {
+                // Either it died unnoticed (nothing routed here while
+                // it was down, so it still holds the longest log) or
+                // it just took the seat back as the only live copy.
+                report.resumed_primary += 1;
+                continue;
+            }
+            // Catch up the suffix it missed from the current primary,
+            // then take (or retake) the replica seat.
+            let primary = inner.shards[shard].primary_node;
+            let from = inner.shards[shard].copies[&node].records();
+            let chunk = inner.shards[shard].copies[&primary]
+                .bytes_from(from)
+                .to_vec();
+            if !chunk.is_empty() {
+                let copy = inner.shards[shard]
+                    .copies
+                    .get_mut(&node)
+                    .expect("just inserted");
+                let apply = copy
+                    .apply_shipped(&chunk)
+                    .expect("reliable catch-up channel delivers pristine bytes");
+                report.caught_up_records += apply.applied + apply.rejected;
+                report.caught_up_bytes += chunk.len();
+            }
+            if inner.shards[shard].replica_node.is_none() {
+                inner.shards[shard].replica_node = Some(node);
+            }
+            report.rejoined_replica += 1;
+        }
+        self.update_lag(&inner);
+        report
+    }
+
+    /// Add a node (and its shard): extend the ring, migrate the
+    /// families the new shard now owns, rebuild the shrunken source
+    /// copies, and stand up a replica for the new shard.
+    pub fn add_node(&self) -> AddNodeReport {
+        let mut inner = self.inner.lock().unwrap();
+        let shard = inner.ring.add_shard();
+        let node = inner.up.len();
+        inner.up.push(true);
+        let replication = self.cfg.replication || inner.up.len() > 1;
+        let mut copies = BTreeMap::new();
+        copies.insert(node, ShardCopy::new());
+        inner.shards.push(ShardState {
+            primary_node: node,
+            replica_node: None,
+            copies,
+        });
+
+        let mut moved_families = 0usize;
+        let mut moved_samples = 0usize;
+        for src in 0..shard {
+            self.ensure_primary(&mut inner, src).ok();
+            let src_primary = inner.shards[src].primary_node;
+            // Split the source store: series staying vs. series moving.
+            let (stay, go): (Vec<_>, Vec<_>) = {
+                let store = inner.shards[src].copies[&src_primary].store();
+                let mut stay = Vec::new();
+                let mut go = Vec::new();
+                for series in store.iter() {
+                    let family = series.labels().name().unwrap_or("");
+                    if inner.ring.owner(family) == shard {
+                        go.push((series.labels().clone(), series.samples().to_vec()));
+                    } else {
+                        stay.push((series.labels().clone(), series.samples().to_vec()));
+                    }
+                }
+                (stay, go)
+            };
+            if go.is_empty() {
+                continue;
+            }
+            let mut families: Vec<&str> =
+                go.iter().filter_map(|(l, _)| l.name()).collect();
+            families.sort_unstable();
+            families.dedup();
+            moved_families += families.len();
+
+            // Append moved series into the new shard's primary.
+            let dest = inner.shards[shard]
+                .copies
+                .get_mut(&node)
+                .expect("new primary exists");
+            for (labels, samples) in &go {
+                for s in samples {
+                    let _ = dest
+                        .append_local(labels.clone(), *s)
+                        .expect("in-memory WAL append cannot fail");
+                    moved_samples += 1;
+                }
+            }
+            // Rebuild the source primary without the moved families
+            // (checkpoint semantics: fresh WAL of exactly what stays).
+            let mut rebuilt = ShardCopy::new();
+            for (labels, samples) in &stay {
+                for s in samples {
+                    let _ = rebuilt
+                        .append_local(labels.clone(), *s)
+                        .expect("in-memory WAL append cannot fail");
+                }
+            }
+            inner.shards[src].copies.insert(src_primary, rebuilt);
+            // The old replica's WAL no longer matches; re-seed it from
+            // the rebuilt primary over the reliable channel.
+            if let Some(r) = inner.shards[src].replica_node {
+                let image = inner.shards[src].copies[&src_primary]
+                    .bytes_from(0)
+                    .to_vec();
+                let mut fresh = ShardCopy::new();
+                if !image.is_empty() {
+                    fresh
+                        .apply_shipped(&image)
+                        .expect("reliable re-seed delivers pristine bytes");
+                }
+                inner.shards[src].copies.insert(r, fresh);
+            }
+        }
+
+        // Stand up the new shard's replica on the next node.
+        if replication {
+            let r = (node + 1) % inner.up.len();
+            let image = inner.shards[shard].copies[&node].bytes_from(0).to_vec();
+            let mut fresh = ShardCopy::new();
+            if !image.is_empty() {
+                fresh
+                    .apply_shipped(&image)
+                    .expect("reliable re-seed delivers pristine bytes");
+            }
+            inner.shards[shard].copies.insert(r, fresh);
+            inner.shards[shard].replica_node = Some(r);
+        }
+
+        self.metrics.rebalanced.add(moved_families as f64);
+        self.update_lag(&inner);
+        AddNodeReport {
+            node,
+            shard,
+            moved_families,
+            moved_samples,
+        }
+    }
+
+    fn note_unavailable(&self, e: ClusterError) -> ClusterError {
+        self.metrics.unavailable.inc();
+        e
+    }
+
+    /// Make sure `shard` has a live primary, promoting the replica if
+    /// the primary is dead (failure detection happens on access).
+    fn ensure_primary(&self, inner: &mut Inner, shard: usize) -> Result<(), ClusterError> {
+        let primary = inner.shards[shard].primary_node;
+        if inner.up[primary] {
+            return Ok(());
+        }
+        let detected = Instant::now();
+        let Some(replica) = inner.shards[shard].replica_node.filter(|r| inner.up[*r]) else {
+            return Err(ClusterError::Unavailable { shard });
+        };
+        // Takeover: verify the replica's log integrity before serving
+        // from it (a real promotion replays/validates its WAL).
+        let scan = dio_tsdb::wal::recover(inner.shards[shard].copies[&replica].wal_bytes());
+        debug_assert!(
+            scan.is_clean(),
+            "replica WAL must be clean: replication never applies damaged chunks"
+        );
+        inner.shards[shard].primary_node = replica;
+        inner.shards[shard].replica_node = None;
+        self.metrics.failovers.inc();
+        inner
+            .failover_latencies
+            .push(detected.elapsed().as_micros() as u64);
+        Ok(())
+    }
+
+    /// Ship the primary's unreplicated WAL suffix to the replica.
+    /// Damaged or lost chunks are re-sent (bounded chaotic attempts,
+    /// then the reliable recovery channel). Returns whether a live
+    /// replica holds everything.
+    fn ship(&self, inner: &mut Inner, shard: usize) -> Result<bool, ClusterError> {
+        if !self.cfg.replication {
+            return Ok(false);
+        }
+        let Some(replica) = inner.shards[shard].replica_node else {
+            return Ok(false);
+        };
+        if !inner.up[replica] {
+            return Ok(false); // degraded window: ack on primary alone
+        }
+        let primary = inner.shards[shard].primary_node;
+        let mut attempts = 0usize;
+        loop {
+            let from = inner.shards[shard].copies[&replica].records();
+            let chunk = {
+                let p = &inner.shards[shard].copies[&primary];
+                if from >= p.records() {
+                    return Ok(true);
+                }
+                p.bytes_from(from).to_vec()
+            };
+            // Pass the chunk through the (possibly chaotic) link.
+            let delivered = if attempts < self.cfg.max_reships {
+                match inner.link.as_mut().and_then(|l| l.decide()) {
+                    Some(fault) => damage_chunk(fault, &chunk),
+                    None => Some(chunk.clone()),
+                }
+            } else {
+                Some(chunk.clone()) // reliable recovery channel
+            };
+            let outcome = match delivered {
+                None => Err(ShipReject::Lost),
+                Some(bytes) => inner.shards[shard]
+                    .copies
+                    .get_mut(&replica)
+                    .expect("replica copy exists")
+                    .apply_shipped(&bytes),
+            };
+            match outcome {
+                Ok(_) => continue, // loop re-checks the gap and returns
+                Err(_reject) => {
+                    attempts += 1;
+                    self.metrics.reships.inc();
+                }
+            }
+        }
+    }
+
+    /// Refresh the worst-shard replication lag gauge.
+    fn update_lag(&self, inner: &Inner) {
+        let mut worst = 0.0f64;
+        for s in &inner.shards {
+            let Some(r) = s.replica_node else { continue };
+            let p_ts = s.copies[&s.primary_node].last_timestamp().unwrap_or(0);
+            let r_ts = s.copies[&r].last_timestamp().unwrap_or(0);
+            worst = worst.max((p_ts - r_ts).max(0) as f64 / 1_000.0);
+        }
+        self.metrics.lag.set(worst);
+    }
+
+    /// Gather the named families (in order) from their owning shards
+    /// into a scratch store. Caller already ensured primaries are live
+    /// and passed the stores out of the lock.
+    fn merge_families(
+        families: &[String],
+        stores: &[(usize, Arc<MetricStore>)],
+    ) -> MetricStore {
+        let mut merged = MetricStore::new();
+        for family in families {
+            for (_, store) in stores {
+                for series in store.series_for(family) {
+                    for sample in series.samples() {
+                        let _ = merged.append(series.labels().clone(), *sample);
+                    }
+                }
+            }
+        }
+        merged
+    }
+}
+
+impl StoreResolver for Cluster {
+    /// Resolve the store a query should evaluate against. Dead
+    /// primaries fail over here — detection-on-access — so a query
+    /// arriving mid-crash either lands on the promoted replica or
+    /// surfaces a retryable storage fault.
+    fn resolve(&self, families: &[String], dynamic: bool) -> Result<Arc<MetricStore>, String> {
+        let mut inner = self.inner.lock().unwrap();
+        if dynamic || families.is_empty() {
+            // Name-pattern selectors need the full keyspace.
+            let shard_count = inner.shards.len();
+            let mut stores = Vec::with_capacity(shard_count);
+            for shard in 0..shard_count {
+                self.ensure_primary(&mut inner, shard)
+                    .map_err(|e| self.note_unavailable(e).to_string())?;
+                let p = inner.shards[shard].primary_node;
+                stores.push(inner.shards[shard].copies[&p].store());
+            }
+            drop(inner);
+            self.metrics.route_gather_all.inc();
+            let mut merged = MetricStore::new();
+            for store in stores {
+                for series in store.iter() {
+                    for sample in series.samples() {
+                        let _ = merged.append(series.labels().clone(), *sample);
+                    }
+                }
+            }
+            return Ok(Arc::new(merged));
+        }
+
+        // Owning shards, first-occurrence order.
+        let mut shards: Vec<usize> = Vec::new();
+        for family in families {
+            let s = inner.ring.owner(family);
+            if !shards.contains(&s) {
+                shards.push(s);
+            }
+        }
+        let mut stores = Vec::with_capacity(shards.len());
+        for &shard in &shards {
+            self.ensure_primary(&mut inner, shard)
+                .map_err(|e| self.note_unavailable(e).to_string())?;
+            let p = inner.shards[shard].primary_node;
+            stores.push((shard, inner.shards[shard].copies[&p].store()));
+        }
+        drop(inner);
+
+        if let [(_, store)] = stores.as_slice() {
+            // Single owner: push the query down to the shard's own
+            // store. It holds a superset of the named families, but
+            // evaluation only touches the names in the query.
+            self.metrics.route_pushdown.inc();
+            return Ok(Arc::clone(store));
+        }
+        self.metrics.route_gather.inc();
+        Ok(Arc::new(Self::merge_families(families, &stores)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dio_tsdb::labels::NAME_LABEL;
+
+    fn labels(name: &str, inst: &str) -> Labels {
+        Labels::from_pairs([(NAME_LABEL, name), ("instance", inst)])
+    }
+
+    fn seed_store(families: &[&str], samples: usize) -> MetricStore {
+        let mut store = MetricStore::new();
+        for (fi, f) in families.iter().enumerate() {
+            for i in 0..samples {
+                store
+                    .append(
+                        labels(f, "amf-0"),
+                        Sample::new(1_000 * (i as i64 + 1), (fi * 100 + i) as f64),
+                    )
+                    .unwrap();
+            }
+        }
+        store
+    }
+
+    const FAMILIES: [&str; 6] = [
+        "amf_registration_total",
+        "smf_session_setup_seconds",
+        "upf_throughput_bytes",
+        "ausf_auth_reject_total",
+        "nrf_discovery_requests_total",
+        "pcf_policy_updates_total",
+    ];
+
+    #[test]
+    fn load_partitions_and_replicates_every_family() {
+        let source = seed_store(&FAMILIES, 10);
+        let cluster = Cluster::new(ClusterConfig::new(3));
+        let loaded = cluster.load_from(&source).unwrap();
+        assert_eq!(loaded, 60);
+        let records = cluster.shard_records();
+        assert_eq!(records.iter().sum::<usize>(), 60);
+        for shard in 0..cluster.shard_count() {
+            let (p, r) = cluster.shard_wal_images(shard);
+            assert_eq!(Some(p), r, "shard {shard} replica diverged after load");
+        }
+        assert_eq!(cluster.replication_lag_seconds(), 0.0);
+    }
+
+    #[test]
+    fn acked_appends_survive_primary_kill() {
+        let cluster = Cluster::new(ClusterConfig::new(3));
+        let mut acked: Vec<(String, i64, f64)> = Vec::new();
+        for i in 0..40i64 {
+            let f = FAMILIES[(i % 6) as usize];
+            let ack = cluster
+                .append(labels(f, "smf-1"), Sample::new(1_000 * (i / 6 + 1), i as f64))
+                .unwrap();
+            assert!(ack.replicated);
+            acked.push((f.to_string(), 1_000 * (i / 6 + 1), i as f64));
+        }
+        // Kill every node in turn (restarting in between): after each
+        // failover the resolver must still see every acked sample.
+        for victim in 0..3 {
+            cluster.kill_node(victim);
+            for (f, ts, v) in &acked {
+                let store = cluster.resolve(std::slice::from_ref(f), false).unwrap();
+                let found = store
+                    .series_for(f)
+                    .iter()
+                    .flat_map(|s| s.samples().iter())
+                    .any(|s| s.timestamp_ms == *ts && s.value == *v);
+                assert!(found, "acked sample {f}@{ts} lost after killing node {victim}");
+            }
+            cluster.restart_node(victim);
+        }
+        assert!(cluster.failovers() > 0, "kills never triggered a failover");
+    }
+
+    #[test]
+    fn unavailable_shard_surfaces_retryable_error() {
+        let cluster = Cluster::new(ClusterConfig::new(2));
+        cluster
+            .append(labels("amf_registration_total", "a"), Sample::new(1_000, 1.0))
+            .unwrap();
+        let shard = cluster.shard_for("amf_registration_total");
+        let primary = cluster.primary_of(shard);
+        let replica = cluster.replica_of(shard).unwrap();
+        cluster.kill_node(primary);
+        cluster.kill_node(replica);
+        let err = cluster
+            .append(labels("amf_registration_total", "a"), Sample::new(2_000, 2.0))
+            .unwrap_err();
+        assert_eq!(err, ClusterError::Unavailable { shard });
+        assert!(cluster
+            .resolve(&["amf_registration_total".into()], false)
+            .is_err());
+        // Restarting either copy restores service.
+        cluster.restart_node(primary);
+        cluster
+            .append(labels("amf_registration_total", "a"), Sample::new(3_000, 3.0))
+            .unwrap();
+    }
+
+    #[test]
+    fn restart_rejoins_as_replica_and_catches_up() {
+        let cluster = Cluster::new(ClusterConfig::new(2));
+        let f = "amf_registration_total";
+        let shard = cluster.shard_for(f);
+        for i in 0..5i64 {
+            cluster.append(labels(f, "a"), Sample::new(1_000 * (i + 1), i as f64)).unwrap();
+        }
+        let old_primary = cluster.primary_of(shard);
+        cluster.kill_node(old_primary);
+        // Writes continue on the promoted replica, unreplicated.
+        for i in 5..10i64 {
+            let ack = cluster.append(labels(f, "a"), Sample::new(1_000 * (i + 1), i as f64)).unwrap();
+            assert!(!ack.replicated, "no live replica during the degraded window");
+        }
+        assert!(cluster.replication_lag_seconds() > 0.0 || cluster.replica_of(shard).is_none());
+        let report = cluster.restart_node(old_primary);
+        assert!(report.recovered_copies > 0);
+        assert!(report.replayed_wal_bytes > 0, "rejoin must replay durable WAL bytes");
+        assert!(report.caught_up_records >= 5, "rejoin must catch up the missed suffix");
+        assert_eq!(cluster.replica_of(shard), Some(old_primary));
+        let (p, r) = cluster.shard_wal_images(shard);
+        assert_eq!(Some(p), r, "rejoined replica must converge byte-for-byte");
+        // Fail back: kill the current primary; the rejoined replica
+        // serves every acked sample.
+        cluster.kill_node(cluster.primary_of(shard));
+        let store = cluster.resolve(&[f.to_string()], false).unwrap();
+        let total: usize = store.series_for(f).iter().map(|s| s.samples().len()).sum();
+        assert_eq!(total, 10, "rejoined replica is missing acked samples");
+    }
+
+    #[test]
+    fn chaotic_link_reships_until_converged_never_diverges() {
+        let chaos = ChaosConfig::with_probability(77, 0.6);
+        let cluster = Cluster::new(ClusterConfig::with_link_chaos(2, chaos));
+        for i in 0..60i64 {
+            let f = FAMILIES[(i % 6) as usize];
+            let ack = cluster
+                .append(labels(f, "upf-2"), Sample::new(1_000 * (i / 6 + 1), i as f64))
+                .unwrap();
+            assert!(ack.replicated, "append acked without replica apply");
+        }
+        assert!(cluster.reships() > 0, "p=0.6 link chaos caused no reships");
+        for shard in 0..cluster.shard_count() {
+            let (p, r) = cluster.shard_wal_images(shard);
+            assert_eq!(Some(p), r, "shard {shard} diverged under link chaos");
+        }
+    }
+
+    #[test]
+    fn add_node_moves_about_one_nth_and_keeps_all_samples() {
+        let source = seed_store(&FAMILIES, 8);
+        let cluster = Cluster::new(ClusterConfig::new(2));
+        cluster.load_from(&source).unwrap();
+        let before: usize = cluster.shard_records().iter().sum();
+        let report = cluster.add_node();
+        assert_eq!(report.shard, 2);
+        assert_eq!(report.node, 2);
+        // Whether families moved depends on the ring; either way no
+        // sample may be lost and replicas must converge.
+        let after: usize = cluster.shard_records().iter().sum();
+        assert_eq!(after, before);
+        for f in FAMILIES {
+            let store = cluster.resolve(&[f.to_string()], false).unwrap();
+            let total: usize = store.series_for(f).iter().map(|s| s.samples().len()).sum();
+            assert_eq!(total, 8, "family {f} lost samples in rebalancing");
+        }
+        for shard in 0..cluster.shard_count() {
+            let (p, r) = cluster.shard_wal_images(shard);
+            assert_eq!(Some(p), r, "shard {shard} replica diverged after add_node");
+        }
+    }
+
+    #[test]
+    fn resolver_routes_pushdown_gather_and_gather_all() {
+        let source = seed_store(&FAMILIES, 4);
+        let cluster = Cluster::new(ClusterConfig::new(3));
+        cluster.load_from(&source).unwrap();
+        // Pushdown: one family.
+        let one = cluster.resolve(&[FAMILIES[0].to_string()], false).unwrap();
+        assert!(one.has_metric(FAMILIES[0]));
+        // Gather: two families on (very likely) different shards —
+        // find a pair with distinct owners.
+        let pair: Vec<String> = {
+            let s0 = cluster.shard_for(FAMILIES[0]);
+            match FAMILIES.iter().find(|f| cluster.shard_for(f) != s0) {
+                Some(f) => vec![FAMILIES[0].to_string(), f.to_string()],
+                None => vec![FAMILIES[0].to_string()],
+            }
+        };
+        let gathered = cluster.resolve(&pair, false).unwrap();
+        for f in &pair {
+            let total: usize = gathered.series_for(f).iter().map(|s| s.samples().len()).sum();
+            assert_eq!(total, 4, "gather dropped samples of {f}");
+        }
+        // Gather-all: dynamic selector sees the whole keyspace.
+        let all = cluster.resolve(&[], true).unwrap();
+        assert_eq!(all.sample_count(), source.sample_count());
+        let snap = cluster.registry().snapshot();
+        assert!(snap.total("dio_cluster_routes_total") >= 3.0);
+    }
+
+    #[test]
+    fn tenant_homes_are_stable_and_spread() {
+        let cluster = Cluster::new(ClusterConfig::new(4));
+        let homes: Vec<usize> = (0..32)
+            .map(|i| cluster.tenant_home(&format!("tenant-{i}")))
+            .collect();
+        assert_eq!(
+            homes,
+            (0..32)
+                .map(|i| cluster.tenant_home(&format!("tenant-{i}")))
+                .collect::<Vec<_>>()
+        );
+        assert!(homes.iter().collect::<std::collections::BTreeSet<_>>().len() > 1);
+    }
+}

@@ -1,0 +1,51 @@
+//! # dio-cluster
+//!
+//! Sharded serving with replicated failover for the dio stack.
+//!
+//! A [`Cluster`] simulates N nodes in one process: metric families are
+//! partitioned across shards by a consistent-hash [`HashRing`] (one
+//! shard's primary per node, its replica on the next node), writes are
+//! WAL-shipped from primary to replica with CRC validation and
+//! re-shipping (ack only after the replica applied — zero
+//! acknowledged-write loss through any single node crash), and reads
+//! are routed by a scatter-gather resolver that either pushes a query
+//! down to the single owning shard or gathers the named families into
+//! a scratch store — producing the same results as a single-node
+//! store.
+//!
+//! The cluster plugs into the existing stack through two seams:
+//!
+//! * `dio_sandbox::StoreResolver` — [`Cluster`] implements it, so a
+//!   copilot with `attach_store_resolver(cluster)` evaluates PromQL
+//!   against the sharded store with no other changes; resolution
+//!   failures ride the sandbox's retryable storage-fault path.
+//! * `dio_faults` — the replication link reuses the chaos injector
+//!   (bit flips, torn chunks, lost shipments) and node kill/restart
+//!   drills reuse [`dio_faults::CrashSchedule`].
+//!
+//! [`ShardedRetrieval`] applies the same partitioning to the document
+//! corpus: per-shard flat indexes whose merged top-k is exactly the
+//! single-index top-k.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod retrieval;
+pub mod ring;
+pub mod shard;
+
+pub use cluster::{AddNodeReport, AppendAck, Cluster, ClusterConfig, ClusterError, RejoinReport};
+pub use retrieval::{ShardedHit, ShardedRetrieval};
+pub use ring::HashRing;
+pub use shard::{damage_chunk, ShardCopy, ShipApply, ShipReject};
+
+#[cfg(test)]
+mod assertions {
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn cluster_is_shareable_across_serving_workers() {
+        assert_send_sync::<crate::Cluster>();
+        assert_send_sync::<crate::ShardedRetrieval>();
+    }
+}

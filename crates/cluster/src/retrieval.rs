@@ -1,0 +1,178 @@
+//! Scatter-gather document retrieval over ring-partitioned shards.
+//!
+//! The catalog corpus is partitioned across shards by the same
+//! consistent-hash ring that places metric families, so a shard's
+//! vector index covers exactly the docs for the metrics it stores.
+//! The *embedder* is fit on the full corpus (it is metadata-plane
+//! state, replicated everywhere) — otherwise per-shard IDF would skew
+//! scores and break parity with a single-node index.
+//!
+//! A search fans out to every shard, takes each shard's local top-k,
+//! and merges by `(score desc, global id asc)` — the same order a
+//! single flat index over the whole corpus produces, because each
+//! doc's score is independent of which shard holds it. The merged
+//! top-k is therefore *exactly* the single-node top-k, which is what
+//! keeps retrieval-dependent answers byte-stable across shard counts.
+
+use crate::ring::HashRing;
+use dio_catalog::DocSample;
+use dio_embed::{Embedder, Vector};
+use dio_vecstore::{DocIndex, FlatIndex};
+
+/// One merged hit: the doc's position in the full corpus plus score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedHit<'a> {
+    /// Insertion-order id in the full (unsharded) corpus.
+    pub global_id: usize,
+    /// Cosine similarity to the query.
+    pub score: f32,
+    /// Which shard held the doc.
+    pub shard: usize,
+    /// The doc itself.
+    pub doc: &'a DocSample,
+}
+
+/// Per-shard flat indexes over a ring-partitioned corpus.
+#[derive(Debug)]
+pub struct ShardedRetrieval {
+    /// Indexed by shard id. Payload carries the global corpus id.
+    shards: Vec<DocIndex<FlatIndex, (usize, DocSample)>>,
+}
+
+impl ShardedRetrieval {
+    /// Partition `corpus` across the ring's shards. `embedder` must be
+    /// fit on the full corpus. Ring shard ids must be dense (the
+    /// cluster never removes shards).
+    pub fn build(embedder: &Embedder, corpus: &[DocSample], ring: &HashRing) -> Self {
+        let n = ring.shards().iter().copied().max().map_or(1, |m| m + 1);
+        let mut shards: Vec<DocIndex<FlatIndex, (usize, DocSample)>> = (0..n)
+            .map(|_| DocIndex::new(FlatIndex::new(embedder.dims())))
+            .collect();
+        for (gid, doc) in corpus.iter().enumerate() {
+            let shard = ring.owner(&doc.name);
+            shards[shard].add(embedder.embed(&doc.embedding_text()), (gid, doc.clone()));
+        }
+        ShardedRetrieval { shards }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Docs held by `shard`.
+    pub fn shard_len(&self, shard: usize) -> usize {
+        self.shards[shard].len()
+    }
+
+    /// Scatter the query to every shard, gather each local top-`k`,
+    /// and merge to the global top-`k` by `(score desc, global id
+    /// asc)` — identical to a single index over the full corpus.
+    pub fn search(&self, query: &Vector, k: usize) -> Vec<ShardedHit<'_>> {
+        let mut merged: Vec<ShardedHit<'_>> = Vec::new();
+        for (shard, index) in self.shards.iter().enumerate() {
+            for hit in index.search(query, k) {
+                let (gid, doc) = hit.doc;
+                merged.push(ShardedHit {
+                    global_id: *gid,
+                    score: hit.score,
+                    shard,
+                    doc,
+                });
+            }
+        }
+        merged.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.global_id.cmp(&b.global_id))
+        });
+        merged.truncate(k);
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dio_embed::EmbedderConfig;
+
+    fn corpus() -> Vec<DocSample> {
+        let topics = [
+            ("amf_registration_success_total", "AMF registration procedures that completed"),
+            ("amf_registration_failure_total", "AMF registration procedures that failed"),
+            ("smf_session_setup_seconds", "latency of SMF PDU session establishment"),
+            ("upf_throughput_bytes", "user-plane bytes forwarded by the UPF"),
+            ("ausf_auth_reject_total", "authentication rejections at the AUSF"),
+            ("nrf_discovery_requests_total", "NF discovery requests served by the NRF"),
+            ("pcf_policy_updates_total", "policy control updates pushed by the PCF"),
+            ("udm_subscriber_fetch_seconds", "UDM subscriber data fetch latency"),
+        ];
+        topics
+            .iter()
+            .flat_map(|(name, text)| {
+                (0..3).map(move |i| DocSample {
+                    name: format!("{name}_{i}"),
+                    text: format!("{text}, variant {i}"),
+                })
+            })
+            .collect()
+    }
+
+    fn fit(corpus: &[DocSample]) -> Embedder {
+        let texts: Vec<String> = corpus.iter().map(|d| d.embedding_text()).collect();
+        Embedder::fit(&EmbedderConfig::generic(), texts.iter().map(|s| s.as_str()))
+    }
+
+    #[test]
+    fn merged_topk_matches_single_index_exactly() {
+        let corpus = corpus();
+        let embedder = fit(&corpus);
+        let mut single: DocIndex<FlatIndex, usize> = DocIndex::new(FlatIndex::new(embedder.dims()));
+        for (gid, doc) in corpus.iter().enumerate() {
+            single.add(embedder.embed(&doc.embedding_text()), gid);
+        }
+        for shards in [1usize, 2, 3, 4, 7] {
+            let ring = HashRing::new(shards);
+            let sharded = ShardedRetrieval::build(&embedder, &corpus, &ring);
+            for query in [
+                "registration failures at the AMF",
+                "session setup latency",
+                "authentication rejected",
+                "user plane throughput",
+            ] {
+                let qv = embedder.embed(query);
+                for k in [1usize, 3, 5, 10] {
+                    let want: Vec<(usize, f32)> = single
+                        .search(&qv, k)
+                        .into_iter()
+                        .map(|h| (*h.doc, h.score))
+                        .collect();
+                    let got: Vec<(usize, f32)> = sharded
+                        .search(&qv, k)
+                        .into_iter()
+                        .map(|h| (h.global_id, h.score))
+                        .collect();
+                    assert_eq!(
+                        got, want,
+                        "scatter-gather top-{k} diverged from single index at {shards} shards for {query:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_doc_lands_on_exactly_one_shard() {
+        let corpus = corpus();
+        let embedder = fit(&corpus);
+        let ring = HashRing::new(4);
+        let sharded = ShardedRetrieval::build(&embedder, &corpus, &ring);
+        let total: usize = (0..sharded.shard_count()).map(|s| sharded.shard_len(s)).sum();
+        assert_eq!(total, corpus.len());
+        assert!(
+            (0..sharded.shard_count()).filter(|s| sharded.shard_len(*s) > 0).count() > 1,
+            "partitioning put the whole corpus on one shard"
+        );
+    }
+}

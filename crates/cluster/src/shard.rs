@@ -1,0 +1,331 @@
+//! One copy of one shard: a metric store fed through a local WAL.
+//!
+//! Both the primary and the replica of a shard are a [`ShardCopy`].
+//! Every append is framed into the copy's WAL first (the same
+//! CRC-framed format as `dio_tsdb::wal`), then applied to the
+//! published store, so the WAL is always a byte-accurate durable
+//! transcript of the copy's state. Replication is WAL shipping: the
+//! primary sends the replica the framed byte range it has not applied
+//! yet, the replica CRC-validates the chunk and either applies it or
+//! rejects the whole shipment (never a partial apply), and the primary
+//! re-ships pristine bytes on rejection. Because framing is
+//! deterministic, primary and replica WALs are byte-identical up to
+//! the replica's applied offset — which is what lets a restarted node
+//! catch up from any copy.
+
+use dio_faults::{DataFaultKind, PlannedFault};
+use dio_tsdb::wal::{recover, Wal, WalRecord, WalRecovery};
+use dio_faults::MemMedium;
+use dio_tsdb::series::AppendError;
+use dio_tsdb::{Labels, MetricStore, Sample};
+use std::sync::Arc;
+
+/// Why a shipped chunk was rejected by the receiving copy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShipReject {
+    /// A frame failed its CRC (bit flip in flight).
+    CorruptFrame {
+        /// How many frames failed.
+        frames: usize,
+    },
+    /// The chunk ended mid-frame (torn tail in flight).
+    TornTail,
+    /// The chunk never arrived (transient link failure).
+    Lost,
+}
+
+impl std::fmt::Display for ShipReject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShipReject::CorruptFrame { frames } => {
+                write!(f, "{frames} frame(s) failed CRC validation")
+            }
+            ShipReject::TornTail => write!(f, "chunk ended mid-frame"),
+            ShipReject::Lost => write!(f, "chunk lost in transit"),
+        }
+    }
+}
+
+/// What applying a validated shipment did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShipApply {
+    /// Records appended to this copy's WAL and store.
+    pub applied: usize,
+    /// Records the store rejected (out of order) — still WAL-logged, so
+    /// primary and replica stay byte-identical and reject identically.
+    pub rejected: usize,
+}
+
+/// One copy (primary or replica) of one shard.
+#[derive(Debug)]
+pub struct ShardCopy {
+    store: Arc<MetricStore>,
+    wal: Wal<MemMedium>,
+    /// Byte offset of the end of each framed record, in append order.
+    boundaries: Vec<usize>,
+}
+
+impl Default for ShardCopy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ShardCopy {
+    /// An empty copy.
+    pub fn new() -> Self {
+        ShardCopy {
+            store: Arc::new(MetricStore::new()),
+            wal: Wal::new(MemMedium::new()),
+            boundaries: Vec::new(),
+        }
+    }
+
+    /// The published store. Cheap `Arc` clone; readers keep evaluating
+    /// against the snapshot they grabbed while writers move on.
+    pub fn store(&self) -> Arc<MetricStore> {
+        Arc::clone(&self.store)
+    }
+
+    /// Records in this copy's WAL (== records applied to the store,
+    /// counting rejected appends, which are logged but not stored).
+    pub fn records(&self) -> usize {
+        self.boundaries.len()
+    }
+
+    /// Bytes currently in this copy's WAL.
+    pub fn wal_len(&self) -> usize {
+        self.wal.len()
+    }
+
+    /// Newest sample timestamp in the store, for replication lag.
+    pub fn last_timestamp(&self) -> Option<i64> {
+        self.store.max_timestamp()
+    }
+
+    /// The raw WAL bytes — the durable transcript that survives a node
+    /// crash.
+    pub fn wal_bytes(&self) -> &[u8] {
+        self.wal.medium().bytes()
+    }
+
+    /// The framed bytes of records `from_record..`, for shipping to a
+    /// copy whose applied count is `from_record`.
+    pub fn bytes_from(&self, from_record: usize) -> &[u8] {
+        let start = if from_record == 0 {
+            0
+        } else {
+            self.boundaries[from_record - 1]
+        };
+        &self.wal.medium().bytes()[start..]
+    }
+
+    /// Append one record locally: WAL frame first (the durability
+    /// point), then apply to the published store. An `Err(AppendError)`
+    /// means the store rejected the sample as out of order; the record
+    /// stays in the WAL so every copy replays — and rejects — it
+    /// identically.
+    pub fn append_local(
+        &mut self,
+        labels: Labels,
+        sample: Sample,
+    ) -> std::io::Result<Result<(), AppendError>> {
+        let record = WalRecord {
+            labels: labels.clone(),
+            sample,
+        };
+        self.wal.append(&record)?;
+        self.boundaries.push(self.wal.len());
+        Ok(Arc::make_mut(&mut self.store).append(labels, sample))
+    }
+
+    /// Validate and apply a shipped chunk. All-or-nothing: any CRC
+    /// failure, torn tail, or unparsable payload rejects the whole
+    /// shipment without touching this copy, so a damaged ship can never
+    /// leave the replica silently diverged — the primary just re-ships.
+    pub fn apply_shipped(&mut self, chunk: &[u8]) -> Result<ShipApply, ShipReject> {
+        let scan = recover(chunk);
+        if scan.corrupt_frames > 0 || scan.unparsable > 0 {
+            return Err(ShipReject::CorruptFrame {
+                frames: scan.corrupt_frames + scan.unparsable,
+            });
+        }
+        if scan.truncated_tail {
+            return Err(ShipReject::TornTail);
+        }
+        let mut out = ShipApply::default();
+        for rec in scan.records {
+            self.wal
+                .append(&rec)
+                .expect("in-memory WAL append cannot fail");
+            self.boundaries.push(self.wal.len());
+            match Arc::make_mut(&mut self.store).append(rec.labels, rec.sample) {
+                Ok(()) => out.applied += 1,
+                Err(_) => out.rejected += 1,
+            }
+        }
+        Ok(out)
+    }
+
+    /// Rebuild a copy from the durable WAL bytes a crashed node left
+    /// behind. Volatile state (the store) is reconstructed by replaying
+    /// every intact record; a torn tail (kill mid-write) is cleanly
+    /// truncated, so the rebuilt copy is the longest acknowledged
+    /// prefix and catch-up from a surviving copy resumes at
+    /// `records()`.
+    pub fn recover_from_bytes(bytes: &[u8]) -> (Self, WalRecovery) {
+        let recovery = recover(bytes);
+        let mut copy = ShardCopy::new();
+        for rec in &recovery.records {
+            copy.wal
+                .append(rec)
+                .expect("in-memory WAL append cannot fail");
+            copy.boundaries.push(copy.wal.len());
+            let _ = Arc::make_mut(&mut copy.store).append(rec.labels.clone(), rec.sample);
+        }
+        (copy, recovery)
+    }
+}
+
+/// Apply a planned link fault to a shipped chunk. Returns the bytes
+/// the receiver sees, or `None` when the shipment is lost outright.
+/// Deterministic in `(fault, chunk)` — the damage position comes from
+/// the fault's pre-drawn `aux` entropy.
+pub fn damage_chunk(fault: PlannedFault, chunk: &[u8]) -> Option<Vec<u8>> {
+    match fault.kind {
+        // A slow link still delivers intact bytes.
+        DataFaultKind::LatencySpike => Some(chunk.to_vec()),
+        DataFaultKind::TransientIo => None,
+        DataFaultKind::TruncatedRead => {
+            if chunk.is_empty() {
+                return Some(Vec::new());
+            }
+            let cut = (fault.aux % chunk.len() as u64) as usize;
+            Some(chunk[..cut].to_vec())
+        }
+        DataFaultKind::BitFlip => {
+            if chunk.is_empty() {
+                return Some(Vec::new());
+            }
+            let mut out = chunk.to_vec();
+            let bit = fault.aux % (chunk.len() as u64 * 8);
+            out[(bit / 8) as usize] ^= 1 << (bit % 8);
+            Some(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dio_tsdb::labels::NAME_LABEL;
+
+    fn rec(name: &str, i: usize) -> (Labels, Sample) {
+        (
+            Labels::from_pairs([(NAME_LABEL, name), ("instance", "smf-0")]),
+            Sample::new(1_000 * (i as i64 + 1), i as f64),
+        )
+    }
+
+    fn filled(n: usize) -> ShardCopy {
+        let mut c = ShardCopy::new();
+        for i in 0..n {
+            let (l, s) = rec("auth_req", i);
+            c.append_local(l, s).unwrap().unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn ship_full_log_reproduces_store_and_wal_bytes() {
+        let primary = filled(5);
+        let mut replica = ShardCopy::new();
+        let apply = replica.apply_shipped(primary.bytes_from(0)).unwrap();
+        assert_eq!(apply, ShipApply { applied: 5, rejected: 0 });
+        assert_eq!(replica.records(), 5);
+        assert_eq!(replica.wal_bytes(), primary.wal_bytes());
+        assert_eq!(replica.store().sample_count(), primary.store().sample_count());
+    }
+
+    #[test]
+    fn incremental_catch_up_ships_only_the_gap() {
+        let mut primary = filled(3);
+        let mut replica = ShardCopy::new();
+        replica.apply_shipped(primary.bytes_from(0)).unwrap();
+        for i in 3..6 {
+            let (l, s) = rec("auth_req", i);
+            primary.append_local(l, s).unwrap().unwrap();
+        }
+        let gap = primary.bytes_from(replica.records());
+        assert!(gap.len() < primary.wal_len());
+        replica.apply_shipped(gap).unwrap();
+        assert_eq!(replica.wal_bytes(), primary.wal_bytes());
+    }
+
+    #[test]
+    fn bit_flip_in_flight_is_rejected_without_partial_apply() {
+        let primary = filled(4);
+        let mut replica = ShardCopy::new();
+        let mut damaged = primary.bytes_from(0).to_vec();
+        let mid = damaged.len() / 2;
+        damaged[mid] ^= 0x10;
+        let err = replica.apply_shipped(&damaged).unwrap_err();
+        assert!(matches!(err, ShipReject::CorruptFrame { .. }));
+        assert_eq!(replica.records(), 0, "rejected shipment must not partially apply");
+        // Pristine re-ship then succeeds and converges byte-for-byte.
+        replica.apply_shipped(primary.bytes_from(0)).unwrap();
+        assert_eq!(replica.wal_bytes(), primary.wal_bytes());
+    }
+
+    #[test]
+    fn torn_tail_in_flight_is_rejected() {
+        let primary = filled(2);
+        let chunk = primary.bytes_from(0);
+        let mut replica = ShardCopy::new();
+        let err = replica.apply_shipped(&chunk[..chunk.len() - 3]).unwrap_err();
+        assert_eq!(err, ShipReject::TornTail);
+        assert_eq!(replica.records(), 0);
+    }
+
+    #[test]
+    fn recover_from_torn_local_wal_keeps_acked_prefix() {
+        let primary = filled(4);
+        let bytes = primary.wal_bytes();
+        // Kill mid-write of the 4th record: cut inside the last frame.
+        let cut = primary.boundaries[2] + 4;
+        let (copy, recovery) = ShardCopy::recover_from_bytes(&bytes[..cut]);
+        assert_eq!(copy.records(), 3);
+        assert!(recovery.truncated_tail);
+        assert_eq!(recovery.corrupt_frames, 0);
+        assert_eq!(copy.store().sample_count(), 3);
+        // Catch-up from the survivor resumes exactly at the gap.
+        let mut copy = copy;
+        copy.apply_shipped(primary.bytes_from(copy.records())).unwrap();
+        assert_eq!(copy.wal_bytes(), primary.wal_bytes());
+    }
+
+    #[test]
+    fn damage_chunk_is_deterministic_and_detectable() {
+        let primary = filled(3);
+        let chunk = primary.bytes_from(0);
+        for kind in [DataFaultKind::TruncatedRead, DataFaultKind::BitFlip] {
+            let fault = PlannedFault { kind, aux: 7777 };
+            let a = damage_chunk(fault, chunk).unwrap();
+            let b = damage_chunk(fault, chunk).unwrap();
+            assert_eq!(a, b);
+            assert_ne!(a, chunk, "{kind:?} left the chunk intact");
+            let mut replica = ShardCopy::new();
+            assert!(replica.apply_shipped(&a).is_err(), "{kind:?} damage went undetected");
+        }
+        assert!(damage_chunk(
+            PlannedFault { kind: DataFaultKind::TransientIo, aux: 0 },
+            chunk
+        )
+        .is_none());
+        assert_eq!(
+            damage_chunk(PlannedFault { kind: DataFaultKind::LatencySpike, aux: 0 }, chunk)
+                .as_deref(),
+            Some(chunk)
+        );
+    }
+}

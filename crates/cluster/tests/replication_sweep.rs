@@ -1,0 +1,84 @@
+//! The kill-at-every-byte-offset sweep, extended to the replication
+//! path: whatever prefix of a shipped chunk survives the link — and
+//! whatever single bit flips in flight — the replica either applies a
+//! clean record prefix or rejects the whole shipment. It never
+//! silently diverges from the primary, and catch-up shipping always
+//! converges the copies byte-for-byte.
+
+use dio_cluster::{ShardCopy, ShipReject};
+use dio_tsdb::labels::NAME_LABEL;
+use dio_tsdb::{Labels, Sample};
+
+fn primary_with(records: usize) -> (ShardCopy, Vec<usize>) {
+    let mut primary = ShardCopy::new();
+    let mut boundaries = Vec::new();
+    for i in 0..records {
+        let labels = Labels::from_pairs([
+            (NAME_LABEL, "amf_registration_total"),
+            ("instance", &format!("amf-{}", i % 2)),
+        ]);
+        primary
+            .append_local(labels, Sample::new(1_000 * (i as i64 + 1), i as f64))
+            .unwrap()
+            .unwrap();
+        boundaries.push(primary.wal_len());
+    }
+    (primary, boundaries)
+}
+
+#[test]
+fn truncation_at_every_byte_offset_never_diverges_replica() {
+    let (primary, boundaries) = primary_with(4);
+    let chunk = primary.bytes_from(0).to_vec();
+    for cut in 0..=chunk.len() {
+        let mut replica = ShardCopy::new();
+        let acked_prefix = boundaries.iter().filter(|&&b| b <= cut).count();
+        match replica.apply_shipped(&chunk[..cut]) {
+            Ok(apply) => {
+                // Only whole-frame prefixes may apply, and they must
+                // apply exactly.
+                assert!(
+                    cut == 0 || boundaries.contains(&cut),
+                    "cut {cut} mid-frame was applied"
+                );
+                assert_eq!(apply.applied, acked_prefix, "cut {cut}");
+                assert_eq!(
+                    replica.wal_bytes(),
+                    &chunk[..cut],
+                    "cut {cut} produced divergent replica bytes"
+                );
+            }
+            Err(reject) => {
+                assert_eq!(reject, ShipReject::TornTail, "cut {cut}");
+                assert_eq!(replica.records(), 0, "cut {cut} partially applied");
+            }
+        }
+        // Whatever happened, one pristine catch-up ship converges.
+        replica
+            .apply_shipped(primary.bytes_from(replica.records()))
+            .unwrap();
+        assert_eq!(
+            replica.wal_bytes(),
+            primary.wal_bytes(),
+            "cut {cut} failed to converge after re-ship"
+        );
+    }
+}
+
+#[test]
+fn every_single_bit_flip_in_flight_is_detected() {
+    let (primary, _) = primary_with(3);
+    let chunk = primary.bytes_from(0).to_vec();
+    for bit in 0..chunk.len() * 8 {
+        let mut damaged = chunk.clone();
+        damaged[bit / 8] ^= 1 << (bit % 8);
+        let mut replica = ShardCopy::new();
+        match replica.apply_shipped(&damaged) {
+            Err(_) => assert_eq!(replica.records(), 0, "bit {bit} partially applied"),
+            Ok(_) => panic!("bit flip at {bit} went undetected and was applied"),
+        }
+        // Re-ship of the pristine chunk self-heals.
+        replica.apply_shipped(&chunk).unwrap();
+        assert_eq!(replica.wal_bytes(), primary.wal_bytes(), "bit {bit}");
+    }
+}

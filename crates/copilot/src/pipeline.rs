@@ -207,6 +207,19 @@ impl DioCopilot {
         &self.obs
     }
 
+    /// Route the sandbox's store lookups through a
+    /// [`dio_sandbox::StoreResolver`] — the hook a sharded data plane
+    /// (cluster router) uses to serve this pipeline from many shard
+    /// stores instead of the resident one. Forks inherit the resolver,
+    /// so a serving pool spawned from this copilot is cluster-backed
+    /// end to end.
+    pub fn attach_store_resolver(
+        &mut self,
+        resolver: Arc<dyn dio_sandbox::StoreResolver>,
+    ) {
+        self.sandbox.attach_store_resolver(resolver);
+    }
+
     /// Swap the foundation model without rebuilding the retrieval
     /// index — e.g. to change a fault schedule between experiment runs.
     /// The new model is wrapped for observation like the original.
@@ -252,6 +265,9 @@ impl DioCopilot {
             self.sandbox.policy().clone(),
         );
         sandbox.attach_obs(self.obs.registry().clone());
+        if let Some(resolver) = self.sandbox.store_resolver() {
+            sandbox.attach_store_resolver(resolver);
+        }
         DioCopilot {
             config: self.config.clone(),
             db: Arc::clone(&self.db),

@@ -26,11 +26,13 @@
 //! in `dio-tsdb`), so fault *counting* is done by callers draining the
 //! injector's event log into their own registries.
 
+pub mod crash;
 pub mod crc32;
 pub mod framing;
 pub mod injector;
 pub mod medium;
 
+pub use crash::{CrashSchedule, NodeFault, NodeFaultEvent};
 pub use crc32::crc32;
 pub use framing::{decode_all, encode_record, ScanReport, FRAME_HEADER_LEN, MAGIC};
 pub use injector::{ChaosConfig, DataFaultEvent, DataFaultKind, Injector, PlannedFault};

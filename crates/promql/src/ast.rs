@@ -283,6 +283,34 @@ impl Expr {
         out
     }
 
+    /// True when any vector selector's metric name cannot be resolved
+    /// statically — no literal name and no `=` matcher on `__name__`
+    /// (i.e. a name-pattern selector). Routers that partition series
+    /// by metric family use this to fall back from single-shard
+    /// pushdown to a full scatter-gather.
+    pub fn has_dynamic_selector(&self) -> bool {
+        match self {
+            Expr::VectorSelector { name, matchers, .. } => {
+                name.is_none()
+                    && !matchers.iter().any(|m| {
+                        m.name == dio_tsdb::labels::NAME_LABEL && m.op == dio_tsdb::MatchOp::Eq
+                    })
+            }
+            Expr::MatrixSelector { selector, .. } => selector.has_dynamic_selector(),
+            Expr::Subquery { expr, .. } => expr.has_dynamic_selector(),
+            Expr::Neg(e) | Expr::Paren(e) => e.has_dynamic_selector(),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.has_dynamic_selector() || rhs.has_dynamic_selector()
+            }
+            Expr::Aggregate { param, expr, .. } => {
+                param.as_deref().is_some_and(Expr::has_dynamic_selector)
+                    || expr.has_dynamic_selector()
+            }
+            Expr::Call { args, .. } => args.iter().any(Expr::has_dynamic_selector),
+            Expr::NumberLiteral(_) | Expr::StringLiteral(_) => false,
+        }
+    }
+
     fn walk_names(&self, out: &mut Vec<String>) {
         match self {
             Expr::VectorSelector { name, matchers, .. } => {

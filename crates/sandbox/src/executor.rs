@@ -159,6 +159,32 @@ impl std::fmt::Display for SandboxError {
 
 impl std::error::Error for SandboxError {}
 
+/// Resolves the metric families a vetted query references to the store
+/// it should evaluate against.
+///
+/// This is the seam a sharded data plane plugs into: a cluster router
+/// implements it by mapping families to owning shards (sharing one
+/// shard's store for a single-owner query, merging across shards
+/// otherwise). `dynamic` is true when the query contains a selector
+/// whose metric name is not a literal (a name-pattern selector), in
+/// which case the returned store must cover the full keyspace, not
+/// just `families`.
+///
+/// An `Err` is a *transient* storage fault — the keyspace is briefly
+/// unavailable (e.g. a shard mid-failover) and the same call is
+/// expected to succeed on retry. It surfaces as
+/// [`SandboxError::Storage`], riding the copilot's existing
+/// storage-retry and degraded-fallback machinery.
+pub trait StoreResolver: Send + Sync + std::fmt::Debug {
+    /// Resolve a store covering at least `families` (the whole keyspace
+    /// when `dynamic`).
+    fn resolve(
+        &self,
+        families: &[String],
+        dynamic: bool,
+    ) -> Result<std::sync::Arc<MetricStore>, String>;
+}
+
 /// Instrument name/help for per-outcome execution counts.
 const EXECUTIONS_NAME: &str = "dio_sandbox_executions_total";
 const EXECUTIONS_HELP: &str = "Untrusted queries the sandbox vetted and executed, by outcome.";
@@ -176,6 +202,7 @@ pub struct Sandbox {
     audit: AuditLog,
     registry: Option<dio_obs::Registry>,
     chaos: Option<Injector>,
+    resolver: Option<std::sync::Arc<dyn StoreResolver>>,
 }
 
 impl Sandbox {
@@ -202,7 +229,21 @@ impl Sandbox {
             audit: AuditLog::new(),
             registry: None,
             chaos: None,
+            resolver: None,
         }
+    }
+
+    /// Route every execution's store lookup through `resolver` instead
+    /// of the resident engine store. The resident store stays in place
+    /// for [`Sandbox::store_arc`] / [`Sandbox::engine`] callers; only
+    /// query evaluation is redirected.
+    pub fn attach_store_resolver(&mut self, resolver: std::sync::Arc<dyn StoreResolver>) {
+        self.resolver = Some(resolver);
+    }
+
+    /// The attached store resolver, if any (cheap handle clone).
+    pub fn store_resolver(&self) -> Option<std::sync::Arc<dyn StoreResolver>> {
+        self.resolver.clone()
     }
 
     /// The shared handle to the underlying store (cheap clone).
@@ -323,7 +364,39 @@ impl Sandbox {
                 }
             }
         }
-        match self.engine.instant_query_expr(&expr, ts) {
+        let evaluated = match &self.resolver {
+            Some(resolver) => {
+                let families = expr.metric_names();
+                match resolver.resolve(&families, expr.has_dynamic_selector()) {
+                    Ok(store) => {
+                        // Evaluate on an ephemeral engine over the
+                        // resolved store; policy limits still apply.
+                        let engine = Engine::with_options_shared(
+                            store,
+                            EngineOptions {
+                                max_samples: self.policy.max_samples,
+                                ..EngineOptions::default()
+                            },
+                        );
+                        engine.instant_query_expr(&expr, ts)
+                    }
+                    Err(reason) => {
+                        let reason = format!("store resolution failed: {reason}");
+                        self.audit.record(
+                            query,
+                            ts,
+                            AuditOutcome::EvalFailed {
+                                reason: reason.clone(),
+                            },
+                        );
+                        self.count_outcome("storage_fault");
+                        return Err(SandboxError::Storage(reason));
+                    }
+                }
+            }
+            None => self.engine.instant_query_expr(&expr, ts),
+        };
+        match evaluated {
             Ok((value, stats)) => {
                 self.audit.record(query, ts, AuditOutcome::Executed);
                 self.count_outcome("executed");

@@ -20,5 +20,5 @@ pub mod executor;
 pub mod policy;
 
 pub use audit::{AuditEntry, AuditLog, AuditOutcome};
-pub use executor::{DataCompleteness, ExecutionOutcome, Sandbox, SandboxError};
+pub use executor::{DataCompleteness, ExecutionOutcome, Sandbox, SandboxError, StoreResolver};
 pub use policy::{PolicyViolation, SafetyPolicy};

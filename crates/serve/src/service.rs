@@ -333,7 +333,12 @@ impl QueryService {
                     .set(self.core.queue.len() as f64);
                 Ok(Ticket { rx })
             }
-            Err(PushRefused { reason, .. }) => {
+            Err(PushRefused { reason, item: job }) => {
+                // The tenant was charged a token on admission but the
+                // service refused the work — refund it, or a queue
+                // backup (say, mid-failover) throttles the tenant's
+                // retries on top of shedding them.
+                self.core.limiter.refund(&job.req.tenant);
                 let shed = Shed {
                     reason,
                     // The queue drains at the service rate; a short,

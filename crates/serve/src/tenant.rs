@@ -98,6 +98,21 @@ impl RateLimiter {
         }
     }
 
+    /// Return one token to `tenant`'s bucket. Used when an admitted
+    /// request is refused downstream (e.g. the queue is full during a
+    /// failover-induced backup): the tenant did not consume service,
+    /// so the charge is reversed and a well-behaved retry is not
+    /// throttled for the service's own congestion.
+    pub fn refund(&self, tenant: &str) {
+        if self.policy.rate_per_sec <= 0.0 {
+            return;
+        }
+        let mut buckets = self.buckets.lock().unwrap();
+        if let Some(bucket) = buckets.get_mut(tenant) {
+            bucket.tokens = (bucket.tokens + 1.0).min(self.policy.burst);
+        }
+    }
+
     /// Tenants seen so far.
     pub fn tenant_count(&self) -> usize {
         self.buckets.lock().unwrap().len()
@@ -136,6 +151,30 @@ mod tests {
         assert!(rl
             .try_acquire_at("a", t0 + Duration::from_millis(150))
             .is_ok());
+    }
+
+    #[test]
+    fn refund_reverses_the_charge() {
+        let rl = RateLimiter::new(TenantPolicy {
+            rate_per_sec: 10.0,
+            burst: 1.0,
+        });
+        let t0 = Instant::now();
+        assert!(rl.try_acquire_at("a", t0).is_ok());
+        // Downstream refused the admitted request: the refund makes
+        // the immediate retry admissible instead of throttled.
+        rl.refund("a");
+        assert!(rl.try_acquire_at("a", t0).is_ok());
+        assert!(rl.try_acquire_at("a", t0).is_err());
+        // Refunds never push a bucket past its burst capacity, and a
+        // refund for an uncharged tenant is a no-op.
+        rl.refund("a");
+        rl.refund("a");
+        rl.refund("a");
+        assert!(rl.try_acquire_at("a", t0).is_ok());
+        assert!(rl.try_acquire_at("a", t0).is_err());
+        rl.refund("never-charged");
+        assert_eq!(rl.tenant_count(), 1);
     }
 
     #[test]

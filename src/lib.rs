@@ -22,6 +22,8 @@
 //! | [`obs`] | `dio-obs` | metrics registry, tracer, Prometheus text exposition |
 //! | [`baselines`] | `dio-baselines` | DIN-SQL-style and bare-model baselines |
 //! | [`benchmark`] | `dio-benchmark` | 200-question benchmark + EX evaluation |
+//! | [`serve`] | `dio-serve` | concurrent multi-tenant query service with admission control |
+//! | [`cluster`] | `dio-cluster` | sharded serving: hash-ring partitioning, WAL-shipped replicas, failover |
 //!
 //! ## Quickstart
 //!
@@ -40,6 +42,7 @@
 pub use dio_baselines as baselines;
 pub use dio_benchmark as benchmark;
 pub use dio_catalog as catalog;
+pub use dio_cluster as cluster;
 pub use dio_copilot as copilot;
 pub use dio_dashboard as dashboard;
 pub use dio_embed as embed;
