@@ -50,6 +50,14 @@ struct PassResult {
     p50_micros: f64,
     p95_micros: f64,
     p99_micros: f64,
+    /// Submit-to-pickup decomposition: time spent queued…
+    queue_wait_p50_micros: f64,
+    queue_wait_p95_micros: f64,
+    queue_wait_p99_micros: f64,
+    /// …versus time a worker spent producing the answer.
+    service_p50_micros: f64,
+    service_p95_micros: f64,
+    service_p99_micros: f64,
 }
 
 #[derive(Debug, Clone, Serialize)]
@@ -87,6 +95,15 @@ struct ServeArtifact {
     cold_speedup_vs_sequential: f64,
     warm_speedup_vs_sequential: f64,
     ex_delta_cold_vs_sequential: i64,
+    /// Flight-recorder tail sample: where the dumped span trees live
+    /// and what the recorder kept.
+    trace_dump_path: String,
+    retained_traces: usize,
+    retained_slow: usize,
+    retained_shed: usize,
+    /// Spans unreachable from their trace root across every finished
+    /// trace (must be 0; gated below).
+    orphan_spans: usize,
 }
 
 fn flag_value(name: &str) -> Option<String> {
@@ -140,6 +157,8 @@ fn run_pass(
     let mut shed = 0;
     let mut correct = 0;
     let mut latencies = Vec::with_capacity(tickets.len());
+    let mut queue_waits = Vec::with_capacity(tickets.len());
+    let mut service_times = Vec::with_capacity(tickets.len());
     for (q, ticket) in tickets {
         let Some(ticket) = ticket else {
             shed += 1;
@@ -149,6 +168,8 @@ fn run_pass(
             ServeOutcome::Answered(a) => {
                 answered += 1;
                 latencies.push((a.queue_wait + a.service_time).as_micros() as f64);
+                queue_waits.push(a.queue_wait.as_micros() as f64);
+                service_times.push(a.service_time.as_micros() as f64);
                 let ok = a
                     .response
                     .numeric_answer
@@ -163,6 +184,8 @@ fn run_pass(
     }
     let wall = started.elapsed().as_secs_f64();
     latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    queue_waits.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    service_times.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let cache_hits = (service.answer_cache_stats().hits - hits_before) as usize;
     PassResult {
         pass: pass.to_string(),
@@ -178,6 +201,12 @@ fn run_pass(
         p50_micros: percentile(&latencies, 0.50),
         p95_micros: percentile(&latencies, 0.95),
         p99_micros: percentile(&latencies, 0.99),
+        queue_wait_p50_micros: percentile(&queue_waits, 0.50),
+        queue_wait_p95_micros: percentile(&queue_waits, 0.95),
+        queue_wait_p99_micros: percentile(&queue_waits, 0.99),
+        service_p50_micros: percentile(&service_times, 0.50),
+        service_p95_micros: percentile(&service_times, 0.95),
+        service_p99_micros: percentile(&service_times, 0.99),
     }
 }
 
@@ -278,7 +307,31 @@ fn main() {
             }
         },
     ];
+
+    // Flight recorder: the service's tracer offered every finished
+    // request trace; dump the retained tail (slow / shed / degraded /
+    // errored trees) next to the artifact and gate on structure.
+    let recorder = service.obs().recorder().clone();
+    let tracer = service.obs().tracer().clone();
     service.shutdown();
+    let orphan_spans: usize = tracer
+        .recent(4096)
+        .iter()
+        .filter(|t| t.finished)
+        .map(|t| t.orphan_count())
+        .sum();
+    let trace_dump_path = std::path::PathBuf::from("results").join("TRACES_serve.json");
+    std::fs::create_dir_all("results").expect("create results dir");
+    let retained_traces = recorder.dump(&trace_dump_path).expect("dump trace trees");
+    let retained_slow = recorder.retained_for("slow").len();
+    let retained_shed = recorder.retained_for("shed").len();
+    eprintln!(
+        "  flight recorder: {} trace trees retained ({} slow, {} shed) -> {}",
+        retained_traces,
+        retained_slow,
+        retained_shed,
+        trace_dump_path.display()
+    );
 
     // Phase 4: overload an undersized service. A fresh prototype keeps
     // its shed counters on a registry of their own.
@@ -360,6 +413,12 @@ fn main() {
                 p50_micros: 0.0,
                 p95_micros: 0.0,
                 p99_micros: 0.0,
+                queue_wait_p50_micros: 0.0,
+                queue_wait_p95_micros: 0.0,
+                queue_wait_p99_micros: 0.0,
+                service_p50_micros: 0.0,
+                service_p95_micros: 0.0,
+                service_p99_micros: 0.0,
             },
             cold.clone(),
             warm.clone(),
@@ -369,6 +428,11 @@ fn main() {
         cold_speedup_vs_sequential: cold_speedup,
         warm_speedup_vs_sequential: warm_speedup,
         ex_delta_cold_vs_sequential: ex_delta,
+        trace_dump_path: trace_dump_path.display().to_string(),
+        retained_traces,
+        retained_slow,
+        retained_shed,
+        orphan_spans,
     };
     let path = std::path::PathBuf::from("results").join("BENCH_serve.json");
     std::fs::create_dir_all("results").expect("create results dir");
@@ -403,6 +467,15 @@ fn main() {
     assert!(
         overload.all_accepted_resolved,
         "an accepted request was dropped under overload"
+    );
+    assert_eq!(
+        orphan_spans, 0,
+        "finished traces contain spans unreachable from their root"
+    );
+    assert!(
+        retained_slow >= 1,
+        "flight recorder retained no slow trace across {} requests",
+        3 * n
     );
     // The cold-path parallel speedup needs physical cores; gate it so
     // single-core containers still exercise everything above.

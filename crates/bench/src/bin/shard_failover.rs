@@ -30,6 +30,7 @@ use dio_bench::Experiment;
 use dio_benchmark::eval::numeric_match;
 use dio_benchmark::WorldConfig;
 use dio_cluster::{Cluster, ClusterConfig, ClusterError};
+use dio_copilot::ShardTiming;
 use dio_faults::{ChaosConfig, CrashSchedule, NodeFault};
 use dio_sandbox::StoreResolver;
 use dio_serve::{QueryRequest, QueryService, ServeConfig, ServeOutcome, TenantPolicy};
@@ -50,6 +51,10 @@ struct SweepResult {
     routes_pushdown: u64,
     routes_gather: u64,
     routes_gather_all: u64,
+    /// Per-shard span totals aggregated over every question in the
+    /// sweep: which shards the fan-out actually touched, via which
+    /// routing path, and how much wall time each soaked up.
+    shard_breakdown: Vec<ShardTiming>,
 }
 
 #[derive(Debug, Clone, Serialize)]
@@ -78,6 +83,12 @@ struct QueryDrill {
     shed: usize,
     all_accepted_resolved: bool,
     failovers: u64,
+    /// Complete span trees the flight recorder retained because the
+    /// request paid for a shard promotion mid-flight.
+    retained_failed_over: usize,
+    /// Spans unreachable from their trace root across every finished
+    /// trace of the drill (must be zero).
+    orphan_spans: usize,
 }
 
 #[derive(Debug, Clone, Serialize)]
@@ -111,6 +122,8 @@ struct ShardFailoverArtifact {
     query_drill: QueryDrill,
     rejoin: RejoinDrill,
     failover_latency: FailoverLatency,
+    /// Where the failed-over trace trees were dumped.
+    trace_dump_path: String,
 }
 
 fn flag_value(name: &str) -> Option<String> {
@@ -145,10 +158,16 @@ fn route_count(cluster: &Cluster, path: &str) -> u64 {
         .unwrap_or(0)
 }
 
-/// Ask every question through `copilot` and count EX-correct answers.
-fn score(exp: &Experiment, copilot: &mut dio_copilot::DioCopilot) -> (usize, f64) {
+/// Ask every question through `copilot`, counting EX-correct answers
+/// and folding each response's per-shard span timings into one
+/// aggregate breakdown for the sweep width.
+fn score(
+    exp: &Experiment,
+    copilot: &mut dio_copilot::DioCopilot,
+) -> (usize, f64, Vec<ShardTiming>) {
     let started = Instant::now();
     let mut correct = 0;
+    let mut breakdown: Vec<ShardTiming> = Vec::new();
     for q in &exp.questions {
         let r = copilot.ask(&q.text, exp.world.eval_ts);
         if r.numeric_answer
@@ -157,8 +176,21 @@ fn score(exp: &Experiment, copilot: &mut dio_copilot::DioCopilot) -> (usize, f64
         {
             correct += 1;
         }
+        for shard in r.trace.shard_breakdown() {
+            match breakdown
+                .iter_mut()
+                .find(|t| t.shard == shard.shard && t.path == shard.path)
+            {
+                Some(t) => {
+                    t.invocations += shard.invocations;
+                    t.total_micros = t.total_micros.saturating_add(shard.total_micros);
+                }
+                None => breakdown.push(shard),
+            }
+        }
     }
-    (correct, started.elapsed().as_secs_f64())
+    breakdown.sort_by(|a, b| a.shard.cmp(&b.shard).then(a.path.cmp(&b.path)));
+    (correct, started.elapsed().as_secs_f64(), breakdown)
 }
 
 fn main() {
@@ -181,7 +213,7 @@ fn main() {
     // ---- Phase 1: single-node sequential baseline ------------------
     eprintln!("phase 1: single-node baseline over {n_questions} questions…");
     let mut baseline = exp.copilot(Experiment::gpt4());
-    let (baseline_correct, baseline_wall) = score(&exp, &mut baseline);
+    let (baseline_correct, baseline_wall, _) = score(&exp, &mut baseline);
     let baseline_qps = n_questions as f64 / baseline_wall.max(1e-9);
     eprintln!(
         "  baseline EX {baseline_correct}/{n_questions} in {baseline_wall:.2}s ({baseline_qps:.1} qps)"
@@ -196,7 +228,7 @@ fn main() {
         cluster.load_from(&exp.world.store).expect("cluster load");
         let mut copilot = exp.copilot(Experiment::gpt4());
         copilot.attach_store_resolver(cluster.clone() as Arc<dyn StoreResolver>);
-        let (correct, wall) = score(&exp, &mut copilot);
+        let (correct, wall, shard_breakdown) = score(&exp, &mut copilot);
         let delta = correct as i64 - baseline_correct as i64;
         eprintln!(
             "  {shards} shard(s): EX {correct}/{n_questions} (Δ{delta:+}) in {wall:.2}s ({:.1} qps)",
@@ -216,6 +248,7 @@ fn main() {
             routes_pushdown: route_count(&cluster, "pushdown"),
             routes_gather: route_count(&cluster, "gather"),
             routes_gather_all: route_count(&cluster, "gather_all"),
+            shard_breakdown,
         });
     }
 
@@ -354,6 +387,7 @@ fn main() {
         }
     }
     let accepted = tickets.len();
+    let drill_obs = service.obs().clone();
     service.shutdown(); // drain-not-drop: every accepted ticket resolves
     let mut answered = 0usize;
     let mut shed_late = 0usize;
@@ -370,6 +404,31 @@ fn main() {
     );
     assert!(all_resolved, "drain dropped accepted tickets");
     assert!(answered > 0, "no accepted request produced an answer");
+    // Every trace the drill finished must assemble into one rooted
+    // tree, and the request that paid for the mid-burst promotion must
+    // have been tail-sampled by the flight recorder.
+    let orphan_spans: usize = drill_obs
+        .tracer()
+        .recent(burst * 2)
+        .iter()
+        .filter(|t| t.finished)
+        .map(|t| t.orphan_count())
+        .sum();
+    assert_eq!(orphan_spans, 0, "query drill produced orphan spans");
+    let retained_failed_over = drill_obs.recorder().retained_for("failed_over").len();
+    assert!(
+        retained_failed_over >= 1,
+        "no failed-over trace retained: the mid-burst kill left no span evidence"
+    );
+    std::fs::create_dir_all("results").expect("create results/");
+    let trace_dump_path = "results/TRACES_shard_failover.json".to_string();
+    let dumped = drill_obs
+        .recorder()
+        .dump(std::path::Path::new(&trace_dump_path))
+        .expect("dump trace trees");
+    eprintln!(
+        "  flight recorder: {dumped} trace trees retained ({retained_failed_over} failed-over) -> {trace_dump_path}"
+    );
     let query_drill = QueryDrill {
         nodes: qnodes,
         submitted: burst,
@@ -378,6 +437,8 @@ fn main() {
         shed: shed_sync + shed_late,
         all_accepted_resolved: all_resolved,
         failovers: cluster.failovers(),
+        retained_failed_over,
+        orphan_spans,
     };
     failover_latencies.extend(cluster.take_failover_latencies().iter().map(|&m| m as f64));
 
@@ -467,6 +528,7 @@ fn main() {
         query_drill,
         rejoin,
         failover_latency,
+        trace_dump_path,
     };
     std::fs::create_dir_all("results").expect("create results/");
     let path = "results/BENCH_shard_failover.json";

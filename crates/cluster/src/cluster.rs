@@ -32,7 +32,7 @@
 use crate::ring::HashRing;
 use crate::shard::{damage_chunk, ShardCopy, ShipReject};
 use dio_faults::{ChaosConfig, Injector};
-use dio_obs::{Counter, Gauge, Registry};
+use dio_obs::{Buckets, Counter, Gauge, Histogram, Registry, SpanContext, Tracer};
 use dio_sandbox::StoreResolver;
 use dio_tsdb::series::AppendError;
 use dio_tsdb::{Labels, MetricStore, Sample};
@@ -150,8 +150,15 @@ pub struct AddNodeReport {
     pub moved_samples: usize,
 }
 
+/// Span name for one shard touched during store resolution. Attributes:
+/// `shard` and `path` (`pushdown` | `gather` | `gather_all`).
+pub const SHARD_READ_SPAN: &str = "shard_read";
+/// Span name for the synchronous WAL shipment inside a traced append.
+pub const WAL_SHIP_SPAN: &str = "wal_ship";
+
 const HELP_FAILOVERS: &str = "Replica promotions after a primary was found dead";
 const HELP_LAG: &str = "Worst primary-to-replica applied-timestamp gap across shards (s)";
+const HELP_LAG_HIST: &str = "Per-shard primary-to-replica applied-timestamp gap at each lag refresh (s)";
 const HELP_REBALANCED: &str = "Metric families moved to a new shard by rebalancing";
 const HELP_RESHIPS: &str = "Replication chunks re-sent after loss or CRC rejection";
 const HELP_APPENDS: &str = "Acknowledged cluster appends";
@@ -163,6 +170,7 @@ struct ClusterMetrics {
     registry: Registry,
     failovers: Counter,
     lag: Gauge,
+    lag_hist: Histogram,
     rebalanced: Counter,
     reships: Counter,
     appends: Counter,
@@ -176,7 +184,12 @@ impl ClusterMetrics {
     fn new(registry: Registry) -> Self {
         ClusterMetrics {
             failovers: registry.counter("dio_cluster_failovers_total", HELP_FAILOVERS),
-            lag: registry.gauge("dio_cluster_replication_lag_seconds", HELP_LAG),
+            lag: registry.gauge("dio_cluster_replication_lag_worst_seconds", HELP_LAG),
+            lag_hist: registry.histogram(
+                "dio_cluster_replication_lag_seconds",
+                HELP_LAG_HIST,
+                &Buckets::exponential(0.001, 4.0, 10),
+            ),
             rebalanced: registry.counter("dio_cluster_rebalanced_keys_total", HELP_REBALANCED),
             reships: registry.counter("dio_cluster_reships_total", HELP_RESHIPS),
             appends: registry.counter("dio_cluster_appends_total", HELP_APPENDS),
@@ -378,7 +391,7 @@ impl Cluster {
         for series in source.iter() {
             let family = series.labels().name().unwrap_or("").to_string();
             let shard = inner.ring.owner(&family);
-            self.ensure_primary(&mut inner, shard)
+            self.ensure_primary(&mut inner, shard, None)
                 .map_err(|e| self.note_unavailable(e))?;
             let primary = inner.shards[shard].primary_node;
             let copy = inner.shards[shard]
@@ -405,10 +418,23 @@ impl Cluster {
     /// primary WAL *and* applied by a live replica (when one exists):
     /// the ack survives any single node crash.
     pub fn append(&self, labels: Labels, sample: Sample) -> Result<AppendAck, ClusterError> {
+        self.append_traced(labels, sample, None)
+    }
+
+    /// [`Cluster::append`] with an optional trace context: the
+    /// synchronous WAL shipment is recorded as a [`WAL_SHIP_SPAN`]
+    /// child span, and a failover triggered by the append lands as a
+    /// [`dio_obs::FAILOVER_SPAN`] on the same trace.
+    pub fn append_traced(
+        &self,
+        labels: Labels,
+        sample: Sample,
+        trace: Option<(&Tracer, &SpanContext)>,
+    ) -> Result<AppendAck, ClusterError> {
         let family = labels.name().unwrap_or("").to_string();
         let mut inner = self.inner.lock().unwrap();
         let shard = inner.ring.owner(&family);
-        self.ensure_primary(&mut inner, shard)
+        self.ensure_primary(&mut inner, shard, trace)
             .map_err(|e| self.note_unavailable(e))?;
         let primary = inner.shards[shard].primary_node;
         let copy = inner.shards[shard]
@@ -420,7 +446,30 @@ impl Cluster {
             .map_err(|e| ClusterError::Io(e.to_string()))?;
         // Ship before surfacing a rejection: the rejected record is
         // WAL-logged and the replica must mirror it byte-for-byte.
-        let replicated = self.ship(&mut inner, shard)?;
+        let ship_span = trace.map(|(tracer, parent)| {
+            let ctx = tracer.child_of(parent);
+            (tracer, ctx, tracer.clock_micros(&ctx), Instant::now())
+        });
+        let shipped = self.ship(&mut inner, shard);
+        if let Some((tracer, ctx, start, t0)) = ship_span {
+            tracer.record_span(
+                &ctx,
+                WAL_SHIP_SPAN,
+                start,
+                dio_obs::micros_u64(t0.elapsed()),
+                &[
+                    ("shard", &shard.to_string()),
+                    (
+                        "replicated",
+                        match shipped {
+                            Ok(true) => "true",
+                            _ => "false",
+                        },
+                    ),
+                ],
+            );
+        }
+        let replicated = shipped?;
         self.update_lag(&inner);
         match applied {
             Ok(()) => {
@@ -471,7 +520,7 @@ impl Cluster {
             // restarting node itself takes over (best effort — under
             // a double failure its log may be the shorter one, which
             // is outside the single-failure tolerance).
-            if self.ensure_primary(&mut inner, shard).is_err() {
+            if self.ensure_primary(&mut inner, shard, None).is_err() {
                 inner.shards[shard].primary_node = node;
                 inner.shards[shard].replica_node = None;
                 self.metrics.failovers.inc();
@@ -530,7 +579,7 @@ impl Cluster {
         let mut moved_families = 0usize;
         let mut moved_samples = 0usize;
         for src in 0..shard {
-            self.ensure_primary(&mut inner, src).ok();
+            self.ensure_primary(&mut inner, src, None).ok();
             let src_primary = inner.shards[src].primary_node;
             // Split the source store: series staying vs. series moving.
             let (stay, go): (Vec<_>, Vec<_>) = {
@@ -626,13 +675,23 @@ impl Cluster {
     }
 
     /// Make sure `shard` has a live primary, promoting the replica if
-    /// the primary is dead (failure detection happens on access).
-    fn ensure_primary(&self, inner: &mut Inner, shard: usize) -> Result<(), ClusterError> {
+    /// the primary is dead (failure detection happens on access). When
+    /// a trace context rides along, the promotion is recorded as a
+    /// [`dio_obs::FAILOVER_SPAN`] child span covering detection to
+    /// takeover — the flight recorder keys on that span to retain the
+    /// trace that paid for the failover.
+    fn ensure_primary(
+        &self,
+        inner: &mut Inner,
+        shard: usize,
+        trace: Option<(&Tracer, &SpanContext)>,
+    ) -> Result<(), ClusterError> {
         let primary = inner.shards[shard].primary_node;
         if inner.up[primary] {
             return Ok(());
         }
         let detected = Instant::now();
+        let detect_offset = trace.map(|(t, ctx)| t.clock_micros(ctx)).unwrap_or(0);
         let Some(replica) = inner.shards[shard].replica_node.filter(|r| inner.up[*r]) else {
             return Err(ClusterError::Unavailable { shard });
         };
@@ -646,9 +705,22 @@ impl Cluster {
         inner.shards[shard].primary_node = replica;
         inner.shards[shard].replica_node = None;
         self.metrics.failovers.inc();
-        inner
-            .failover_latencies
-            .push(detected.elapsed().as_micros() as u64);
+        let micros = detected.elapsed().as_micros() as u64;
+        inner.failover_latencies.push(micros);
+        if let Some((tracer, ctx)) = trace {
+            let child = tracer.child_of(ctx);
+            tracer.record_span(
+                &child,
+                dio_obs::FAILOVER_SPAN,
+                detect_offset,
+                micros,
+                &[
+                    ("shard", &shard.to_string()),
+                    ("from_node", &primary.to_string()),
+                    ("to_node", &replica.to_string()),
+                ],
+            );
+        }
         Ok(())
     }
 
@@ -704,14 +776,17 @@ impl Cluster {
         }
     }
 
-    /// Refresh the worst-shard replication lag gauge.
+    /// Refresh the worst-shard replication lag gauge and feed each
+    /// shard's current gap into the lag distribution histogram.
     fn update_lag(&self, inner: &Inner) {
         let mut worst = 0.0f64;
         for s in &inner.shards {
             let Some(r) = s.replica_node else { continue };
             let p_ts = s.copies[&s.primary_node].last_timestamp().unwrap_or(0);
             let r_ts = s.copies[&r].last_timestamp().unwrap_or(0);
-            worst = worst.max((p_ts - r_ts).max(0) as f64 / 1_000.0);
+            let lag = (p_ts - r_ts).max(0) as f64 / 1_000.0;
+            self.metrics.lag_hist.observe(lag);
+            worst = worst.max(lag);
         }
         self.metrics.lag.set(worst);
     }
@@ -737,22 +812,66 @@ impl Cluster {
     }
 }
 
+impl Cluster {
+    /// Touch `shard` under a per-shard [`SHARD_READ_SPAN`]: ensure a
+    /// live primary (recording any promotion on the trace) and hand out
+    /// its store. The span covers detection/promotion plus the store
+    /// fetch and is tagged with the routing path.
+    fn read_shard(
+        &self,
+        inner: &mut Inner,
+        shard: usize,
+        path: &str,
+        trace: Option<(&Tracer, &SpanContext)>,
+    ) -> Result<Arc<MetricStore>, String> {
+        let span = trace.map(|(tracer, parent)| {
+            let ctx = tracer.child_of(parent);
+            (tracer, ctx, tracer.clock_micros(&ctx), Instant::now())
+        });
+        let ensured = self
+            .ensure_primary(inner, shard, span.as_ref().map(|(t, ctx, _, _)| (*t, ctx)))
+            .map_err(|e| self.note_unavailable(e).to_string());
+        if let Some((tracer, ctx, start, t0)) = span {
+            tracer.record_span(
+                &ctx,
+                SHARD_READ_SPAN,
+                start,
+                dio_obs::micros_u64(t0.elapsed()),
+                &[("shard", &shard.to_string()), ("path", path)],
+            );
+        }
+        ensured?;
+        let p = inner.shards[shard].primary_node;
+        Ok(inner.shards[shard].copies[&p].store())
+    }
+}
+
 impl StoreResolver for Cluster {
     /// Resolve the store a query should evaluate against. Dead
     /// primaries fail over here — detection-on-access — so a query
     /// arriving mid-crash either lands on the promoted replica or
     /// surfaces a retryable storage fault.
     fn resolve(&self, families: &[String], dynamic: bool) -> Result<Arc<MetricStore>, String> {
+        self.resolve_traced(families, dynamic, None)
+    }
+
+    /// [`StoreResolver::resolve`] with an optional trace context: each
+    /// shard touched is recorded as a [`SHARD_READ_SPAN`] child span
+    /// tagged `path=pushdown|gather|gather_all`, and any promotion the
+    /// resolution triggered lands as a [`dio_obs::FAILOVER_SPAN`].
+    fn resolve_traced(
+        &self,
+        families: &[String],
+        dynamic: bool,
+        trace: Option<(&Tracer, &SpanContext)>,
+    ) -> Result<Arc<MetricStore>, String> {
         let mut inner = self.inner.lock().unwrap();
         if dynamic || families.is_empty() {
             // Name-pattern selectors need the full keyspace.
             let shard_count = inner.shards.len();
             let mut stores = Vec::with_capacity(shard_count);
             for shard in 0..shard_count {
-                self.ensure_primary(&mut inner, shard)
-                    .map_err(|e| self.note_unavailable(e).to_string())?;
-                let p = inner.shards[shard].primary_node;
-                stores.push(inner.shards[shard].copies[&p].store());
+                stores.push(self.read_shard(&mut inner, shard, "gather_all", trace)?);
             }
             drop(inner);
             self.metrics.route_gather_all.inc();
@@ -775,12 +894,10 @@ impl StoreResolver for Cluster {
                 shards.push(s);
             }
         }
+        let path = if shards.len() == 1 { "pushdown" } else { "gather" };
         let mut stores = Vec::with_capacity(shards.len());
         for &shard in &shards {
-            self.ensure_primary(&mut inner, shard)
-                .map_err(|e| self.note_unavailable(e).to_string())?;
-            let p = inner.shards[shard].primary_node;
-            stores.push((shard, inner.shards[shard].copies[&p].store()));
+            stores.push((shard, self.read_shard(&mut inner, shard, path, trace)?));
         }
         drop(inner);
 
@@ -999,6 +1116,66 @@ mod tests {
         assert_eq!(all.sample_count(), source.sample_count());
         let snap = cluster.registry().snapshot();
         assert!(snap.total("dio_cluster_routes_total") >= 3.0);
+    }
+
+    #[test]
+    fn traced_resolve_records_shard_reads_and_failover_span() {
+        let source = seed_store(&FAMILIES, 4);
+        let cluster = Cluster::new(ClusterConfig::new(3));
+        cluster.load_from(&source).unwrap();
+        let tracer = Tracer::new();
+
+        // Healthy gather-all: one shard_read span per shard, no
+        // failover span.
+        let root = tracer.begin_trace("gather all");
+        cluster.resolve_traced(&[], true, Some((&tracer, &root))).unwrap();
+        tracer.finish_trace(&root, dio_obs::TraceStatus::Ok);
+        let rec = tracer.trace(root.trace_id).unwrap();
+        let reads: Vec<_> = rec.spans.iter().filter(|s| s.name == SHARD_READ_SPAN).collect();
+        assert_eq!(reads.len(), cluster.shard_count());
+        assert!(reads.iter().all(|s| s.attr("path") == Some("gather_all")));
+        assert!(!rec.has_span(dio_obs::FAILOVER_SPAN));
+        assert_eq!(rec.orphan_count(), 0, "every span must hang off the root");
+
+        // Kill a primary: the next traced pushdown pays for the
+        // promotion and the span lands on that trace, parented under
+        // its shard_read.
+        let f = FAMILIES[0];
+        let shard = cluster.shard_for(f);
+        cluster.kill_node(cluster.primary_of(shard));
+        let root = tracer.begin_trace("failover read");
+        cluster
+            .resolve_traced(&[f.to_string()], false, Some((&tracer, &root)))
+            .unwrap();
+        tracer.finish_trace(&root, dio_obs::TraceStatus::Ok);
+        let rec = tracer.trace(root.trace_id).unwrap();
+        let promo = rec
+            .spans
+            .iter()
+            .find(|s| s.name == dio_obs::FAILOVER_SPAN)
+            .expect("promotion must be recorded as a span");
+        assert_eq!(promo.attr("shard"), Some(shard.to_string()).as_deref());
+        let read = rec
+            .spans
+            .iter()
+            .find(|s| s.name == SHARD_READ_SPAN)
+            .expect("shard_read span present");
+        assert_eq!(promo.parent_span_id, Some(read.span_id));
+        assert_eq!(read.attr("path"), Some("pushdown"));
+        assert_eq!(rec.orphan_count(), 0);
+
+        // The lag histogram (satellite: proper histogram under the old
+        // gauge's name) saw per-shard observations during load/append.
+        let snap = cluster.registry().snapshot();
+        let fam = snap.family("dio_cluster_replication_lag_seconds").unwrap();
+        let dio_obs::SeriesValue::Histogram(h) = &fam.series[0].value else {
+            panic!("replication lag must now be a histogram");
+        };
+        assert!(h.count > 0, "update_lag never fed the histogram");
+        assert!(
+            snap.family("dio_cluster_replication_lag_worst_seconds").is_some(),
+            "worst-lag gauge keeps the old reading under a new name"
+        );
     }
 
     #[test]

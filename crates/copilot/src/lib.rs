@@ -51,4 +51,4 @@ pub use recovery::{
     BreakerState, CircuitBreaker, DegradationLevel, RecoveryPolicy, RecoveryStats,
 };
 pub use session::{ChatSession, Turn};
-pub use trace::{PipelineTrace, StageAggregate, StageTiming};
+pub use trace::{PipelineTrace, ShardTiming, StageAggregate, StageTiming};

@@ -8,7 +8,7 @@
 //! metric store the copilot queries.
 
 use crate::recovery::BreakerState;
-use dio_obs::{Buckets, ObsHub, Registry, TraceId};
+use dio_obs::{Buckets, ObsHub, Registry, SpanContext};
 use std::time::Instant;
 
 /// Questions the copilot was asked.
@@ -84,18 +84,24 @@ pub(crate) fn breaker_slug(state: BreakerState) -> &'static str {
     }
 }
 
-/// Time `f`, record it as one `stage` span on the ask's trace, and
-/// observe the duration in the per-stage latency histogram.
+/// Time `f` as a child span of `parent` named `stage`, and observe the
+/// duration in the per-stage latency histogram. `f` receives the stage
+/// span's own context so it can parent further children (the execute
+/// stage hands its context to the store resolver, which records one
+/// span per shard touched).
 pub(crate) fn time_stage<T>(
     obs: &ObsHub,
-    tid: TraceId,
+    parent: &SpanContext,
     stage: &str,
-    f: impl FnOnce() -> T,
+    f: impl FnOnce(&SpanContext) -> T,
 ) -> T {
+    let tracer = obs.tracer();
+    let ctx = tracer.child_of(parent);
+    let start_offset = tracer.clock_micros(&ctx);
     let start = Instant::now();
-    let out = f();
+    let out = f(&ctx);
     let micros = dio_obs::micros_u64(start.elapsed());
-    obs.tracer().record_span(tid, stage, micros);
+    tracer.record_span(&ctx, stage, start_offset, micros, &[]);
     obs.registry()
         .histogram_with(
             STAGE_DURATION_NAME,
@@ -110,7 +116,7 @@ pub(crate) fn time_stage<T>(
 /// Count and trace a breaker transition, if one happened.
 pub(crate) fn note_breaker_transition(
     obs: &ObsHub,
-    tid: TraceId,
+    ctx: &SpanContext,
     before: BreakerState,
     after: BreakerState,
 ) {
@@ -119,7 +125,7 @@ pub(crate) fn note_breaker_transition(
             .counter_with(BREAKER_NAME, BREAKER_HELP, &[("to", breaker_slug(after))])
             .inc();
         obs.tracer().event(
-            tid,
+            ctx,
             "breaker_transition",
             &[("from", breaker_slug(before)), ("to", breaker_slug(after))],
         );

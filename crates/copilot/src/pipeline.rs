@@ -15,7 +15,7 @@ use dio_llm::{
     ObservedModel, PromptBuilder, SimulatedModel, TaskKind, TokenUsage,
 };
 use dio_faults::{DataFaultKind, Injector};
-use dio_obs::{Buckets, ObsHub, TraceId};
+use dio_obs::{Buckets, ObsHub, SpanContext, TraceStatus};
 use dio_sandbox::{DataCompleteness, Sandbox, SafetyPolicy};
 use dio_tsdb::MetricStore;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -309,8 +309,29 @@ impl DioCopilot {
         ts: i64,
         qvec: Option<&dio_embed::Vector>,
     ) -> CopilotResponse {
+        self.ask_in_context(question, ts, qvec, None)
+    }
+
+    /// [`DioCopilot::ask_prepared`] running inside a caller-owned
+    /// trace. With `parent: Some(ctx)` every pipeline stage span
+    /// parents under `ctx` and the caller finishes the trace (the
+    /// serving tier owns the request trace: queue wait, cache probes,
+    /// and this ask all hang off one root). With `None` the copilot
+    /// opens and finishes its own trace, stamping its status from the
+    /// outcome (degraded → `Degraded`, error → `Error`).
+    pub fn ask_in_context(
+        &mut self,
+        question: &str,
+        ts: i64,
+        qvec: Option<&dio_embed::Vector>,
+        parent: Option<&SpanContext>,
+    ) -> CopilotResponse {
         let obs = self.obs.clone();
-        let tid = obs.tracer().begin(question);
+        let owns_trace = parent.is_none();
+        let ctx = match parent {
+            Some(p) => *p,
+            None => obs.tracer().begin_trace(question),
+        };
         let ask_start = Instant::now();
         obs.registry()
             .counter(crate::obs::ASKS_NAME, crate::obs::ASKS_HELP)
@@ -356,7 +377,7 @@ impl DioCopilot {
                                 )
                                 .inc();
                             obs.tracer().event(
-                                tid,
+                                &ctx,
                                 "index_demotion",
                                 &[("from", from), ("to", to)],
                             );
@@ -373,7 +394,7 @@ impl DioCopilot {
         }
 
         // Stage 1: context extraction (offline index, online search).
-        let (hits, retrieval) = time_stage(&obs, tid, "retrieve", || {
+        let (hits, retrieval) = time_stage(&obs, &ctx, "retrieve", |_| {
             self.extractor
                 .retrieve_with_stats_vec(question, qvec, self.config.top_k)
         });
@@ -421,7 +442,7 @@ impl DioCopilot {
                 max_tokens: self.config.max_output_tokens,
                 temperature: self.config.temperature,
             };
-            time_stage(&obs, tid, "identify", || {
+            time_stage(&obs, &ctx, "identify", |_| {
                 // Identification is best-effort: on failure the merged
                 // full-context prompt covers for the missing selection.
                 match Self::call_model(
@@ -432,7 +453,7 @@ impl DioCopilot {
                     &mut usage,
                     &mut stats,
                     &obs,
-                    tid,
+                    &ctx,
                 ) {
                     Ok(text) => text
                         .split(',')
@@ -480,7 +501,7 @@ impl DioCopilot {
             max_tokens: self.config.max_output_tokens,
             temperature: self.config.temperature,
         };
-        let generated: Result<String, CopilotError> = time_stage(&obs, tid, "generate", || {
+        let generated: Result<String, CopilotError> = time_stage(&obs, &ctx, "generate", |_| {
             Self::call_model(
                 self.model.as_ref(),
                 &mut self.breaker,
@@ -489,7 +510,7 @@ impl DioCopilot {
                 &mut usage,
                 &mut stats,
                 &obs,
-                tid,
+                &ctx,
             )
             .map(|t| t.trim().to_string())
         });
@@ -510,7 +531,7 @@ impl DioCopilot {
             &mut usage,
             &mut stats,
             &obs,
-            tid,
+            &ctx,
         );
         let ExecResolution {
             query,
@@ -560,7 +581,7 @@ impl DioCopilot {
                 })
                 .collect();
             let range = TimeRange::last(ts, self.config.dashboard_span_ms, 60);
-            Some(time_stage(&obs, tid, "dashboard", || {
+            Some(time_stage(&obs, &ctx, "dashboard", |_| {
                 generate_dashboard(question, &hints, canonical.as_deref(), range)
             }))
         } else {
@@ -580,7 +601,7 @@ impl DioCopilot {
             )
             .inc();
         obs.tracer()
-            .event(tid, "answered", &[("degradation", &degradation_slug)]);
+            .event(&ctx, "answered", &[("degradation", &degradation_slug)]);
         obs.registry()
             .histogram(
                 crate::obs::ASK_DURATION_NAME,
@@ -588,7 +609,20 @@ impl DioCopilot {
                 &Buckets::latency_micros(),
             )
             .observe(dio_obs::micros_u64(ask_start.elapsed()) as f64);
-        let trace = PipelineTrace::from_spans(&obs.tracer().spans(tid), stats);
+        let trace = PipelineTrace::from_spans(&obs.tracer().spans(ctx.trace_id), stats);
+        if owns_trace {
+            // Standalone ask: close the trace we opened. Under a
+            // serving tier the caller owns the root and stamps the
+            // status after its own bookkeeping (cache fill, reply).
+            let status = if degradation == DegradationLevel::Degraded {
+                TraceStatus::Degraded
+            } else if error.is_some() {
+                TraceStatus::Error
+            } else {
+                TraceStatus::Ok
+            };
+            obs.tracer().finish_trace(&ctx, status);
+        }
 
         let final_query = canonical.unwrap_or(query);
         CopilotResponse {
@@ -621,13 +655,13 @@ impl DioCopilot {
         usage: &mut TokenUsage,
         stats: &mut RecoveryStats,
         obs: &ObsHub,
-        tid: TraceId,
+        ctx: &SpanContext,
     ) -> Result<String, CopilotError> {
         let mut retry = 0usize;
         loop {
             let gate = breaker.state();
             let admitted = breaker.allow();
-            note_breaker_transition(obs, tid, gate, breaker.state());
+            note_breaker_transition(obs, ctx, gate, breaker.state());
             if !admitted {
                 return Err(CopilotError::ModelUnavailable {
                     message: "circuit breaker open; model call skipped".into(),
@@ -640,13 +674,13 @@ impl DioCopilot {
                     usage.add(c.usage);
                     let before = breaker.state();
                     breaker.record_success();
-                    note_breaker_transition(obs, tid, before, breaker.state());
+                    note_breaker_transition(obs, ctx, before, breaker.state());
                     return Ok(c.text);
                 }
                 Err(e) => {
                     let before = breaker.state();
                     breaker.record_failure();
-                    note_breaker_transition(obs, tid, before, breaker.state());
+                    note_breaker_transition(obs, ctx, before, breaker.state());
                     if policy.enabled && e.is_transient() && retry < policy.max_retries {
                         stats.retries += 1;
                         let backoff = policy.backoff_ms(retry);
@@ -658,7 +692,7 @@ impl DioCopilot {
                             .counter(crate::obs::BACKOFF_NAME, crate::obs::BACKOFF_HELP)
                             .add(backoff as f64);
                         obs.tracer().event(
-                            tid,
+                            ctx,
                             "model_retry",
                             &[("backoff_ms", &backoff.to_string())],
                         );
@@ -687,7 +721,7 @@ impl DioCopilot {
         usage: &mut TokenUsage,
         stats: &mut RecoveryStats,
         obs: &ObsHub,
-        tid: TraceId,
+        ctx: &SpanContext,
     ) -> ExecResolution {
         let policy = self.config.recovery.clone();
         let mut query = match generated {
@@ -696,14 +730,20 @@ impl DioCopilot {
                 // Satellite of the recovery design: a model failure used
                 // to be executed as a fake `# model error: …` query.
                 // Now it skips execution and degrades.
-                return self.degraded_fallback(String::new(), e, hits, ts, stats, obs, tid);
+                return self.degraded_fallback(String::new(), e, hits, ts, stats, obs, ctx);
             }
         };
 
         let mut rounds = 0usize;
         let mut storage_retries = 0usize;
         let error = loop {
-            let executed = time_stage(obs, tid, "execute", || self.sandbox.execute(&query, ts));
+            // The execute span's own context rides into the sandbox so
+            // the store resolver can hang one child span per shard it
+            // touches under this invocation.
+            let executed = time_stage(obs, ctx, "execute", |sctx| {
+                self.sandbox
+                    .execute_traced(&query, ts, Some((obs.tracer(), sctx)))
+            });
             match executed {
                 Ok(out) => {
                     return ExecResolution {
@@ -734,7 +774,7 @@ impl DioCopilot {
                             )
                             .inc();
                         obs.tracer().event(
-                            tid,
+                            ctx,
                             "storage_retry",
                             &[("error", &sandbox_err.to_string())],
                         );
@@ -754,7 +794,7 @@ impl DioCopilot {
                         .counter(crate::obs::REPAIRS_NAME, crate::obs::REPAIRS_HELP)
                         .inc();
                     obs.tracer().event(
-                        tid,
+                        ctx,
                         "repair_round",
                         &[("round", &rounds.to_string()), ("error", &sandbox_err.to_string())],
                     );
@@ -785,7 +825,7 @@ impl DioCopilot {
                         max_tokens: self.config.max_output_tokens,
                         temperature: self.config.temperature,
                     };
-                    let repaired = time_stage(obs, tid, "generate", || {
+                    let repaired = time_stage(obs, ctx, "generate", |_| {
                         Self::call_model(
                             self.model.as_ref(),
                             &mut self.breaker,
@@ -794,7 +834,7 @@ impl DioCopilot {
                             usage,
                             stats,
                             obs,
-                            tid,
+                            ctx,
                         )
                     });
                     match repaired {
@@ -806,7 +846,7 @@ impl DioCopilot {
         };
 
         if policy.enabled {
-            self.degraded_fallback(query, error, hits, ts, stats, obs, tid)
+            self.degraded_fallback(query, error, hits, ts, stats, obs, ctx)
         } else {
             // Ablation baseline: surface the failure as-is.
             ExecResolution {
@@ -834,15 +874,18 @@ impl DioCopilot {
         ts: i64,
         stats: &mut RecoveryStats,
         obs: &ObsHub,
-        tid: TraceId,
+        ctx: &SpanContext,
     ) -> ExecResolution {
         stats.degraded = true;
         obs.tracer()
-            .event(tid, "degraded_fallback", &[("error", &error.to_string())]);
-        time_stage(obs, tid, "fallback", || {
+            .event(ctx, "degraded_fallback", &[("error", &error.to_string())]);
+        time_stage(obs, ctx, "fallback", |sctx| {
             for h in hits.iter().take(5) {
                 let candidate = h.sample.name.clone();
-                if let Ok(out) = self.sandbox.execute(&candidate, ts) {
+                if let Ok(out) = self
+                    .sandbox
+                    .execute_traced(&candidate, ts, Some((obs.tracer(), sctx)))
+                {
                     return ExecResolution {
                         query: candidate,
                         canonical: Some(out.canonical_query),

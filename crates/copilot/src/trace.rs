@@ -2,11 +2,13 @@
 //! paper's Figure 2 architecture diagram).
 //!
 //! Since the `dio-obs` integration this is a thin *view* over the span
-//! tracer: the pipeline records spans against a per-`ask` correlation
-//! ID and [`PipelineTrace::from_spans`] projects them into the
-//! serialisable per-stage shape reports consume. Repeated stages (the
-//! repair loop re-enters `generate`/`execute`) keep one entry per
-//! invocation; [`PipelineTrace::stage`] aggregates them.
+//! tracer: the pipeline records spans against a per-`ask` trace and
+//! [`PipelineTrace::from_spans`] projects them into the serialisable
+//! per-stage shape reports consume. Every entry is keyed by its
+//! `span_id`, so same-named spans from concurrent shards stay distinct
+//! (the old name-only view silently collapsed them), and span
+//! attributes ride along — [`PipelineTrace::shard_breakdown`] surfaces
+//! the per-shard fan-out the bench artifacts publish.
 
 use crate::recovery::RecoveryStats;
 use dio_obs::SpanRecord;
@@ -20,10 +22,30 @@ use std::time::Instant;
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StageTiming {
     /// Stage name (`retrieve`, `identify`, `generate`, `execute`,
-    /// `dashboard`).
+    /// `shard_read`, `dashboard`, ...).
     pub stage: String,
     /// Duration in microseconds.
     pub micros: u64,
+    /// The underlying span's ID — distinguishes concurrent same-named
+    /// spans (one `shard_read` per shard touched).
+    pub span_id: u64,
+    /// The parent span's ID (`None` for spans recorded directly under
+    /// the trace root, and for synthetic entries).
+    pub parent_span_id: Option<u64>,
+    /// Start offset from the trace begin, microseconds.
+    pub start_micros: u64,
+    /// Span attributes, e.g. `[("shard", "3"), ("path", "gather")]`.
+    pub attrs: Vec<(String, String)>,
+}
+
+impl StageTiming {
+    /// The value of attribute `key`, if present.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// Aggregate over every invocation of one stage within a trace.
@@ -37,11 +59,27 @@ pub struct StageAggregate {
     pub total_micros: u64,
 }
 
+/// Aggregate of the spans one shard contributed to a trace — the
+/// per-shard breakdown of a scatter-gather execute.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardTiming {
+    /// The shard ID (the `shard` span attribute).
+    pub shard: String,
+    /// Routing path that touched it (`pushdown`, `gather`,
+    /// `gather_all`).
+    pub path: String,
+    /// Spans this shard contributed.
+    pub invocations: usize,
+    /// Total microseconds across them.
+    pub total_micros: u64,
+}
+
 /// Trace of one `ask` invocation.
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct PipelineTrace {
-    /// Per-invocation stage timings in execution order. A stage name
-    /// may repeat; use [`PipelineTrace::stage`] for the aggregate view.
+    /// Per-invocation stage timings in recording order, keyed by
+    /// `span_id`. A stage name may repeat; use [`PipelineTrace::stage`]
+    /// for the aggregate view.
     pub stages: Vec<StageTiming>,
     /// What the recovery machinery did (attempts, repairs, backoff
     /// schedule, breaker trips, degradation).
@@ -57,19 +95,28 @@ impl PipelineTrace {
                 .map(|s| StageTiming {
                     stage: s.name.clone(),
                     micros: s.micros,
+                    span_id: s.span_id,
+                    parent_span_id: s.parent_span_id,
+                    start_micros: s.start_micros,
+                    attrs: s.attrs.clone(),
                 })
                 .collect(),
             recovery,
         }
     }
 
-    /// Time a closure and record it as one invocation of `stage`.
+    /// Time a closure and record it as one invocation of `stage`
+    /// (synthetic entry: no span identity).
     pub fn time<T>(&mut self, stage: &str, f: impl FnOnce() -> T) -> T {
         let start = Instant::now();
         let out = f();
         self.stages.push(StageTiming {
             stage: stage.to_string(),
             micros: dio_obs::micros_u64(start.elapsed()),
+            span_id: 0,
+            parent_span_id: None,
+            start_micros: 0,
+            attrs: Vec::new(),
         });
         out
     }
@@ -116,11 +163,48 @@ impl PipelineTrace {
             .filter_map(|name| self.stage(name))
             .collect()
     }
+
+    /// Per-shard aggregates over every span tagged with a `shard`
+    /// attribute, in first-appearance order. Empty when the trace never
+    /// touched a sharded store.
+    pub fn shard_breakdown(&self) -> Vec<ShardTiming> {
+        let mut out: Vec<ShardTiming> = Vec::new();
+        for s in &self.stages {
+            let Some(shard) = s.attr("shard") else {
+                continue;
+            };
+            let path = s.attr("path").unwrap_or("").to_string();
+            match out.iter_mut().find(|t| t.shard == shard && t.path == path) {
+                Some(t) => {
+                    t.invocations += 1;
+                    t.total_micros = t.total_micros.saturating_add(s.micros);
+                }
+                None => out.push(ShardTiming {
+                    shard: shard.to_string(),
+                    path,
+                    invocations: 1,
+                    total_micros: s.micros,
+                }),
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn timing(stage: &str, micros: u64, span_id: u64) -> StageTiming {
+        StageTiming {
+            stage: stage.into(),
+            micros,
+            span_id,
+            parent_span_id: None,
+            start_micros: 0,
+            attrs: Vec::new(),
+        }
+    }
 
     #[test]
     fn records_stages_in_order() {
@@ -140,10 +224,10 @@ mod tests {
     fn duplicate_stages_aggregate_and_keep_entries() {
         let t = PipelineTrace {
             stages: vec![
-                StageTiming { stage: "generate".into(), micros: 10 },
-                StageTiming { stage: "execute".into(), micros: 5 },
-                StageTiming { stage: "generate".into(), micros: 30 },
-                StageTiming { stage: "execute".into(), micros: 7 },
+                timing("generate", 10, 1),
+                timing("execute", 5, 2),
+                timing("generate", 30, 3),
+                timing("execute", 7, 4),
             ],
             recovery: RecoveryStats::default(),
         };
@@ -162,29 +246,46 @@ mod tests {
     }
 
     #[test]
-    fn builds_from_tracer_spans() {
+    fn builds_from_tracer_spans_keyed_by_span_id() {
         let tracer = dio_obs::Tracer::new();
-        let id = tracer.begin("q");
-        tracer.record_span(id, "retrieve", 100);
-        tracer.record_span(id, "execute", 20);
-        tracer.record_span(id, "execute", 30);
+        let root = tracer.begin_trace("q");
+        let r = tracer.child_of(&root);
+        tracer.record_span(&r, "retrieve", 0, 100, &[]);
+        let execute = tracer.child_of(&root);
+        // Two concurrent shard reads under one execute: same name,
+        // distinct span IDs — the per-span view must keep both.
+        let s1 = tracer.child_of(&execute);
+        tracer.record_span(&s1, "shard_read", 5, 20, &[("shard", "0"), ("path", "gather")]);
+        let s2 = tracer.child_of(&execute);
+        tracer.record_span(&s2, "shard_read", 5, 30, &[("shard", "1"), ("path", "gather")]);
+        tracer.record_span(&execute, "execute", 4, 60, &[]);
         let stats = RecoveryStats {
             repairs: 1,
             ..RecoveryStats::default()
         };
-        let t = PipelineTrace::from_spans(&tracer.spans(id), stats.clone());
-        assert_eq!(t.stages.len(), 3);
-        assert_eq!(t.stage("execute").unwrap().total_micros, 50);
+        let t = PipelineTrace::from_spans(&tracer.spans(root.trace_id), stats.clone());
+        assert_eq!(t.stages.len(), 4);
+        assert_eq!(t.invocations("shard_read"), 2);
+        let ids: Vec<u64> = t
+            .stages
+            .iter()
+            .filter(|s| s.stage == "shard_read")
+            .map(|s| s.span_id)
+            .collect();
+        assert_ne!(ids[0], ids[1]);
+        assert_eq!(t.stage("shard_read").unwrap().total_micros, 50);
+        let shards = t.shard_breakdown();
+        assert_eq!(shards.len(), 2);
+        assert_eq!(shards[0].shard, "0");
+        assert_eq!(shards[0].path, "gather");
+        assert_eq!(shards[1].total_micros, 30);
         assert_eq!(t.recovery, stats);
     }
 
     #[test]
     fn totals_saturate_instead_of_wrapping() {
         let t = PipelineTrace {
-            stages: vec![
-                StageTiming { stage: "a".into(), micros: u64::MAX },
-                StageTiming { stage: "a".into(), micros: 10 },
-            ],
+            stages: vec![timing("a", u64::MAX, 1), timing("a", 10, 2)],
             recovery: RecoveryStats::default(),
         };
         assert_eq!(t.total_micros(), u64::MAX);

@@ -9,8 +9,15 @@
 //! * [`registry`] — a lock-free-ish metrics registry: counters, gauges,
 //!   and exponential-bucket histograms, all labelable, with cheap
 //!   cloneable handles for the hot path;
-//! * [`tracer`] — a structured span/event tracer with per-`ask`
-//!   correlation IDs and a bounded ring of recent traces;
+//! * [`span`] + [`tracer`] — hierarchical distributed tracing:
+//!   [`SpanContext`] is carried explicitly across every async/thread
+//!   boundary, completed spans reassemble into per-request
+//!   [`SpanTree`]s with orphan detection;
+//! * [`recorder`] — a tail-sampling [`FlightRecorder`]: a byte-budgeted
+//!   ring retaining complete span trees only for slow / errored / shed
+//!   / degraded / failed-over traces, dumpable as JSON artifacts;
+//! * [`slo`] — declarative SLOs evaluated from registry snapshots with
+//!   multi-window burn-rate alerts, exported back into the registry;
 //! * [`exporter`] — Prometheus text exposition (format 0.0.4);
 //! * [`expo`] — a parser for that same format;
 //! * [`scrape`] — the self-scrape loop: [`ObsScraper`] turns registry
@@ -26,31 +33,67 @@
 
 pub mod exporter;
 pub mod expo;
+pub mod recorder;
 pub mod registry;
 pub mod scrape;
+pub mod slo;
+pub mod span;
 pub mod tracer;
 
 pub use exporter::{escape_help, escape_label_value, to_prometheus};
 pub use expo::{parse_exposition, ExpoError, ScrapedFamily, ScrapedKind, ScrapedSample};
+pub use recorder::{FlightRecorder, RecorderConfig, RetainedTrace, FAILOVER_SPAN};
 pub use registry::{
     Buckets, Counter, FamilySnapshot, Gauge, Histogram, HistogramSnapshot, InstrumentKind,
     Registry, SeriesSnapshot, SeriesValue, Snapshot,
 };
 pub use scrape::{ObsScraper, ScrapeStats};
-pub use tracer::{micros_u64, EventRecord, SpanRecord, TraceId, TraceRecord, Tracer};
+pub use slo::{Objective, Selector, SloEngine, SloSpec, SloState, WindowBurn, PAGE_BURN,
+    TICKET_BURN, WINDOWS};
+pub use span::{
+    build_tree, orphan_count, SpanContext, SpanNode, SpanRecord, SpanTree, TraceStatus,
+};
+pub use tracer::{micros_u64, EventRecord, TraceRecord, Tracer, ROOT_SPAN_NAME};
 
-/// The pair every instrumented component shares: one metrics registry,
-/// one tracer. Cheap to clone — clones observe the same state.
-#[derive(Debug, Clone, Default)]
+/// The triple every instrumented component shares: one metrics
+/// registry, one tracer, one flight recorder (already attached to the
+/// tracer). Cheap to clone — clones observe the same state.
+#[derive(Debug, Clone)]
 pub struct ObsHub {
     registry: Registry,
     tracer: Tracer,
+    recorder: FlightRecorder,
+}
+
+impl Default for ObsHub {
+    fn default() -> Self {
+        let tracer = Tracer::new();
+        let recorder = FlightRecorder::new();
+        tracer.attach_recorder(recorder.clone());
+        ObsHub {
+            registry: Registry::new(),
+            tracer,
+            recorder,
+        }
+    }
 }
 
 impl ObsHub {
     /// A fresh hub.
     pub fn new() -> Self {
         ObsHub::default()
+    }
+
+    /// A hub whose flight recorder uses `cfg`.
+    pub fn with_recorder_config(cfg: RecorderConfig) -> Self {
+        let tracer = Tracer::new();
+        let recorder = FlightRecorder::with_config(cfg);
+        tracer.attach_recorder(recorder.clone());
+        ObsHub {
+            registry: Registry::new(),
+            tracer,
+            recorder,
+        }
     }
 
     /// The metrics registry.
@@ -62,6 +105,11 @@ impl ObsHub {
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
     }
+
+    /// The tail-sampling flight recorder fed by the tracer.
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
 }
 
 #[cfg(test)]
@@ -69,13 +117,18 @@ mod tests {
     use super::*;
 
     #[test]
-    fn hub_clones_share_registry_and_tracer() {
+    fn hub_clones_share_registry_tracer_and_recorder() {
         let hub = ObsHub::new();
         let clone = hub.clone();
         clone.registry().counter("shared_total", "Shared.").inc();
-        let id = clone.tracer().begin("op");
-        clone.tracer().record_span(id, "step", 10);
+        let root = clone.tracer().begin_trace("op");
+        let step = clone.tracer().child_of(&root);
+        clone.tracer().record_span(&step, "step", 0, 10, &[]);
+        clone.tracer().finish_trace(&root, TraceStatus::Error);
         assert_eq!(hub.registry().snapshot().total("shared_total"), 1.0);
-        assert_eq!(hub.tracer().spans(id).len(), 1);
+        assert_eq!(hub.tracer().spans(root.trace_id).len(), 2);
+        // The errored trace reached the shared recorder via the tracer.
+        assert_eq!(hub.recorder().len(), 1);
+        assert_eq!(hub.recorder().retained()[0].reason, "error");
     }
 }

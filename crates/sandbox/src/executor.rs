@@ -183,6 +183,21 @@ pub trait StoreResolver: Send + Sync + std::fmt::Debug {
         families: &[String],
         dynamic: bool,
     ) -> Result<std::sync::Arc<MetricStore>, String>;
+
+    /// [`StoreResolver::resolve`] carrying the caller's trace context.
+    /// A distributed resolver records one child span per shard it
+    /// touches (tagged with the routing path) under `parent`; the
+    /// default implementation just delegates, so single-store resolvers
+    /// need not care about tracing.
+    fn resolve_traced(
+        &self,
+        families: &[String],
+        dynamic: bool,
+        trace: Option<(&dio_obs::Tracer, &dio_obs::SpanContext)>,
+    ) -> Result<std::sync::Arc<MetricStore>, String> {
+        let _ = trace;
+        self.resolve(families, dynamic)
+    }
 }
 
 /// Instrument name/help for per-outcome execution counts.
@@ -302,6 +317,18 @@ impl Sandbox {
 
     /// Vet and execute one untrusted query at `ts`.
     pub fn execute(&mut self, query: &str, ts: i64) -> Result<ExecutionOutcome, SandboxError> {
+        self.execute_traced(query, ts, None)
+    }
+
+    /// [`Sandbox::execute`] carrying the caller's trace context, which
+    /// rides into the store resolver so a sharded data plane can record
+    /// per-shard child spans under the caller's execute span.
+    pub fn execute_traced(
+        &mut self,
+        query: &str,
+        ts: i64,
+        trace: Option<(&dio_obs::Tracer, &dio_obs::SpanContext)>,
+    ) -> Result<ExecutionOutcome, SandboxError> {
         let expr = match parse(query) {
             Ok(e) => e,
             Err(e) => {
@@ -367,7 +394,7 @@ impl Sandbox {
         let evaluated = match &self.resolver {
             Some(resolver) => {
                 let families = expr.metric_names();
-                match resolver.resolve(&families, expr.has_dynamic_selector()) {
+                match resolver.resolve_traced(&families, expr.has_dynamic_selector(), trace) {
                     Ok(store) => {
                         // Evaluate on an ephemeral engine over the
                         // resolved store; policy limits still apply.

@@ -40,7 +40,7 @@ pub use normalize::normalize_question;
 pub use service::{
     QueryRequest, QueryService, ServeConfig, ServeOutcome, ServedAnswer, Shed, Ticket,
 };
-pub use tenant::{RateLimiter, TenantPolicy};
+pub use tenant::{tenant_class, RateLimiter, TenantPolicy, TENANT_CLASSES};
 
 #[cfg(test)]
 mod tests {

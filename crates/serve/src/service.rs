@@ -29,10 +29,10 @@
 use crate::admission::{AdmissionQueue, PushRefused, ShedReason};
 use crate::cache::{CacheStats, TtlLru};
 use crate::normalize::normalize_question;
-use crate::tenant::{RateLimiter, TenantPolicy};
-use dio_copilot::{CopilotResponse, DioCopilot};
+use crate::tenant::{tenant_class, RateLimiter, TenantPolicy, TENANT_CLASSES};
+use dio_copilot::{CopilotResponse, DegradationLevel, DioCopilot};
 use dio_llm::FoundationModel;
-use dio_obs::{Buckets, Counter, Gauge, Histogram, ObsHub};
+use dio_obs::{Buckets, Counter, Gauge, Histogram, ObsHub, SpanContext, TraceStatus};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -168,6 +168,10 @@ struct Job {
     key: String,
     submitted: Instant,
     reply: mpsc::Sender<ServeOutcome>,
+    /// Root span context of the request's trace, begun at submit and
+    /// carried by value across the queue/thread boundary. Queue wait,
+    /// cache probes, pipeline stages, and shard reads all parent here.
+    ctx: SpanContext,
 }
 
 struct Metrics {
@@ -178,6 +182,8 @@ struct Metrics {
     queue_wait: Histogram,
     duration_hit: Histogram,
     duration_miss: Histogram,
+    class_latency: HashMap<&'static str, Histogram>,
+    class_requests: HashMap<(&'static str, &'static str), Counter>,
     worker_panics: Counter,
 }
 
@@ -228,6 +234,35 @@ impl Metrics {
             ),
             duration_hit: duration("hit"),
             duration_miss: duration("miss"),
+            class_latency: TENANT_CLASSES
+                .iter()
+                .map(|&class| {
+                    (
+                        class,
+                        r.histogram_with(
+                            "dio_serve_class_latency_micros",
+                            "submit-to-reply latency of answered requests, by tenant class",
+                            &Buckets::latency_micros(),
+                            &[("class", class)],
+                        ),
+                    )
+                })
+                .collect(),
+            class_requests: TENANT_CLASSES
+                .iter()
+                .flat_map(|&class| {
+                    ["answered", "shed"].into_iter().map(move |outcome| {
+                        (
+                            (class, outcome),
+                            r.counter_with(
+                                "dio_serve_class_requests_total",
+                                "requests resolved by the query service, by tenant class and outcome",
+                                &[("class", class), ("outcome", outcome)],
+                            ),
+                        )
+                    })
+                })
+                .collect(),
             worker_panics: r.counter(
                 "dio_serve_worker_panics_total",
                 "pipeline panics caught by the worker guard",
@@ -239,6 +274,18 @@ impl Metrics {
         self.shed_total.inc();
         if let Some(c) = self.shed.get(&reason) {
             c.inc();
+        }
+    }
+
+    fn count_class(&self, tenant: &str, outcome: &'static str) {
+        if let Some(c) = self.class_requests.get(&(tenant_class(tenant), outcome)) {
+            c.inc();
+        }
+    }
+
+    fn observe_class_latency(&self, tenant: &str, micros: f64) {
+        if let Some(h) = self.class_latency.get(tenant_class(tenant)) {
+            h.observe(micros);
         }
     }
 }
@@ -310,12 +357,25 @@ impl QueryService {
     /// throttle/overload; an `Ok` ticket is guaranteed a reply.
     pub fn submit_with_deadline(&self, req: QueryRequest, budget: Duration) -> Result<Ticket, Shed> {
         let now = Instant::now();
+        let tracer = self.core.obs.tracer();
+        let ctx = tracer.begin_trace(&req.question);
+        tracer.event(
+            &ctx,
+            "submitted",
+            &[
+                ("tenant", &req.tenant),
+                ("class", tenant_class(&req.tenant)),
+            ],
+        );
         if let Err(refill) = self.core.limiter.try_acquire_at(&req.tenant, now) {
             let shed = Shed {
                 reason: ShedReason::TenantThrottle,
                 retry_after: refill,
             };
             self.core.metrics.count_shed(shed.reason);
+            self.core.metrics.count_class(&req.tenant, "shed");
+            tracer.event(&ctx, "shed", &[("reason", shed.reason.label())]);
+            tracer.finish_trace(&ctx, TraceStatus::Shed);
             return Err(shed);
         }
         let (tx, rx) = mpsc::channel();
@@ -324,6 +384,7 @@ impl QueryService {
             req,
             submitted: now,
             reply: tx,
+            ctx,
         };
         match self.core.queue.try_push(job, now + budget) {
             Ok(()) => {
@@ -347,6 +408,9 @@ impl QueryService {
                     retry_after: Duration::from_millis(100),
                 };
                 self.core.metrics.count_shed(shed.reason);
+                self.core.metrics.count_class(&job.req.tenant, "shed");
+                tracer.event(&job.ctx, "shed", &[("reason", shed.reason.label())]);
+                tracer.finish_trace(&job.ctx, TraceStatus::Shed);
                 Err(shed)
             }
         }
@@ -411,6 +475,18 @@ impl Drop for QueryService {
     }
 }
 
+/// Trace status a finished pipeline response maps to (mirrors the
+/// copilot's own mapping for self-owned traces).
+fn response_status(response: &CopilotResponse) -> TraceStatus {
+    if response.degradation == DegradationLevel::Degraded {
+        TraceStatus::Degraded
+    } else if response.error.is_some() {
+        TraceStatus::Error
+    } else {
+        TraceStatus::Ok
+    }
+}
+
 fn worker_loop(core: Arc<Core>, mut copilot: DioCopilot, worker: usize) {
     while let Some((job, deadline)) = core.queue.pop() {
         core.metrics.queue_depth.set(core.queue.len() as f64);
@@ -419,22 +495,44 @@ fn worker_loop(core: Arc<Core>, mut copilot: DioCopilot, worker: usize) {
         core.metrics
             .queue_wait
             .observe(queue_wait.as_micros() as f64);
+        // Queue wait becomes its own span: it starts at the trace root
+        // (submit time ≈ offset 0) and ends at worker pickup, so a
+        // dumped tree decomposes submit-to-reply into wait + service.
+        let tracer = core.obs.tracer();
+        let wait_ctx = tracer.child_of(&job.ctx);
+        tracer.record_span(
+            &wait_ctx,
+            "queue_wait",
+            0,
+            dio_obs::micros_u64(queue_wait),
+            &[("worker", &worker.to_string())],
+        );
         if picked_up >= deadline {
             let shed = Shed {
                 reason: ShedReason::DeadlineExpired,
                 retry_after: Duration::from_millis(100),
             };
             core.metrics.count_shed(shed.reason);
+            core.metrics.count_class(&job.req.tenant, "shed");
+            tracer.event(&job.ctx, "shed", &[("reason", shed.reason.label())]);
+            tracer.finish_trace(&job.ctx, TraceStatus::Shed);
             let _ = job.reply.send(ServeOutcome::Shed(shed));
             continue;
         }
         let reply = job.reply.clone();
+        let root = job.ctx;
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             serve_one(&core, &mut copilot, &job, queue_wait, picked_up, worker)
         }));
         match outcome {
             Ok(answer) => {
                 core.metrics.answered.inc();
+                core.metrics.count_class(&job.req.tenant, "answered");
+                core.metrics.observe_class_latency(
+                    &job.req.tenant,
+                    (queue_wait + answer.service_time).as_micros() as f64,
+                );
+                tracer.finish_trace(&root, response_status(&answer.response));
                 let _ = reply.send(ServeOutcome::Answered(Box::new(answer)));
             }
             Err(_) => {
@@ -444,6 +542,9 @@ fn worker_loop(core: Arc<Core>, mut copilot: DioCopilot, worker: usize) {
                     retry_after: Duration::from_millis(100),
                 };
                 core.metrics.count_shed(shed.reason);
+                core.metrics.count_class(&job.req.tenant, "shed");
+                tracer.event(&root, "worker_panic", &[]);
+                tracer.finish_trace(&root, TraceStatus::Error);
                 let _ = reply.send(ServeOutcome::Shed(shed));
             }
         }
@@ -459,9 +560,24 @@ fn serve_one(
     worker: usize,
 ) -> ServedAnswer {
     let generation = core.generation.load(Ordering::Acquire);
+    let tracer = core.obs.tracer();
     // The answer depends on both the question and the as-of timestamp.
     let answer_key = format!("{}\u{1f}{}", job.req.ts, job.key);
-    if let Some(response) = core.answers.get(&answer_key, generation) {
+    let lookup_ctx = tracer.child_of(&job.ctx);
+    let lookup_start = tracer.clock_micros(&lookup_ctx);
+    let lookup_t0 = Instant::now();
+    let cached = core.answers.get(&answer_key, generation);
+    tracer.record_span(
+        &lookup_ctx,
+        "cache_lookup",
+        lookup_start,
+        dio_obs::micros_u64(lookup_t0.elapsed()),
+        &[
+            ("cache", "answer"),
+            ("result", if cached.is_some() { "hit" } else { "miss" }),
+        ],
+    );
+    if let Some(response) = cached {
         let service_time = picked_up.elapsed();
         core.metrics
             .duration_hit
@@ -474,15 +590,28 @@ fn serve_one(
             worker,
         };
     }
-    let qvec = match core.embeds.get(&job.key, generation) {
-        Some(v) => v,
+    let embed_ctx = tracer.child_of(&job.ctx);
+    let embed_start = tracer.clock_micros(&embed_ctx);
+    let embed_t0 = Instant::now();
+    let (qvec, embed_cached) = match core.embeds.get(&job.key, generation) {
+        Some(v) => (v, true),
         None => {
             let v = Arc::new(copilot.extractor().embed_question(&job.req.question));
             core.embeds.insert(job.key.clone(), Arc::clone(&v), generation);
-            v
+            (v, false)
         }
     };
-    let response = copilot.ask_prepared(&job.req.question, job.req.ts, Some(&qvec));
+    tracer.record_span(
+        &embed_ctx,
+        "embed",
+        embed_start,
+        dio_obs::micros_u64(embed_t0.elapsed()),
+        &[
+            ("cache", "embed"),
+            ("result", if embed_cached { "hit" } else { "miss" }),
+        ],
+    );
+    let response = copilot.ask_in_context(&job.req.question, job.req.ts, Some(&qvec), Some(&job.ctx));
     core.answers
         .insert(answer_key, response.clone(), generation);
     let service_time = picked_up.elapsed();

@@ -1,0 +1,123 @@
+//! Trace-propagation integration test: under an 8-worker concurrent
+//! burst with a mid-burst shard failover, every submitted request must
+//! produce exactly one finished trace whose spans assemble into a
+//! single rooted tree — no orphan spans, no split traces — and the
+//! promotion a traced query paid for must appear as a span on that
+//! query's own tree.
+
+use dio::benchmark::{fewshot_exemplars, OperatorWorld, WorldConfig};
+use dio::cluster::{Cluster, ClusterConfig};
+use dio::copilot::CopilotBuilder;
+use dio::llm::{FoundationModel, ModelProfile, SimulatedModel};
+use dio::obs::{TraceStatus, FAILOVER_SPAN, ROOT_SPAN_NAME};
+use dio::serve::{QueryRequest, QueryService, ServeConfig, ServeOutcome, TenantPolicy};
+use std::sync::Arc;
+
+fn model() -> Box<dyn FoundationModel> {
+    Box::new(SimulatedModel::new(ModelProfile::gpt4_sim()))
+}
+
+#[test]
+fn concurrent_burst_with_failover_yields_only_rooted_trees() {
+    let world = OperatorWorld::build(WorldConfig::small());
+    let questions = dio::benchmark::generate_benchmark(&world, 10, 0x7ace_0001);
+    let cluster = Arc::new(Cluster::new(ClusterConfig::new(3)));
+    cluster.load_from(&world.store).expect("cluster load");
+    let mut prototype = CopilotBuilder::new(world.domain_db(), world.store.clone())
+        .model(model())
+        .exemplars(fewshot_exemplars(&world.catalog))
+        .build();
+    prototype.attach_store_resolver(cluster.clone() as Arc<dyn dio::sandbox::StoreResolver>);
+
+    let service = QueryService::spawn(
+        &prototype,
+        model,
+        ServeConfig {
+            workers: 8,
+            queue_depth: 64,
+            tenant: TenantPolicy::unlimited(),
+            ..ServeConfig::default()
+        },
+    );
+
+    const BURST: usize = 40;
+    let mut tickets = Vec::new();
+    let mut submit_sheds = 0usize;
+    for (i, q) in questions.iter().cycle().take(BURST).enumerate() {
+        let tenant = if i % 3 == 0 {
+            format!("premium-{}", i % 2)
+        } else {
+            format!("tenant-{}", i % 4)
+        };
+        match service.submit(QueryRequest::new(tenant, &q.text, world.eval_ts)) {
+            Ok(t) => tickets.push(t),
+            Err(_) => submit_sheds += 1,
+        }
+        if i == BURST / 2 {
+            // Mid-burst failover: in-flight and queued requests now
+            // race the promotion on whichever shard node 0 owned.
+            assert!(cluster.kill_node(0), "node 0 was already down");
+        }
+    }
+    let accepted = tickets.len();
+    let tracer = service.obs().tracer().clone();
+    service.shutdown(); // drain-not-drop: every ticket resolves
+    let mut answered = 0usize;
+    for t in tickets {
+        if let ServeOutcome::Answered(_) = t.wait() {
+            answered += 1;
+        }
+    }
+    assert!(answered > 0, "burst produced no answers");
+
+    // Every submission — answered, shed at submit, or shed in the
+    // queue — finished exactly one trace.
+    let traces = tracer.recent(BURST * 2);
+    let finished: Vec<_> = traces.iter().filter(|t| t.finished).collect();
+    assert_eq!(
+        finished.len(),
+        accepted + submit_sheds,
+        "each submission must finish exactly one trace"
+    );
+
+    for rec in &finished {
+        // Exactly one root span, and everything reachable from it.
+        let roots = rec
+            .spans
+            .iter()
+            .filter(|s| s.name == ROOT_SPAN_NAME && s.parent_span_id.is_none())
+            .count();
+        assert_eq!(roots, 1, "trace {} ({}) must have one root", rec.id, rec.label);
+        assert_eq!(
+            rec.orphan_count(),
+            0,
+            "trace {} ({}) has orphan spans: {:?}",
+            rec.id,
+            rec.label,
+            rec.spans
+        );
+        let tree = rec.tree().expect("finished trace must assemble a tree");
+        assert_eq!(tree.rooted_len(), rec.spans.len());
+        // Answered/errored requests were picked up by a worker: their
+        // submit-to-reply time decomposes into queue wait + service.
+        if rec.status != TraceStatus::Shed {
+            assert!(
+                rec.has_span("queue_wait"),
+                "picked-up trace {} lacks a queue_wait span",
+                rec.id
+            );
+        }
+    }
+
+    // The kill was observed: if a traced query triggered the
+    // promotion, the failover span sits on that query's tree.
+    if cluster.failovers() > 0 {
+        assert!(
+            finished.iter().any(|t| t.has_span(FAILOVER_SPAN)),
+            "failover happened but no trace carries its span"
+        );
+    } else {
+        assert_eq!(cluster.down_nodes(), vec![0]);
+    }
+    cluster.restart_node(0);
+}
