@@ -84,6 +84,7 @@ impl DinSqlBaseline {
             prompt,
             max_tokens: self.max_output_tokens,
             temperature: 0.0,
+            timeout_ms: None,
         }) {
             Ok(c) => {
                 usage.add(c.usage);
@@ -125,6 +126,7 @@ impl DinSqlBaseline {
             prompt,
             max_tokens: self.max_output_tokens,
             temperature: 0.0,
+            timeout_ms: None,
         }) {
             Ok(c) => {
                 usage.add(c.usage);

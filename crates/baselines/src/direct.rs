@@ -45,6 +45,7 @@ impl DirectModelBaseline {
             prompt,
             max_tokens: self.max_output_tokens,
             temperature: 0.0,
+            timeout_ms: None,
         }) {
             Ok(c) => c.text,
             Err(e) => format!("(model error: {e})"),
@@ -83,6 +84,7 @@ impl NlQuerySystem for DirectModelBaseline {
             prompt,
             max_tokens: self.max_output_tokens,
             temperature: 0.0,
+            timeout_ms: None,
         }) {
             Ok(c) => {
                 usage.add(c.usage);

@@ -26,7 +26,7 @@
 use dio_bench::Experiment;
 use dio_benchmark::eval::numeric_match;
 use dio_benchmark::{BenchmarkQuestion, WorldConfig};
-use dio_serve::{QueryRequest, QueryService, ServeConfig, ServeOutcome, TenantPolicy};
+use dio_serve::{BrownoutConfig, QueryRequest, QueryService, ServeConfig, ServeOutcome, TenantPolicy};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -264,6 +264,11 @@ fn main() {
             workers: concurrency,
             queue_depth: n.max(64),
             tenant: TenantPolicy::unlimited(),
+            // The whole set is submitted as one burst into a queue
+            // sized to hold it, so occupancy pins at 1.0 by design;
+            // leave the brownout ladder out of this EX-parity
+            // throughput measurement (overload_drill measures it).
+            brownout: BrownoutConfig::disabled(),
             ..ServeConfig::default()
         },
     );

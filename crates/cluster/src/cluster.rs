@@ -36,7 +36,7 @@ use dio_obs::{Buckets, Counter, Gauge, Histogram, Registry, SpanContext, Tracer}
 use dio_sandbox::StoreResolver;
 use dio_tsdb::series::AppendError;
 use dio_tsdb::{Labels, MetricStore, Sample};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -151,10 +151,21 @@ pub struct AddNodeReport {
 }
 
 /// Span name for one shard touched during store resolution. Attributes:
-/// `shard` and `path` (`pushdown` | `gather` | `gather_all`).
+/// `shard` and `path` (`pushdown` | `gather` | `gather_all`); hedged
+/// reads add `hedge` (`win` | `loss`).
 pub const SHARD_READ_SPAN: &str = "shard_read";
 /// Span name for the synchronous WAL shipment inside a traced append.
 pub const WAL_SHIP_SPAN: &str = "wal_ship";
+
+/// Rolling window of served read latencies the hedge delay derives
+/// from.
+const READ_LATENCY_WINDOW: usize = 256;
+/// Served-latency samples required before hedging arms: a cold window
+/// has no p99 worth trusting.
+const HEDGE_MIN_SAMPLES: usize = 16;
+/// Floor on the hedge-fire delay (µs), so a uniformly fast window
+/// cannot make every read hedge.
+const HEDGE_FLOOR_MICROS: u64 = 500;
 
 const HELP_FAILOVERS: &str = "Replica promotions after a primary was found dead";
 const HELP_LAG: &str = "Worst primary-to-replica applied-timestamp gap across shards (s)";
@@ -164,6 +175,8 @@ const HELP_RESHIPS: &str = "Replication chunks re-sent after loss or CRC rejecti
 const HELP_APPENDS: &str = "Acknowledged cluster appends";
 const HELP_ROUTES: &str = "Query store resolutions by routing path";
 const HELP_UNAVAILABLE: &str = "Operations refused because a shard had no live copy";
+const HELP_HEDGE: &str =
+    "Hedged shard reads by outcome: win (replica served), loss (primary served), cancelled (the losing read was abandoned first-wins)";
 
 #[derive(Debug)]
 struct ClusterMetrics {
@@ -178,6 +191,9 @@ struct ClusterMetrics {
     route_gather: Counter,
     route_gather_all: Counter,
     unavailable: Counter,
+    hedge_win: Counter,
+    hedge_loss: Counter,
+    hedge_cancelled: Counter,
 }
 
 impl ClusterMetrics {
@@ -209,6 +225,21 @@ impl ClusterMetrics {
                 &[("path", "gather_all")],
             ),
             unavailable: registry.counter("dio_cluster_unavailable_total", HELP_UNAVAILABLE),
+            hedge_win: registry.counter_with(
+                "dio_cluster_hedge_total",
+                HELP_HEDGE,
+                &[("outcome", "win")],
+            ),
+            hedge_loss: registry.counter_with(
+                "dio_cluster_hedge_total",
+                HELP_HEDGE,
+                &[("outcome", "loss")],
+            ),
+            hedge_cancelled: registry.counter_with(
+                "dio_cluster_hedge_total",
+                HELP_HEDGE,
+                &[("outcome", "cancelled")],
+            ),
             registry,
         }
     }
@@ -234,6 +265,15 @@ struct Inner {
     link: Option<Injector>,
     /// Detection-to-takeover times (µs), drained by the bench.
     failover_latencies: Vec<u64>,
+    /// Simulated per-read latency by node (µs). Recorded, never slept:
+    /// the hedging policy reasons about these virtual latencies
+    /// deterministically.
+    read_latency_micros: Vec<u64>,
+    /// Rolling window of served read latencies (µs); its p99 sets the
+    /// hedge-fire delay.
+    read_latency_window: VecDeque<u64>,
+    /// Total virtual read latency accounted so far (µs).
+    injected_read_micros: u64,
 }
 
 /// A simulated shard-per-node cluster with WAL-shipping replication.
@@ -278,6 +318,9 @@ impl Cluster {
                 shards,
                 link,
                 failover_latencies: Vec::new(),
+                read_latency_micros: vec![0; n],
+                read_latency_window: VecDeque::new(),
+                injected_read_micros: 0,
             }),
             metrics: ClusterMetrics::new(registry),
             cfg: ClusterConfig {
@@ -380,6 +423,32 @@ impl Cluster {
     /// Drain recorded detection-to-takeover latencies (µs).
     pub fn take_failover_latencies(&self) -> Vec<u64> {
         std::mem::take(&mut self.inner.lock().unwrap().failover_latencies)
+    }
+
+    /// Set node `node`'s simulated per-read latency (µs). The latency
+    /// is *recorded, never slept* — it feeds the hedging policy and the
+    /// virtual-latency accounting deterministically. The drills use
+    /// this to make one shard's primary pathologically slow.
+    pub fn set_read_latency(&self, node: usize, micros: u64) {
+        self.inner.lock().unwrap().read_latency_micros[node] = micros;
+    }
+
+    /// Total virtual read latency accounted so far (µs). Grows with
+    /// every shard read by the latency of whichever copy served it.
+    pub fn injected_read_latency_micros(&self) -> u64 {
+        self.inner.lock().unwrap().injected_read_micros
+    }
+
+    /// Hedged-read outcomes so far: `(wins, losses, cancelled)`.
+    /// `wins` counts reads the replica served first; `losses` reads
+    /// where the primary still won after the hedge fired; `cancelled`
+    /// every losing in-flight read abandoned first-wins.
+    pub fn hedge_outcomes(&self) -> (u64, u64, u64) {
+        (
+            self.metrics.hedge_win.value() as u64,
+            self.metrics.hedge_loss.value() as u64,
+            self.metrics.hedge_cancelled.value() as u64,
+        )
     }
 
     /// Load every series of a single-node store into the cluster
@@ -567,6 +636,7 @@ impl Cluster {
         let shard = inner.ring.add_shard();
         let node = inner.up.len();
         inner.up.push(true);
+        inner.read_latency_micros.push(0);
         let replication = self.cfg.replication || inner.up.len() > 1;
         let mut copies = BTreeMap::new();
         copies.insert(node, ShardCopy::new());
@@ -813,10 +883,41 @@ impl Cluster {
 }
 
 impl Cluster {
+    /// Hedge-fire delay (µs): the p99 of the rolling served-latency
+    /// window, floored at [`HEDGE_FLOOR_MICROS`]. `None` until the
+    /// window holds [`HEDGE_MIN_SAMPLES`] observations — hedging stays
+    /// off while cold so a handful of early reads cannot set the bar.
+    fn hedge_delay(inner: &Inner) -> Option<u64> {
+        let n = inner.read_latency_window.len();
+        if n < HEDGE_MIN_SAMPLES {
+            return None;
+        }
+        let mut v: Vec<u64> = inner.read_latency_window.iter().copied().collect();
+        v.sort_unstable();
+        Some(v[(n - 1) * 99 / 100].max(HEDGE_FLOOR_MICROS))
+    }
+
+    /// Feed one served read latency into the rolling window, bounded at
+    /// [`READ_LATENCY_WINDOW`] observations.
+    fn note_read_latency(inner: &mut Inner, micros: u64) {
+        if inner.read_latency_window.len() == READ_LATENCY_WINDOW {
+            inner.read_latency_window.pop_front();
+        }
+        inner.read_latency_window.push_back(micros);
+    }
+
     /// Touch `shard` under a per-shard [`SHARD_READ_SPAN`]: ensure a
     /// live primary (recording any promotion on the trace) and hand out
-    /// its store. The span covers detection/promotion plus the store
+    /// a store. The span covers detection/promotion plus the store
     /// fetch and is tagged with the routing path.
+    ///
+    /// When the primary's virtual latency exceeds the rolling-p99
+    /// hedge delay and a live replica exists, a hedged read fires: the
+    /// replica copy starts `delay` µs behind the primary, the first
+    /// CRC-clean, fully-replicated response wins, and the loser is
+    /// cancelled (abandoned first-wins, its bytes never merged). All
+    /// latencies are *recorded, never slept* — the virtual completion
+    /// times decide the winner deterministically.
     fn read_shard(
         &self,
         inner: &mut Inner,
@@ -831,18 +932,64 @@ impl Cluster {
         let ensured = self
             .ensure_primary(inner, shard, span.as_ref().map(|(t, ctx, _, _)| (*t, ctx)))
             .map_err(|e| self.note_unavailable(e).to_string());
+        let mut hedge: Option<&'static str> = None;
+        let mut serving: Option<usize> = None;
+        if ensured.is_ok() {
+            let p = inner.shards[shard].primary_node;
+            let lat_p = inner.read_latency_micros[p];
+            let mut chosen = (p, lat_p);
+            if let Some(delay) = Self::hedge_delay(inner) {
+                if lat_p > delay {
+                    let live_replica =
+                        inner.shards[shard].replica_node.filter(|r| inner.up[*r]);
+                    if let Some(r) = live_replica {
+                        // The replica starts `delay` after the primary.
+                        let lat_r = delay + inner.read_latency_micros[r];
+                        // Serve the replica only when its image is
+                        // CRC-clean AND caught up to the primary —
+                        // byte-identical by construction, so a hedge
+                        // win can never diverge from the unhedged read.
+                        let caught_up = inner.shards[shard].copies[&r].records()
+                            == inner.shards[shard].copies[&p].records();
+                        let clean = caught_up
+                            && dio_tsdb::wal::recover(
+                                inner.shards[shard].copies[&r].wal_bytes(),
+                            )
+                            .is_clean();
+                        if clean && lat_r < lat_p {
+                            self.metrics.hedge_win.inc();
+                            hedge = Some("win");
+                            chosen = (r, lat_r);
+                        } else {
+                            self.metrics.hedge_loss.inc();
+                            hedge = Some("loss");
+                        }
+                        // Either way one in-flight read was abandoned.
+                        self.metrics.hedge_cancelled.inc();
+                    }
+                }
+            }
+            inner.injected_read_micros += chosen.1;
+            Self::note_read_latency(inner, chosen.1);
+            serving = Some(chosen.0);
+        }
         if let Some((tracer, ctx, start, t0)) = span {
+            let shard_s = shard.to_string();
+            let mut attrs: Vec<(&str, &str)> = vec![("shard", &shard_s), ("path", path)];
+            if let Some(outcome) = hedge {
+                attrs.push(("hedge", outcome));
+            }
             tracer.record_span(
                 &ctx,
                 SHARD_READ_SPAN,
                 start,
                 dio_obs::micros_u64(t0.elapsed()),
-                &[("shard", &shard.to_string()), ("path", path)],
+                &attrs,
             );
         }
         ensured?;
-        let p = inner.shards[shard].primary_node;
-        Ok(inner.shards[shard].copies[&p].store())
+        let node = serving.expect("live primary implies a serving copy was chosen");
+        Ok(inner.shards[shard].copies[&node].store())
     }
 }
 
@@ -1176,6 +1323,81 @@ mod tests {
             snap.family("dio_cluster_replication_lag_worst_seconds").is_some(),
             "worst-lag gauge keeps the old reading under a new name"
         );
+    }
+
+    #[test]
+    fn hedged_read_serves_replica_when_primary_is_slow() {
+        let source = seed_store(&FAMILIES, 4);
+        let cluster = Cluster::new(ClusterConfig::new(2));
+        cluster.load_from(&source).unwrap();
+        let f = FAMILIES[0];
+        let shard = cluster.shard_for(f);
+
+        // Cold window: no hedging regardless of latency skew.
+        cluster.set_read_latency(cluster.primary_of(shard), 50_000);
+        let baseline = cluster.resolve(&[f.to_string()], false).unwrap();
+        assert_eq!(cluster.hedge_outcomes(), (0, 0, 0), "cold window must not hedge");
+        cluster.set_read_latency(cluster.primary_of(shard), 0);
+
+        // Warm the window with fast reads so the p99 delay settles at
+        // the floor.
+        for _ in 0..20 {
+            cluster.resolve(&[f.to_string()], false).unwrap();
+        }
+
+        // Slow primary: the hedge fires after the p99 delay and the
+        // byte-identical replica wins the race.
+        cluster.set_read_latency(cluster.primary_of(shard), 50_000);
+        let before_virtual = cluster.injected_read_latency_micros();
+        let tracer = Tracer::new();
+        let root = tracer.begin_trace("hedged read");
+        let hedged = cluster
+            .resolve_traced(&[f.to_string()], false, Some((&tracer, &root)))
+            .unwrap();
+        tracer.finish_trace(&root, dio_obs::TraceStatus::Ok);
+        let (wins, _losses, cancelled) = cluster.hedge_outcomes();
+        assert!(wins >= 1, "slow primary with a fast replica must lose the race");
+        assert!(cancelled >= wins, "every hedge abandons one loser first-wins");
+        // Correctness gate: the replica is byte-identical, so the
+        // hedged answer must match the unhedged one exactly.
+        assert_eq!(hedged.sample_count(), baseline.sample_count());
+        let total: usize = hedged.series_for(f).iter().map(|s| s.samples().len()).sum();
+        assert_eq!(total, 4, "hedged read dropped samples");
+        // The served latency is the replica's virtual completion, not
+        // the slow primary's.
+        let served = cluster.injected_read_latency_micros() - before_virtual;
+        assert!(served < 50_000, "win must account the replica's latency, got {served}");
+        // The winning read is tagged on the trace.
+        let rec = tracer.trace(root.trace_id).unwrap();
+        let read = rec
+            .spans
+            .iter()
+            .find(|s| s.name == SHARD_READ_SPAN)
+            .expect("shard_read span present");
+        assert_eq!(read.attr("hedge"), Some("win"));
+        let snap = cluster.registry().snapshot();
+        assert!(snap.total("dio_cluster_hedge_total") >= 2.0);
+    }
+
+    #[test]
+    fn hedge_loses_when_replica_is_even_slower() {
+        let source = seed_store(&FAMILIES, 4);
+        let cluster = Cluster::new(ClusterConfig::new(2));
+        cluster.load_from(&source).unwrap();
+        let f = FAMILIES[0];
+        let shard = cluster.shard_for(f);
+        for _ in 0..20 {
+            cluster.resolve(&[f.to_string()], false).unwrap();
+        }
+        // Primary slow enough to hedge, replica slower still: the
+        // hedge fires but the primary keeps winning.
+        cluster.set_read_latency(cluster.primary_of(shard), 10_000);
+        cluster.set_read_latency(cluster.replica_of(shard).unwrap(), 60_000);
+        cluster.resolve(&[f.to_string()], false).unwrap();
+        let (wins, losses, cancelled) = cluster.hedge_outcomes();
+        assert_eq!(wins, 0, "a slower replica must not win");
+        assert!(losses >= 1, "the fired hedge must be counted as a loss");
+        assert!(cancelled >= 1, "the losing replica read must be cancelled");
     }
 
     #[test]

@@ -60,6 +60,15 @@ pub enum CopilotError {
         /// Slug of the quarantined index tier.
         index: String,
     },
+    /// The request's [`dio_obs::Budget`] lapsed — deadline passed or
+    /// the caller cancelled — and the pipeline abandoned the remaining
+    /// work cooperatively. Distinct from a shed request: some work may
+    /// already have run. Never retried and never sent to the degraded
+    /// fallback (that would be more work past the deadline).
+    DeadlineExceeded {
+        /// The pipeline stage that observed the lapsed budget.
+        stage: String,
+    },
 }
 
 impl CopilotError {
@@ -114,6 +123,9 @@ impl std::fmt::Display for CopilotError {
             }
             CopilotError::IndexQuarantined { index } => {
                 write!(f, "index quarantined: {index}")
+            }
+            CopilotError::DeadlineExceeded { stage } => {
+                write!(f, "deadline exceeded at stage {stage}")
             }
         }
     }
@@ -184,5 +196,9 @@ mod tests {
         assert_eq!(e.to_string(), "storage fault in vecstore: crc mismatch");
         let e = CopilotError::IndexQuarantined { index: "hnsw".into() };
         assert_eq!(e.to_string(), "index quarantined: hnsw");
+        let e = CopilotError::DeadlineExceeded {
+            stage: "generate".into(),
+        };
+        assert_eq!(e.to_string(), "deadline exceeded at stage generate");
     }
 }

@@ -75,6 +75,11 @@ pub const COMPLETENESS_NAME: &str = "dio_copilot_data_completeness_total";
 pub(crate) const COMPLETENESS_HELP: &str =
     "Answers the copilot returned, by data-completeness level (complete, partial).";
 
+/// Asks abandoned because the request budget lapsed, by stage.
+pub const DEADLINE_NAME: &str = "dio_copilot_deadline_exceeded_total";
+pub(crate) const DEADLINE_HELP: &str =
+    "Asks abandoned cooperatively because the request budget lapsed, by pipeline stage.";
+
 /// Stable label value for a breaker state.
 pub(crate) fn breaker_slug(state: BreakerState) -> &'static str {
     match state {
@@ -149,6 +154,7 @@ pub(crate) fn register_zero_instruments(registry: &Registry) {
     );
     registry.counter_with(DEMOTIONS_NAME, DEMOTIONS_HELP, &[("to", "flat")]);
     registry.counter_with(COMPLETENESS_NAME, COMPLETENESS_HELP, &[("level", "complete")]);
+    registry.counter_with(DEADLINE_NAME, DEADLINE_HELP, &[("stage", "model")]);
     registry.histogram(SIMILARITY_NAME, SIMILARITY_HELP, &Buckets::unit_fractions());
     registry.histogram_with(
         STAGE_DURATION_NAME,

@@ -15,7 +15,7 @@ use dio_llm::{
     ObservedModel, PromptBuilder, SimulatedModel, TaskKind, TokenUsage,
 };
 use dio_faults::{DataFaultKind, Injector};
-use dio_obs::{Buckets, ObsHub, SpanContext, TraceStatus};
+use dio_obs::{Buckets, Budget, ObsHub, SpanContext, TraceStatus};
 use dio_sandbox::{DataCompleteness, Sandbox, SafetyPolicy};
 use dio_tsdb::MetricStore;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -159,6 +159,22 @@ struct ExecResolution {
     completeness: DataCompleteness,
 }
 
+impl ExecResolution {
+    /// The resolution of an ask whose budget lapsed mid-execution: no
+    /// answer, no fallback, the deadline error carried as-is.
+    fn deadline(query: String, error: CopilotError) -> Self {
+        ExecResolution {
+            query,
+            canonical: None,
+            numeric_answer: None,
+            values: Vec::new(),
+            error: Some(error),
+            degradation: DegradationLevel::Full,
+            completeness: DataCompleteness::Partial,
+        }
+    }
+}
+
 impl DioCopilot {
     /// The domain database.
     pub fn db(&self) -> &DomainDb {
@@ -232,6 +248,31 @@ impl DioCopilot {
     pub fn set_recovery(&mut self, policy: RecoveryPolicy) {
         self.breaker = CircuitBreaker::new(&policy);
         self.config.recovery = policy;
+    }
+
+    /// The retrieval top-k currently in effect.
+    pub fn top_k(&self) -> usize {
+        self.config.top_k
+    }
+
+    /// Override the retrieval top-k. The serving tier's brownout
+    /// ladder shrinks it under load and restores it as pressure
+    /// clears; a floor of 1 keeps retrieval (and with it the degraded
+    /// fallback) functional.
+    pub fn set_top_k(&mut self, k: usize) {
+        self.config.top_k = k.max(1);
+    }
+
+    /// The repair-round cap currently in effect.
+    pub fn max_repair_rounds(&self) -> usize {
+        self.config.recovery.max_repair_rounds
+    }
+
+    /// Override the repair-round cap without touching the circuit
+    /// breaker (unlike [`DioCopilot::set_recovery`], which resets it) —
+    /// the brownout ladder flips this per request.
+    pub fn set_max_repair_rounds(&mut self, rounds: usize) {
+        self.config.recovery.max_repair_rounds = rounds;
     }
 
     /// Number of expert-knowledge updates applied so far (via
@@ -326,6 +367,52 @@ impl DioCopilot {
         qvec: Option<&dio_embed::Vector>,
         parent: Option<&SpanContext>,
     ) -> CopilotResponse {
+        self.ask_budgeted(question, ts, qvec, parent, &Budget::unbounded())
+    }
+
+    /// Answer without spending a single model call: the ask runs with
+    /// the circuit breaker latched open
+    /// ([`CircuitBreaker::latched_open`]), so every stage that would
+    /// consult the model takes its existing breaker-open path and
+    /// generation lands on the degraded direct-lookup fallback
+    /// (labelled [`DegradationLevel::Degraded`]). The real breaker —
+    /// including any in-flight cooldown — is restored afterwards. This
+    /// is the serving tier's brownout hook for its
+    /// answer-cache-or-degraded level.
+    pub fn ask_degraded(
+        &mut self,
+        question: &str,
+        ts: i64,
+        qvec: Option<&dio_embed::Vector>,
+        parent: Option<&SpanContext>,
+        budget: &Budget,
+    ) -> CopilotResponse {
+        let saved = std::mem::replace(&mut self.breaker, CircuitBreaker::latched_open());
+        let response = self.ask_budgeted(question, ts, qvec, parent, budget);
+        self.breaker = saved;
+        response
+    }
+
+    /// [`DioCopilot::ask_in_context`] under an explicit request
+    /// [`Budget`]. The budget is checked cooperatively between pipeline
+    /// stages, before every model call, and before every retry or
+    /// repair round; each model call carries a per-call timeout derived
+    /// from the remaining budget, and recorded backoff intervals are
+    /// capped by it. When the budget lapses (deadline passed or the
+    /// token cancelled) the ask aborts with
+    /// [`CopilotError::DeadlineExceeded`] — no degraded fallback, no
+    /// further model calls — and a standalone trace closes with
+    /// [`TraceStatus::DeadlineExceeded`] so the flight recorder retains
+    /// it under its own outcome class. An unbounded budget reproduces
+    /// [`DioCopilot::ask_in_context`] exactly.
+    pub fn ask_budgeted(
+        &mut self,
+        question: &str,
+        ts: i64,
+        qvec: Option<&dio_embed::Vector>,
+        parent: Option<&SpanContext>,
+        budget: &Budget,
+    ) -> CopilotResponse {
         let obs = self.obs.clone();
         let owns_trace = parent.is_none();
         let ctx = match parent {
@@ -339,6 +426,23 @@ impl DioCopilot {
         let mut usage = TokenUsage::default();
         let mut stats = RecoveryStats::default();
         let trips_before = self.breaker.trips();
+
+        // Dead on arrival: a request whose budget already lapsed (queue
+        // wait ate it, or the caller cancelled) does no work at all.
+        if budget.expired() {
+            return self.deadline_abort(
+                question,
+                String::new(),
+                "retrieve",
+                usage,
+                stats,
+                trips_before,
+                &obs,
+                &ctx,
+                owns_trace,
+                ask_start,
+            );
+        }
 
         // Stage 0 (chaos runs only): the retrieval index is a data
         // plane too. A transient read fault is retried in place (the
@@ -421,6 +525,24 @@ impl DioCopilot {
             })
             .collect();
 
+        // Budget checkpoint between retrieval and generation: the model
+        // stages are the expensive ones, so lapse here rather than
+        // start a call that cannot finish in time.
+        if budget.expired() {
+            return self.deadline_abort(
+                question,
+                String::new(),
+                "generate",
+                usage,
+                stats,
+                trips_before,
+                &obs,
+                &ctx,
+                owns_trace,
+                ask_start,
+            );
+        }
+
         // Stage 2: relevant-metric identification. By default this is
         // folded into the generation prompt (one inference, §4.2.5 cost
         // envelope); `two_stage: true` issues the explicit
@@ -441,6 +563,7 @@ impl DioCopilot {
                 prompt: identify_prompt,
                 max_tokens: self.config.max_output_tokens,
                 temperature: self.config.temperature,
+                timeout_ms: budget_timeout_ms(budget),
             };
             time_stage(&obs, &ctx, "identify", |_| {
                 // Identification is best-effort: on failure the merged
@@ -450,6 +573,7 @@ impl DioCopilot {
                     &mut self.breaker,
                     &self.config.recovery,
                     &request,
+                    budget,
                     &mut usage,
                     &mut stats,
                     &obs,
@@ -500,6 +624,7 @@ impl DioCopilot {
             prompt: gen_prompt,
             max_tokens: self.config.max_output_tokens,
             temperature: self.config.temperature,
+            timeout_ms: budget_timeout_ms(budget),
         };
         let generated: Result<String, CopilotError> = time_stage(&obs, &ctx, "generate", |_| {
             Self::call_model(
@@ -507,6 +632,7 @@ impl DioCopilot {
                 &mut self.breaker,
                 &self.config.recovery,
                 &gen_request,
+                budget,
                 &mut usage,
                 &mut stats,
                 &obs,
@@ -528,6 +654,7 @@ impl DioCopilot {
             ts,
             window,
             reserved,
+            budget,
             &mut usage,
             &mut stats,
             &obs,
@@ -542,6 +669,21 @@ impl DioCopilot {
             degradation,
             completeness,
         } = resolution;
+        if let Some(CopilotError::DeadlineExceeded { stage }) = &error {
+            let stage = stage.clone();
+            return self.deadline_abort(
+                question,
+                query,
+                &stage,
+                usage,
+                stats,
+                trips_before,
+                &obs,
+                &ctx,
+                owns_trace,
+                ask_start,
+            );
+        }
         stats.degraded = degradation == DegradationLevel::Degraded;
         obs.registry()
             .counter_with(
@@ -645,13 +787,19 @@ impl DioCopilot {
     /// Place one model call under the recovery policy: the circuit
     /// breaker gates the call, transient failures are retried up to the
     /// policy bound, and the deterministic backoff schedule is recorded
-    /// (never slept).
+    /// (never slept). The request `budget` gates every attempt — a
+    /// lapsed budget aborts before the model is touched — and caps each
+    /// recorded backoff interval by the time actually left. Every
+    /// admitted call stamps a `model_call` event carrying its
+    /// trace-clock offset, so a post-mortem can prove no call started
+    /// after the deadline.
     #[allow(clippy::too_many_arguments)]
     fn call_model(
         model: &dyn FoundationModel,
         breaker: &mut CircuitBreaker,
         policy: &RecoveryPolicy,
         request: &CompletionRequest,
+        budget: &Budget,
         usage: &mut TokenUsage,
         stats: &mut RecoveryStats,
         obs: &ObsHub,
@@ -659,6 +807,11 @@ impl DioCopilot {
     ) -> Result<String, CopilotError> {
         let mut retry = 0usize;
         loop {
+            if budget.expired() {
+                return Err(CopilotError::DeadlineExceeded {
+                    stage: "model".into(),
+                });
+            }
             let gate = breaker.state();
             let admitted = breaker.allow();
             note_breaker_transition(obs, ctx, gate, breaker.state());
@@ -669,6 +822,8 @@ impl DioCopilot {
                 });
             }
             stats.attempts += 1;
+            let at = obs.tracer().clock_micros(ctx).to_string();
+            obs.tracer().event(ctx, "model_call", &[("at_micros", &at)]);
             match model.complete(request) {
                 Ok(c) => {
                     usage.add(c.usage);
@@ -683,7 +838,13 @@ impl DioCopilot {
                     note_breaker_transition(obs, ctx, before, breaker.state());
                     if policy.enabled && e.is_transient() && retry < policy.max_retries {
                         stats.retries += 1;
-                        let backoff = policy.backoff_ms(retry);
+                        // Backoff is recorded, never slept; cap the
+                        // recorded interval by the budget actually
+                        // left so the schedule stays honest about what
+                        // a real sleep could have been.
+                        let backoff = budget
+                            .cap(std::time::Duration::from_millis(policy.backoff_ms(retry)))
+                            .as_millis() as u64;
                         stats.backoff_schedule_ms.push(backoff);
                         obs.registry()
                             .counter(crate::obs::RETRIES_NAME, crate::obs::RETRIES_HELP)
@@ -705,6 +866,74 @@ impl DioCopilot {
         }
     }
 
+    /// Wind down an ask whose budget lapsed: count it (labelled by the
+    /// stage that observed the lapse), stamp a `deadline_exceeded`
+    /// event carrying the trace-clock offset, record the ask duration
+    /// and any cost already incurred, and — for standalone asks — close
+    /// the trace as [`TraceStatus::DeadlineExceeded`] so the flight
+    /// recorder retains it under its own outcome class. No answer
+    /// counter and no `answered` event: a deadline abort is not an
+    /// answer.
+    #[allow(clippy::too_many_arguments)]
+    fn deadline_abort(
+        &mut self,
+        question: &str,
+        query: String,
+        stage: &str,
+        usage: TokenUsage,
+        mut stats: RecoveryStats,
+        trips_before: usize,
+        obs: &ObsHub,
+        ctx: &SpanContext,
+        owns_trace: bool,
+        ask_start: Instant,
+    ) -> CopilotResponse {
+        obs.registry()
+            .counter_with(
+                crate::obs::DEADLINE_NAME,
+                crate::obs::DEADLINE_HELP,
+                &[("stage", stage)],
+            )
+            .inc();
+        let at = obs.tracer().clock_micros(ctx).to_string();
+        obs.tracer().event(
+            ctx,
+            "deadline_exceeded",
+            &[("stage", stage), ("at_micros", &at)],
+        );
+        stats.breaker_trips = self.breaker.trips().saturating_sub(trips_before);
+        obs.registry()
+            .histogram(
+                crate::obs::ASK_DURATION_NAME,
+                crate::obs::ASK_DURATION_HELP,
+                &Buckets::latency_micros(),
+            )
+            .observe(dio_obs::micros_u64(ask_start.elapsed()) as f64);
+        let cost_cents = self.model.pricing().cost_cents(usage);
+        self.meter.record(usage, self.model.pricing());
+        let trace = PipelineTrace::from_spans(&obs.tracer().spans(ctx.trace_id), stats);
+        if owns_trace {
+            obs.tracer().finish_trace(ctx, TraceStatus::DeadlineExceeded);
+        }
+        CopilotResponse {
+            question: question.to_string(),
+            relevant_metrics: Vec::new(),
+            explanation: String::new(),
+            query,
+            numeric_answer: None,
+            values: Vec::new(),
+            error: Some(CopilotError::DeadlineExceeded {
+                stage: stage.to_string(),
+            }),
+            degradation: DegradationLevel::Full,
+            data_completeness: DataCompleteness::Partial,
+            dashboard: None,
+            usage,
+            cost_cents,
+            trace,
+        }
+    }
+
     /// Execute the generated query, running bounded repair rounds on
     /// sandbox rejection and falling back to a degraded direct metric
     /// lookup when recovery is exhausted (or generation itself failed).
@@ -718,6 +947,7 @@ impl DioCopilot {
         ts: i64,
         window: usize,
         reserved: usize,
+        budget: &Budget,
         usage: &mut TokenUsage,
         stats: &mut RecoveryStats,
         obs: &ObsHub,
@@ -726,6 +956,12 @@ impl DioCopilot {
         let policy = self.config.recovery.clone();
         let mut query = match generated {
             Ok(q) => q,
+            // A lapsed budget is not a failure to recover from: running
+            // the degraded fallback would be *more* work past the
+            // deadline. Surface it untouched.
+            Err(e @ CopilotError::DeadlineExceeded { .. }) => {
+                return ExecResolution::deadline(String::new(), e);
+            }
             Err(e) => {
                 // Satellite of the recovery design: a model failure used
                 // to be executed as a fake `# model error: …` query.
@@ -737,6 +973,14 @@ impl DioCopilot {
         let mut rounds = 0usize;
         let mut storage_retries = 0usize;
         let error = loop {
+            if budget.expired() {
+                return ExecResolution::deadline(
+                    query,
+                    CopilotError::DeadlineExceeded {
+                        stage: "execute".into(),
+                    },
+                );
+            }
             // The execute span's own context rides into the sandbox so
             // the store resolver can hang one child span per shard it
             // touches under this invocation.
@@ -824,6 +1068,7 @@ impl DioCopilot {
                         prompt: repair_builder.build(window, reserved),
                         max_tokens: self.config.max_output_tokens,
                         temperature: self.config.temperature,
+                        timeout_ms: budget_timeout_ms(budget),
                     };
                     let repaired = time_stage(obs, ctx, "generate", |_| {
                         Self::call_model(
@@ -831,6 +1076,7 @@ impl DioCopilot {
                             &mut self.breaker,
                             &policy,
                             &repair_request,
+                            budget,
                             usage,
                             stats,
                             obs,
@@ -845,6 +1091,10 @@ impl DioCopilot {
             }
         };
 
+        if matches!(error, CopilotError::DeadlineExceeded { .. }) {
+            // Same rule as above: the deadline forbids the fallback.
+            return ExecResolution::deadline(query, error);
+        }
         if policy.enabled {
             self.degraded_fallback(query, error, hits, ts, stats, obs, ctx)
         } else {
@@ -959,6 +1209,12 @@ impl DioCopilot {
 /// System prompt shared by both stages.
 const SYSTEM_PROMPT: &str = "You are DIO copilot, a natural language interface for retrieval \
 and analytics tasks on 5G operator data. Use only metrics from CONTEXT. Answer with PromQL.";
+
+/// Per-call model timeout derived from the remaining budget, in whole
+/// milliseconds. Unbounded budgets impose no cap.
+fn budget_timeout_ms(budget: &Budget) -> Option<u64> {
+    budget.remaining().map(|left| left.as_millis() as u64)
+}
 
 /// First sentence of a description (keeps prompts within the paper's
 /// cost envelope while preserving the discriminative tokens).
@@ -1608,6 +1864,95 @@ mod tests {
         let plain = cp.ask(q, ts);
         assert_eq!(prepared.query, plain.query);
         assert_eq!(prepared.numeric_answer, plain.numeric_answer);
+    }
+
+    #[test]
+    fn lapsed_budget_aborts_before_any_model_call() {
+        let (mut cp, ts) = copilot();
+        let budget = Budget::within(std::time::Duration::ZERO);
+        let r = cp.ask_budgeted("How many paging attempts?", ts, None, None, &budget);
+        assert!(
+            matches!(r.error, Some(CopilotError::DeadlineExceeded { .. })),
+            "{:?}",
+            r.error
+        );
+        assert!(r.numeric_answer.is_none());
+        assert_eq!(r.trace.recovery.attempts, 0);
+        let snap = cp.obs().registry().snapshot();
+        // Zero work past the lapsed deadline: the model was never
+        // touched, and the abort is not counted as an answer.
+        assert_eq!(snap.total("dio_llm_model_calls_total"), 0.0);
+        assert_eq!(snap.total(crate::obs::ANSWERS_NAME), 0.0);
+        assert_eq!(snap.total(crate::obs::DEADLINE_NAME), 1.0);
+        // The standalone trace closed under the deadline class and the
+        // flight recorder retained it as its own outcome.
+        let retained = cp.obs().recorder().retained();
+        assert!(
+            retained.iter().any(|t| t.reason == "deadline_exceeded"),
+            "reasons: {:?}",
+            retained.iter().map(|t| t.reason.clone()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn brownout_ask_degrades_without_any_model_call() {
+        let (mut cp, ts) = copilot();
+        let q = "How many paging attempts?";
+        let r = cp.ask_degraded(q, ts, None, None, &Budget::unbounded());
+        assert_eq!(r.degradation, DegradationLevel::Degraded);
+        let snap = cp.obs().registry().snapshot();
+        assert_eq!(
+            snap.total("dio_llm_model_calls_total"),
+            0.0,
+            "cache-only brownout must not touch the model"
+        );
+        // The real breaker came back: the next plain ask runs the full
+        // pipeline again.
+        assert_eq!(cp.breaker().state(), crate::BreakerState::Closed);
+        let full = cp.ask(q, ts);
+        assert_eq!(full.degradation, DegradationLevel::Full);
+    }
+
+    #[test]
+    fn cancellation_aborts_like_a_lapsed_deadline() {
+        let (mut cp, ts) = copilot();
+        let budget = Budget::unbounded();
+        budget.cancel();
+        let r = cp.ask_budgeted("How many paging attempts?", ts, None, None, &budget);
+        assert!(matches!(
+            r.error,
+            Some(CopilotError::DeadlineExceeded { .. })
+        ));
+        assert_eq!(r.trace.recovery.attempts, 0);
+        assert!(r.render().contains("deadline exceeded"));
+    }
+
+    #[test]
+    fn unbounded_budget_reproduces_the_plain_ask() {
+        let (mut cp1, ts) = copilot();
+        let (mut cp2, _) = copilot();
+        let q = "How many initial registration attempts did the AMF handle?";
+        let a = cp1.ask(q, ts);
+        let b = cp2.ask_budgeted(q, ts, None, None, &Budget::unbounded());
+        assert_eq!(a.query, b.query);
+        assert_eq!(a.numeric_answer, b.numeric_answer);
+        assert!(b.error.is_none());
+    }
+
+    #[test]
+    fn generous_budget_caps_model_calls_without_changing_answers() {
+        let (mut cp, ts) = copilot();
+        let budget = Budget::within(std::time::Duration::from_secs(3600));
+        let r = cp.ask_budgeted(
+            "How many initial registration attempts did the AMF handle?",
+            ts,
+            None,
+            None,
+            &budget,
+        );
+        assert!(r.error.is_none(), "{:?}", r.error);
+        assert!(r.numeric_answer.is_some());
+        assert_eq!(r.degradation, crate::recovery::DegradationLevel::Full);
     }
 
     #[test]

@@ -1,0 +1,66 @@
+//! Property tests for the recovery policy's seeded backoff jitter:
+//! jittered intervals stay inside the documented bounds, the schedule
+//! is a pure function of `(seed, retry)` (reproducible), and the
+//! unseeded default is the exact doubling schedule the rest of the
+//! test suite pins.
+
+use dio_copilot::RecoveryPolicy;
+use proptest::prelude::*;
+
+proptest! {
+    /// Every jittered interval lands in `[nominal/2, nominal]` where
+    /// `nominal = base · 2^retry` (saturating), for arbitrary seeds,
+    /// bases, and retry indices.
+    #[test]
+    fn jitter_stays_within_half_to_full_nominal(
+        seed in any::<u64>(),
+        base in 0u64..100_000,
+        retry in 0usize..24,
+    ) {
+        let p = RecoveryPolicy {
+            backoff_base_ms: base,
+            backoff_jitter_seed: Some(seed),
+            ..RecoveryPolicy::default()
+        };
+        let nominal = base.saturating_mul(1u64 << retry.min(16));
+        let j = p.backoff_ms(retry);
+        prop_assert!(j >= nominal / 2, "{j} below floor {}", nominal / 2);
+        prop_assert!(j <= nominal, "{j} above ceiling {nominal}");
+    }
+
+    /// The whole schedule is reproducible: two policies sharing a seed
+    /// agree on every interval, and re-asking the same policy never
+    /// changes an answer (no hidden RNG state).
+    #[test]
+    fn same_seed_reproduces_the_whole_schedule(
+        seed in any::<u64>(),
+        base in 1u64..100_000,
+    ) {
+        let a = RecoveryPolicy {
+            backoff_base_ms: base,
+            backoff_jitter_seed: Some(seed),
+            ..RecoveryPolicy::default()
+        };
+        let b = a.clone();
+        for retry in 0..12 {
+            let first = a.backoff_ms(retry);
+            prop_assert_eq!(first, b.backoff_ms(retry));
+            prop_assert_eq!(first, a.backoff_ms(retry));
+        }
+    }
+
+    /// Without a seed the schedule is the exact deterministic doubling
+    /// ladder — the compatibility contract the pipeline tests pin
+    /// (`[100, 200, 400, …]`).
+    #[test]
+    fn unseeded_schedule_is_pure_doubling(
+        base in 0u64..100_000,
+        retry in 0usize..24,
+    ) {
+        let p = RecoveryPolicy {
+            backoff_base_ms: base,
+            ..RecoveryPolicy::default()
+        };
+        prop_assert_eq!(p.backoff_ms(retry), base.saturating_mul(1u64 << retry.min(16)));
+    }
+}

@@ -307,9 +307,25 @@ impl<M: FoundationModel> FoundationModel for FaultyModel<M> {
                 })
             }
             Some(FaultKind::LatencySpike) => {
-                state.injected_latency_micros += self.config.latency_spike_micros;
-                drop(state);
-                self.inner.complete(request)
+                // A caller-supplied timeout caps how much of the spike
+                // the caller actually waits through: when the spike
+                // exceeds the cap the call is abandoned at the cap with
+                // a transient error. Purely a function of (schedule,
+                // request) — no extra RNG draws, no sleeping.
+                let spike = self.config.latency_spike_micros;
+                match request.timeout_ms.map(|ms| ms.saturating_mul(1000)) {
+                    Some(cap_micros) if spike > cap_micros => {
+                        state.injected_latency_micros += cap_micros;
+                        Err(ModelError::Unavailable(format!(
+                            "injected latency spike of {spike}us exceeded per-call timeout of {cap_micros}us on call {call}"
+                        )))
+                    }
+                    _ => {
+                        state.injected_latency_micros += spike;
+                        drop(state);
+                        self.inner.complete(request)
+                    }
+                }
             }
             None => {
                 drop(state);
@@ -438,6 +454,29 @@ mod tests {
         m.complete(&r).unwrap();
         m.complete(&r).unwrap();
         assert_eq!(m.injected_latency_micros(), 2000);
+    }
+
+    #[test]
+    fn latency_spike_past_the_timeout_fails_transiently_at_the_cap() {
+        let cfg = FaultConfig {
+            seed: 13,
+            fault_probability: 1.0,
+            weights: [0, 0, 0, 0, 1], // only LatencySpike
+            latency_spike_micros: 250_000,
+        };
+        let m = FaultyModel::new(SimulatedModel::new(ModelProfile::gpt4_sim()), cfg);
+        // Cap below the spike: the call is abandoned at the cap.
+        let r = request("how many paging attempts?").with_timeout_ms(100);
+        let err = m.complete(&r).unwrap_err();
+        assert!(err.is_transient());
+        assert_eq!(m.injected_latency_micros(), 100_000);
+        // Cap above the spike: the call rides the spike to completion.
+        let r = request("how many paging attempts?").with_timeout_ms(300);
+        m.complete(&r).unwrap();
+        assert_eq!(m.injected_latency_micros(), 100_000 + 250_000);
+        // The schedule saw both calls as latency spikes either way.
+        assert_eq!(m.fault_log().len(), 2);
+        assert!(m.fault_log().iter().all(|e| e.kind == FaultKind::LatencySpike));
     }
 
     #[test]

@@ -71,6 +71,13 @@ pub struct CompletionRequest {
     /// Sampling temperature. The simulated models only implement 0.0
     /// (deterministic); any other value is rejected.
     pub temperature: f64,
+    /// Per-call timeout in milliseconds, derived by the caller from its
+    /// remaining request budget. `None` means no cap. Simulated models
+    /// honour it deterministically: a call whose (simulated) latency
+    /// would exceed the cap fails with [`ModelError::Unavailable`]
+    /// without changing the fault schedule.
+    #[serde(default)]
+    pub timeout_ms: Option<u64>,
 }
 
 impl CompletionRequest {
@@ -80,7 +87,14 @@ impl CompletionRequest {
             prompt,
             max_tokens: 1000,
             temperature: 0.0,
+            timeout_ms: None,
         }
+    }
+
+    /// The same request with a per-call timeout cap.
+    pub fn with_timeout_ms(mut self, timeout_ms: u64) -> Self {
+        self.timeout_ms = Some(timeout_ms);
+        self
     }
 }
 

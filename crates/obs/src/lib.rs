@@ -31,6 +31,7 @@
 //! budgeted: labels hold closed enums (stage, outcome, fault kind, model
 //! name), never question text or metric names.
 
+pub mod budget;
 pub mod exporter;
 pub mod expo;
 pub mod recorder;
@@ -40,6 +41,7 @@ pub mod slo;
 pub mod span;
 pub mod tracer;
 
+pub use budget::Budget;
 pub use exporter::{escape_help, escape_label_value, to_prometheus};
 pub use expo::{parse_exposition, ExpoError, ScrapedFamily, ScrapedKind, ScrapedSample};
 pub use recorder::{FlightRecorder, RecorderConfig, RetainedTrace, FAILOVER_SPAN};

@@ -6,7 +6,7 @@
 //! the failovers. The recorder decides at trace *completion* — when
 //! status and duration are known — and retains only traces that are:
 //!
-//! * not `Ok` (errored, shed, or degraded),
+//! * not `Ok` (errored, shed, degraded, or deadline-exceeded),
 //! * failed-over (carry a [`FAILOVER_SPAN`] span), or
 //! * slow: total duration at or above the rolling p99 of recently
 //!   finished traces (once enough samples accumulated).
@@ -56,8 +56,8 @@ impl Default for RecorderConfig {
 /// One retained trace with its retention verdict.
 #[derive(Debug, Clone, Serialize)]
 pub struct RetainedTrace {
-    /// Why it was kept: `error`, `shed`, `degraded`, `failed_over`, or
-    /// `slow`.
+    /// Why it was kept: `error`, `shed`, `degraded`,
+    /// `deadline_exceeded`, `failed_over`, or `slow`.
     pub reason: String,
     /// Serialized size charged against the byte budget.
     pub bytes: usize,
@@ -134,6 +134,7 @@ impl FlightRecorder {
             TraceStatus::Error => Some("error"),
             TraceStatus::Shed => Some("shed"),
             TraceStatus::Degraded => Some("degraded"),
+            TraceStatus::DeadlineExceeded => Some("deadline_exceeded"),
             TraceStatus::Ok => {
                 if record.has_span(FAILOVER_SPAN) {
                     Some("failed_over")

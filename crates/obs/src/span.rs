@@ -49,6 +49,9 @@ pub enum TraceStatus {
     Shed,
     /// Answered, but through a degraded fallback path.
     Degraded,
+    /// Abandoned cooperatively because the request's budget lapsed
+    /// mid-service (distinct from `Shed`, which never started).
+    DeadlineExceeded,
 }
 
 impl TraceStatus {
@@ -59,6 +62,7 @@ impl TraceStatus {
             TraceStatus::Error => "error",
             TraceStatus::Shed => "shed",
             TraceStatus::Degraded => "degraded",
+            TraceStatus::DeadlineExceeded => "deadline_exceeded",
         }
     }
 }

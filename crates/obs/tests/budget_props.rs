@@ -1,0 +1,83 @@
+//! Property tests for deadline arithmetic: remaining-budget
+//! computation saturates (no panic or wrap when the deadline has
+//! passed, no matter how far), [`Budget::remaining`] is monotonically
+//! non-increasing across repeated observations, and capping never
+//! exceeds either operand.
+
+use std::time::{Duration, Instant};
+
+use dio_obs::Budget;
+use proptest::prelude::*;
+
+proptest! {
+    /// Deadlines arbitrarily far in the past saturate to zero — never
+    /// a panic, never an underflow, and `cap` of anything is zero.
+    #[test]
+    fn lapsed_deadlines_saturate_to_zero(
+        past_micros in 0u64..5_000_000,
+        want_micros in 0u64..10_000_000,
+    ) {
+        let now = Instant::now();
+        // `Instant` subtraction can underflow near process start;
+        // checked_sub keeps the property total over arbitrary offsets.
+        let deadline = now
+            .checked_sub(Duration::from_micros(past_micros))
+            .unwrap_or(now);
+        let b = Budget::with_deadline(deadline);
+        let remaining = b.remaining().expect("bounded budget reports remaining");
+        prop_assert_eq!(remaining, Duration::ZERO);
+        prop_assert!(b.expired());
+        prop_assert_eq!(b.cap(Duration::from_micros(want_micros)), Duration::ZERO);
+    }
+
+    /// Observed repeatedly, `remaining()` never increases: time only
+    /// drains a budget. Holds across arbitrary future deadlines and
+    /// observation counts, and cancellation pins it at zero.
+    #[test]
+    fn remaining_is_monotonically_non_increasing(
+        allowance_micros in 0u64..2_000_000,
+        observations in 2usize..64,
+        cancel_at in 1usize..64,
+    ) {
+        let b = Budget::within(Duration::from_micros(allowance_micros));
+        let cancel_at = cancel_at.min(observations - 1);
+        let mut last = b.remaining().expect("bounded budget reports remaining");
+        for i in 1..observations {
+            if i == cancel_at {
+                b.cancel();
+            }
+            let next = b.remaining().expect("bounded budget reports remaining");
+            prop_assert!(
+                next <= last,
+                "remaining() increased: {:?} -> {:?} at observation {}",
+                last,
+                next,
+                i
+            );
+            if i >= cancel_at {
+                prop_assert_eq!(next, Duration::ZERO);
+                prop_assert!(b.expired());
+            }
+            last = next;
+        }
+    }
+
+    /// `cap(want)` never exceeds `want` nor the remaining budget at
+    /// the time of the call; unbounded budgets pass `want` through.
+    #[test]
+    fn cap_is_bounded_by_both_operands(
+        allowance_micros in 0u64..1_000_000,
+        want_micros in 0u64..10_000_000,
+    ) {
+        let want = Duration::from_micros(want_micros);
+        let bounded = Budget::within(Duration::from_micros(allowance_micros));
+        let capped = bounded.cap(want);
+        prop_assert!(capped <= want);
+        prop_assert!(capped <= Duration::from_micros(allowance_micros));
+
+        let unbounded = Budget::unbounded();
+        prop_assert_eq!(unbounded.cap(want), want);
+        unbounded.cancel();
+        prop_assert_eq!(unbounded.cap(want), Duration::ZERO);
+    }
+}

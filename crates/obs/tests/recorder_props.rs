@@ -23,10 +23,11 @@ struct Offer {
 
 fn offer_from_seed(seed: u64) -> Offer {
     Offer {
-        status: match seed % 4 {
+        status: match seed % 5 {
             0 => TraceStatus::Ok,
             1 => TraceStatus::Error,
             2 => TraceStatus::Shed,
+            3 => TraceStatus::DeadlineExceeded,
             _ => TraceStatus::Degraded,
         },
         total_micros: (seed >> 2) % 50_000,
@@ -159,6 +160,7 @@ proptest! {
             TraceStatus::Error,
             TraceStatus::Shed,
             TraceStatus::Degraded,
+            TraceStatus::DeadlineExceeded,
         ]),
         failover in any::<bool>(),
         micros in 0u64..10_000,

@@ -34,6 +34,9 @@ pub enum ShedReason {
     WorkerPanic,
     /// The service was shutting down when the request arrived.
     Shutdown,
+    /// The brownout ladder ([`crate::BrownoutLevel::Shed`]) was at its
+    /// top rung: arrivals are refused while the backlog drains.
+    Brownout,
 }
 
 impl ShedReason {
@@ -45,17 +48,19 @@ impl ShedReason {
             ShedReason::DeadlineExpired => "deadline_expired",
             ShedReason::WorkerPanic => "worker_panic",
             ShedReason::Shutdown => "shutdown",
+            ShedReason::Brownout => "brownout",
         }
     }
 
     /// Every variant, for metric pre-registration.
-    pub fn all() -> [ShedReason; 5] {
+    pub fn all() -> [ShedReason; 6] {
         [
             ShedReason::QueueFull,
             ShedReason::TenantThrottle,
             ShedReason::DeadlineExpired,
             ShedReason::WorkerPanic,
             ShedReason::Shutdown,
+            ShedReason::Brownout,
         ]
     }
 }

@@ -18,23 +18,31 @@
 //! * [`tenant`] — per-tenant fair-share token buckets;
 //! * [`admission`] — the bounded earliest-deadline-first queue and the
 //!   [`ShedReason`] taxonomy;
+//! * [`brownout`] — the adaptive degradation ladder the service steps
+//!   through under sustained pressure before it resorts to shedding;
 //! * [`service`] — [`QueryService`]: worker pool, request path,
 //!   instrumentation.
 //!
 //! Load shedding is explicit and observable: every refusal carries a
-//! [`ShedReason`] plus a `retry_after` hint, and is counted in
-//! `dio_serve_shed_total{reason=...}`. Accepted requests are never
-//! dropped — shutdown drains the queue before the workers exit.
+//! [`ShedReason`] plus a `retry_after` hint derived from live queue
+//! pressure, and is counted in `dio_serve_shed_total{reason=...}`.
+//! Accepted requests are never dropped — shutdown drains the queue
+//! before the workers exit. Every request also carries a
+//! [`dio_obs::Budget`] (deadline + cancellation) created at submit:
+//! workers check it between stages and the pipeline checks it before
+//! every model call, so no work happens past a lapsed deadline.
 
 #![deny(missing_docs)]
 
 pub mod admission;
+pub mod brownout;
 pub mod cache;
 pub mod normalize;
 pub mod service;
 pub mod tenant;
 
 pub use admission::{AdmissionQueue, PushRefused, ShedReason};
+pub use brownout::{BrownoutConfig, BrownoutController, BrownoutLevel};
 pub use cache::{CacheStats, TtlLru};
 pub use normalize::normalize_question;
 pub use service::{

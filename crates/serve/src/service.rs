@@ -27,16 +27,17 @@
 //!    served — never dropped).
 
 use crate::admission::{AdmissionQueue, PushRefused, ShedReason};
+use crate::brownout::{BrownoutConfig, BrownoutController, BrownoutLevel};
 use crate::cache::{CacheStats, TtlLru};
 use crate::normalize::normalize_question;
 use crate::tenant::{tenant_class, RateLimiter, TenantPolicy, TENANT_CLASSES};
-use dio_copilot::{CopilotResponse, DegradationLevel, DioCopilot};
+use dio_copilot::{CopilotError, CopilotResponse, DegradationLevel, DioCopilot};
 use dio_llm::FoundationModel;
-use dio_obs::{Buckets, Counter, Gauge, Histogram, ObsHub, SpanContext, TraceStatus};
+use dio_obs::{Buckets, Budget, Counter, Gauge, Histogram, ObsHub, SpanContext, TraceStatus};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -57,6 +58,9 @@ pub struct ServeConfig {
     pub embed_cache_capacity: usize,
     /// Answer TTL; `None` relies on generation invalidation alone.
     pub answer_ttl: Option<Duration>,
+    /// Brownout-ladder thresholds and hysteresis
+    /// ([`BrownoutConfig::disabled`] for the binary-shedding baseline).
+    pub brownout: BrownoutConfig,
 }
 
 impl Default for ServeConfig {
@@ -69,6 +73,7 @@ impl Default for ServeConfig {
             answer_cache_capacity: 1024,
             embed_cache_capacity: 4096,
             answer_ttl: None,
+            brownout: BrownoutConfig::default(),
         }
     }
 }
@@ -172,6 +177,11 @@ struct Job {
     /// carried by value across the queue/thread boundary. Queue wait,
     /// cache probes, pipeline stages, and shard reads all parent here.
     ctx: SpanContext,
+    /// The request's deadline-and-cancellation budget, created at
+    /// submit and carried by value alongside the span context. Workers
+    /// check it between pipeline stages; the copilot checks it before
+    /// every model call, retry, and repair round.
+    budget: Budget,
 }
 
 struct Metrics {
@@ -297,6 +307,7 @@ struct Core {
     embeds: TtlLru<Arc<dio_embed::Vector>>,
     generation: Arc<AtomicU64>,
     metrics: Metrics,
+    brownout: Mutex<BrownoutController>,
     config: ServeConfig,
     obs: ObsHub,
 }
@@ -319,8 +330,15 @@ impl QueryService {
         F: FnMut() -> Box<dyn FoundationModel>,
     {
         let obs = prototype.obs().clone();
+        let brownout = Mutex::new(BrownoutController::new(
+            config.brownout,
+            config.queue_depth,
+            config.default_deadline,
+            obs.registry(),
+        ));
         let core = Arc::new(Core {
             queue: AdmissionQueue::new(config.queue_depth),
+            brownout,
             limiter: RateLimiter::new(config.tenant),
             answers: TtlLru::new(
                 obs.registry(),
@@ -354,7 +372,8 @@ impl QueryService {
     }
 
     /// Submit with an explicit deadline budget. Sheds synchronously on
-    /// throttle/overload; an `Ok` ticket is guaranteed a reply.
+    /// throttle/overload/brownout; an `Ok` ticket is guaranteed a
+    /// reply.
     pub fn submit_with_deadline(&self, req: QueryRequest, budget: Duration) -> Result<Ticket, Shed> {
         let now = Instant::now();
         let tracer = self.core.obs.tracer();
@@ -367,10 +386,30 @@ impl QueryService {
                 ("class", tenant_class(&req.tenant)),
             ],
         );
+        // The Shed rung refuses arrivals only while a backlog actually
+        // exists. The controller observes at worker pickup, so once the
+        // queue drains the next admitted request is what produces the
+        // clear observations that let the ladder climb back — an
+        // empty-queue refusal would latch the service shut forever.
+        if self.core.brownout.lock().unwrap().level() == BrownoutLevel::Shed
+            && !self.core.queue.is_empty()
+        {
+            let shed = Shed {
+                reason: ShedReason::Brownout,
+                retry_after: self.retry_hint(Duration::ZERO),
+            };
+            self.core.metrics.count_shed(shed.reason);
+            self.core.metrics.count_class(&req.tenant, "shed");
+            tracer.event(&ctx, "shed", &[("reason", shed.reason.label())]);
+            tracer.finish_trace(&ctx, TraceStatus::Shed);
+            return Err(shed);
+        }
         if let Err(refill) = self.core.limiter.try_acquire_at(&req.tenant, now) {
             let shed = Shed {
                 reason: ShedReason::TenantThrottle,
-                retry_after: refill,
+                // The refill time floors the hint; a backed-up queue
+                // raises it further.
+                retry_after: self.retry_hint(refill),
             };
             self.core.metrics.count_shed(shed.reason);
             self.core.metrics.count_class(&req.tenant, "shed");
@@ -385,6 +424,7 @@ impl QueryService {
             submitted: now,
             reply: tx,
             ctx,
+            budget: Budget::with_deadline(now + budget),
         };
         match self.core.queue.try_push(job, now + budget) {
             Ok(()) => {
@@ -402,10 +442,9 @@ impl QueryService {
                 self.core.limiter.refund(&job.req.tenant);
                 let shed = Shed {
                     reason,
-                    // The queue drains at the service rate; a short,
-                    // bounded backoff keeps well-behaved clients from
-                    // hammering a saturated queue.
-                    retry_after: Duration::from_millis(100),
+                    // The queue drains at the worker pool's rate, so
+                    // the advised backoff grows with the backlog.
+                    retry_after: self.retry_hint(Duration::ZERO),
                 };
                 self.core.metrics.count_shed(shed.reason);
                 self.core.metrics.count_class(&job.req.tenant, "shed");
@@ -414,6 +453,19 @@ impl QueryService {
                 Err(shed)
             }
         }
+    }
+
+    /// The current brownout-ladder position.
+    pub fn brownout_level(&self) -> BrownoutLevel {
+        self.core.brownout.lock().unwrap().level()
+    }
+
+    fn retry_hint(&self, floor: Duration) -> Duration {
+        retry_hint(
+            self.core.queue.len(),
+            self.core.config.workers,
+            floor,
+        )
     }
 
     /// Submit and block for the outcome (convenience for tests and
@@ -476,9 +528,13 @@ impl Drop for QueryService {
 }
 
 /// Trace status a finished pipeline response maps to (mirrors the
-/// copilot's own mapping for self-owned traces).
+/// copilot's own mapping for self-owned traces). A lapsed budget gets
+/// its own class so the flight recorder retains deadline aborts
+/// separately from ordinary errors.
 fn response_status(response: &CopilotResponse) -> TraceStatus {
-    if response.degradation == DegradationLevel::Degraded {
+    if matches!(response.error, Some(CopilotError::DeadlineExceeded { .. })) {
+        TraceStatus::DeadlineExceeded
+    } else if response.degradation == DegradationLevel::Degraded {
         TraceStatus::Degraded
     } else if response.error.is_some() {
         TraceStatus::Error
@@ -487,7 +543,23 @@ fn response_status(response: &CopilotResponse) -> TraceStatus {
     }
 }
 
+/// Backoff hint derived from live pressure instead of a constant: the
+/// queue drains at the worker pool's rate, so the advised wait grows
+/// with the queued-requests-per-worker backlog; `floor` (the tenant
+/// bucket's refill time, where relevant) sets the minimum.
+fn retry_hint(queue_len: usize, workers: usize, floor: Duration) -> Duration {
+    const BASE_MS: u64 = 10;
+    const PER_QUEUED_MS: u64 = 25;
+    const CAP_MS: u64 = 5_000;
+    let backlog_ms =
+        BASE_MS.saturating_add(PER_QUEUED_MS.saturating_mul(queue_len as u64) / workers.max(1) as u64);
+    floor.max(Duration::from_millis(backlog_ms.min(CAP_MS)))
+}
+
 fn worker_loop(core: Arc<Core>, mut copilot: DioCopilot, worker: usize) {
+    // The full-fidelity knobs, restored whenever the ladder is at
+    // normal; brownout levels shrink them per request.
+    let base_knobs = (copilot.top_k(), copilot.max_repair_rounds());
     while let Some((job, deadline)) = core.queue.pop() {
         core.metrics.queue_depth.set(core.queue.len() as f64);
         let picked_up = Instant::now();
@@ -507,10 +579,26 @@ fn worker_loop(core: Arc<Core>, mut copilot: DioCopilot, worker: usize) {
             dio_obs::micros_u64(queue_wait),
             &[("worker", &worker.to_string())],
         );
-        if picked_up >= deadline {
+        // One ladder observation per pickup: queue occupancy plus the
+        // wait this request just paid. A transition lands on this
+        // request's trace as a span event.
+        let (level, transition) = core
+            .brownout
+            .lock()
+            .unwrap()
+            .observe(core.queue.len(), queue_wait);
+        if let Some((from, to)) = transition {
+            let at = tracer.clock_micros(&job.ctx).to_string();
+            tracer.event(
+                &job.ctx,
+                "brownout",
+                &[("from", from.label()), ("to", to.label()), ("at_micros", &at)],
+            );
+        }
+        if picked_up >= deadline || job.budget.expired() {
             let shed = Shed {
                 reason: ShedReason::DeadlineExpired,
-                retry_after: Duration::from_millis(100),
+                retry_after: retry_hint(core.queue.len(), core.config.workers, Duration::ZERO),
             };
             core.metrics.count_shed(shed.reason);
             core.metrics.count_class(&job.req.tenant, "shed");
@@ -522,10 +610,12 @@ fn worker_loop(core: Arc<Core>, mut copilot: DioCopilot, worker: usize) {
         let reply = job.reply.clone();
         let root = job.ctx;
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            serve_one(&core, &mut copilot, &job, queue_wait, picked_up, worker)
+            serve_one(
+                &core, &mut copilot, &job, queue_wait, picked_up, worker, level, base_knobs,
+            )
         }));
         match outcome {
-            Ok(answer) => {
+            Ok(Ok(answer)) => {
                 core.metrics.answered.inc();
                 core.metrics.count_class(&job.req.tenant, "answered");
                 core.metrics.observe_class_latency(
@@ -535,11 +625,24 @@ fn worker_loop(core: Arc<Core>, mut copilot: DioCopilot, worker: usize) {
                 tracer.finish_trace(&root, response_status(&answer.response));
                 let _ = reply.send(ServeOutcome::Answered(Box::new(answer)));
             }
+            Ok(Err(shed)) => {
+                // The budget lapsed between stages: abandon the rest
+                // of the work cooperatively.
+                core.metrics.count_shed(shed.reason);
+                core.metrics.count_class(&job.req.tenant, "shed");
+                tracer.event(&root, "shed", &[("reason", shed.reason.label())]);
+                tracer.finish_trace(&root, TraceStatus::DeadlineExceeded);
+                let _ = reply.send(ServeOutcome::Shed(shed));
+            }
             Err(_) => {
                 core.metrics.worker_panics.inc();
                 let shed = Shed {
                     reason: ShedReason::WorkerPanic,
-                    retry_after: Duration::from_millis(100),
+                    retry_after: retry_hint(
+                        core.queue.len(),
+                        core.config.workers,
+                        Duration::ZERO,
+                    ),
                 };
                 core.metrics.count_shed(shed.reason);
                 core.metrics.count_class(&job.req.tenant, "shed");
@@ -551,6 +654,20 @@ fn worker_loop(core: Arc<Core>, mut copilot: DioCopilot, worker: usize) {
     }
 }
 
+/// Retrieval top-k in effect from [`BrownoutLevel::ReducedRetrieval`]
+/// onward.
+const BROWNOUT_TOP_K: usize = 8;
+
+/// The shed a worker reports when it observes a lapsed budget between
+/// stages.
+fn deadline_shed(core: &Core) -> Shed {
+    Shed {
+        reason: ShedReason::DeadlineExpired,
+        retry_after: retry_hint(core.queue.len(), core.config.workers, Duration::ZERO),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn serve_one(
     core: &Core,
     copilot: &mut DioCopilot,
@@ -558,7 +675,9 @@ fn serve_one(
     queue_wait: Duration,
     picked_up: Instant,
     worker: usize,
-) -> ServedAnswer {
+    level: BrownoutLevel,
+    base_knobs: (usize, usize),
+) -> Result<ServedAnswer, Shed> {
     let generation = core.generation.load(Ordering::Acquire);
     let tracer = core.obs.tracer();
     // The answer depends on both the question and the as-of timestamp.
@@ -582,13 +701,18 @@ fn serve_one(
         core.metrics
             .duration_hit
             .observe((queue_wait + service_time).as_micros() as f64);
-        return ServedAnswer {
+        return Ok(ServedAnswer {
             response,
             answer_cache_hit: true,
             queue_wait,
             service_time,
             worker,
-        };
+        });
+    }
+    // Budget checkpoint between the cache and embed stages: a request
+    // whose deadline lapsed during the lookup does no further work.
+    if job.budget.expired() {
+        return Err(deadline_shed(core));
     }
     let embed_ctx = tracer.child_of(&job.ctx);
     let embed_start = tracer.clock_micros(&embed_ctx);
@@ -611,18 +735,85 @@ fn serve_one(
             ("result", if embed_cached { "hit" } else { "miss" }),
         ],
     );
-    let response = copilot.ask_in_context(&job.req.question, job.req.ts, Some(&qvec), Some(&job.ctx));
-    core.answers
-        .insert(answer_key, response.clone(), generation);
+    // Budget checkpoint between the embed and pipeline stages.
+    if job.budget.expired() {
+        return Err(deadline_shed(core));
+    }
+    // Apply the brownout rung: shrink retrieval, drop repair rounds,
+    // or skip the model entirely — then restore the worker's
+    // full-fidelity knobs for the next request.
+    let (top_k, repairs) = match level {
+        BrownoutLevel::Normal => base_knobs,
+        BrownoutLevel::ReducedRetrieval => (base_knobs.0.min(BROWNOUT_TOP_K), base_knobs.1),
+        _ => (base_knobs.0.min(BROWNOUT_TOP_K), 0),
+    };
+    copilot.set_top_k(top_k);
+    copilot.set_max_repair_rounds(repairs);
+    let response = if level >= BrownoutLevel::CacheOnly {
+        copilot.ask_degraded(
+            &job.req.question,
+            job.req.ts,
+            Some(&qvec),
+            Some(&job.ctx),
+            &job.budget,
+        )
+    } else {
+        copilot.ask_budgeted(
+            &job.req.question,
+            job.req.ts,
+            Some(&qvec),
+            Some(&job.ctx),
+            &job.budget,
+        )
+    };
+    copilot.set_top_k(base_knobs.0);
+    copilot.set_max_repair_rounds(base_knobs.1);
+    // Browned-out and deadline-aborted responses stay out of the
+    // answer cache: once pressure clears (or the client retries with
+    // budget to spare) the question deserves a full-fidelity answer.
+    let deadline_abort = matches!(response.error, Some(CopilotError::DeadlineExceeded { .. }));
+    if level < BrownoutLevel::CacheOnly && !deadline_abort {
+        core.answers
+            .insert(answer_key, response.clone(), generation);
+    }
     let service_time = picked_up.elapsed();
     core.metrics
         .duration_miss
         .observe((queue_wait + service_time).as_micros() as f64);
-    ServedAnswer {
+    Ok(ServedAnswer {
         response,
         answer_cache_hit: false,
         queue_wait,
         service_time,
         worker,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_hint_grows_with_backlog_per_worker() {
+        let empty = retry_hint(0, 8, Duration::ZERO);
+        let half = retry_hint(32, 8, Duration::ZERO);
+        let full = retry_hint(64, 8, Duration::ZERO);
+        assert!(empty < half, "{empty:?} vs {half:?}");
+        assert!(half < full, "{half:?} vs {full:?}");
+        // Fewer workers drain slower: the same backlog advises a
+        // longer wait.
+        assert!(retry_hint(64, 1, Duration::ZERO) > full);
+    }
+
+    #[test]
+    fn retry_hint_is_floored_and_capped() {
+        // The tenant refill floors the hint…
+        let refill = Duration::from_millis(900);
+        assert_eq!(retry_hint(0, 8, refill), refill);
+        // …and a pathological backlog cannot advise unbounded waits.
+        assert_eq!(
+            retry_hint(usize::MAX / 32, 1, Duration::ZERO),
+            Duration::from_millis(5_000)
+        );
     }
 }

@@ -206,6 +206,118 @@ fn undersized_queue_sheds_overload_without_dropping_accepted_requests() {
 }
 
 #[test]
+fn queue_refusal_hint_grows_under_load() {
+    let s = setup();
+    let config = ServeConfig {
+        workers: 1,
+        queue_depth: 2,
+        tenant: TenantPolicy::unlimited(),
+        ..ServeConfig::default()
+    };
+    let service = QueryService::spawn(&prototype(), || model(), config);
+    let mut tickets = Vec::new();
+    let mut worst_hint = Duration::ZERO;
+    for i in 0..30 {
+        let q = &s.questions[i % s.questions.len()].text;
+        match service.submit(QueryRequest::new("burst", q, s.world.eval_ts)) {
+            Ok(t) => tickets.push(t),
+            Err(shed) => worst_hint = worst_hint.max(shed.retry_after),
+        }
+    }
+    // The hint is derived from the backlog, not a constant: with the
+    // 2-deep queue full it must exceed the empty-queue base (10ms).
+    assert!(
+        worst_hint > Duration::from_millis(10),
+        "queue-full retry_after must grow with the backlog, got {worst_hint:?}"
+    );
+    for t in tickets {
+        assert!(t.wait().answer().is_some());
+    }
+    service.shutdown();
+}
+
+#[test]
+fn sustained_overload_engages_the_brownout_ladder() {
+    let s = setup();
+    let config = ServeConfig {
+        workers: 1,
+        queue_depth: 4,
+        tenant: TenantPolicy::unlimited(),
+        ..ServeConfig::default()
+    };
+    let service = QueryService::spawn(&prototype(), || model(), config);
+    // Hammer until 40 requests are accepted, retrying each refusal:
+    // the queue stays saturated, so every worker pickup observes high
+    // occupancy and the ladder must engage.
+    let mut tickets = Vec::new();
+    while tickets.len() < 40 {
+        let q = &s.questions[tickets.len() % s.questions.len()].text;
+        if let Ok(t) = service.submit(QueryRequest::new("burst", q, s.world.eval_ts)) {
+            tickets.push(t);
+        }
+    }
+    for t in tickets {
+        // Accepted requests still resolve — degraded under brownout,
+        // never lost.
+        assert!(t.wait().answer().is_some());
+    }
+    let snap = service.obs().registry().snapshot();
+    assert!(
+        snap.total("dio_serve_brownout_transitions_total") >= 1.0,
+        "sustained saturation must step the ladder at least once"
+    );
+    service.shutdown();
+}
+
+#[test]
+fn shed_rung_refuses_only_while_a_backlog_exists() {
+    let s = setup();
+    // A ladder that descends on every pickup: queue_high 0.0 makes
+    // every observation pressured, so four pickups latch the top rung.
+    let config = ServeConfig {
+        workers: 1,
+        queue_depth: 4,
+        tenant: TenantPolicy::unlimited(),
+        brownout: dio_serve::BrownoutConfig {
+            queue_high: 0.0,
+            step_up_after: 1,
+            ..dio_serve::BrownoutConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let service = QueryService::spawn(&prototype(), || model(), config);
+
+    // Enough accepted work to walk the ladder to Shed.
+    let mut tickets = Vec::new();
+    while tickets.len() < 8 {
+        let q = &s.questions[tickets.len() % s.questions.len()].text;
+        if let Ok(t) = service.submit(QueryRequest::new("burst", q, s.world.eval_ts)) {
+            tickets.push(t);
+        }
+    }
+    for t in tickets {
+        assert!(t.wait().answer().is_some());
+    }
+    assert_eq!(
+        service.brownout_level(),
+        dio_serve::BrownoutLevel::Shed,
+        "every-pickup escalation must reach the top rung"
+    );
+
+    // The backlog has fully drained (every ticket above resolved), so
+    // the Shed rung must not latch the service shut: the next arrival
+    // is admitted — it is what hands the controller its recovery
+    // observations — and is served, if degraded.
+    let q = &s.questions[0].text;
+    let out = service.ask("after-drain", q, s.world.eval_ts);
+    assert!(
+        out.answer().is_some(),
+        "an empty-queue service refused work at the Shed rung: {out:?}"
+    );
+    service.shutdown();
+}
+
+#[test]
 fn zero_budget_requests_are_shed_as_expired_not_dropped() {
     let s = setup();
     let service = QueryService::spawn(&prototype(), || model(), open_config(1));
