@@ -1,0 +1,422 @@
+//! `tsdb_bench` — storage-engine and vectorized-executor benchmark.
+//!
+//! Phases:
+//!
+//! 1. **ingest** — append ≥1M samples (counter- and gauge-shaped)
+//!    across many series, measuring write throughput and the sealed
+//!    chunks' compression ratio against raw 16-byte samples;
+//! 2. **range scan** — dashboard-style range queries dominated by
+//!    matrix-window kernels (`rate`, `increase`, `*_over_time`) run
+//!    through the tree-walking interpreter and the vectorized
+//!    executor, confirming byte-identical results and measuring the
+//!    speedup (the vectorized engine matches + decodes each selector
+//!    once and reuses precomputed output orderings across steps, so it
+//!    must win by an order of magnitude);
+//! 3. **aggregation** — grouped-aggregation range queries, where both
+//!    executors share the aggregation code by design (that is what
+//!    guarantees byte-identity) and the gap is smaller;
+//! 4. **instant** — single-timestamp queries, where scan memoisation
+//!    cannot amortise and both engines do one pass.
+//!
+//! Every timing is best-of-N with a warmup pass, so page-cache misses
+//! and allocator noise don't decide the gates.
+//!
+//! Flags: `--quick` (smaller world, fewer iterations — the CI smoke
+//! mode), `--seed=S`.
+//!
+//! Writes `results/BENCH_tsdb.json` and enforces conservative floors
+//! (quick mode: compression ≥ 2.5x, range-scan speedup ≥ 3x; full
+//! mode: ≥ 10x) so CI catches regressions, not just drift.
+
+use dio_promql::{Engine, EngineOptions, ExecutorKind, Value};
+use dio_tsdb::{Labels, MetricStore, Sample};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Debug, Clone, Serialize)]
+struct IngestResult {
+    series: usize,
+    samples: usize,
+    wall_seconds: f64,
+    samples_per_second: f64,
+    raw_bytes: usize,
+    compressed_bytes: usize,
+    sealed_samples: usize,
+    compression_ratio: f64,
+    bytes_per_sample: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct QueryTiming {
+    query: String,
+    steps: usize,
+    interpreter_seconds: f64,
+    vectorized_seconds: f64,
+    speedup: f64,
+    identical: bool,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct ScanResult {
+    queries: usize,
+    interpreter_seconds: f64,
+    vectorized_seconds: f64,
+    speedup: f64,
+    per_query: Vec<QueryTiming>,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct TsdbArtifact {
+    bench: String,
+    quick: bool,
+    seed: u64,
+    ingest: IngestResult,
+    range_scan: ScanResult,
+    aggregation: ScanResult,
+    instant: ScanResult,
+}
+
+fn flag_value(name: &str) -> Option<String> {
+    std::env::args()
+        .find(|a| a.starts_with(&format!("--{name}=")))
+        .map(|a| a.split_once('=').expect("has =").1.to_string())
+}
+
+/// Deterministic value stream (SplitMix64 → unit floats).
+struct ValueGen {
+    state: u64,
+}
+
+impl ValueGen {
+    fn new(seed: u64) -> Self {
+        ValueGen { state: seed | 1 }
+    }
+
+    fn next_unit(&mut self) -> f64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) as f64 / u64::MAX as f64
+    }
+}
+
+/// Build the bench store: `series_count` series, `steps` samples each
+/// at a 15s scrape interval. Half are counters (monotone, integral
+/// increments — the compressible common case), half gauges.
+fn build_store(series_count: usize, steps: usize, seed: u64) -> (MetricStore, f64) {
+    let mut store = MetricStore::new();
+    let mut vg = ValueGen::new(seed);
+    let mut specs: Vec<(Labels, bool, f64, f64)> = Vec::new();
+    for i in 0..series_count {
+        let metric = format!("bench_metric_{}", i % 8);
+        let labels = Labels::from_pairs([
+            ("__name__", metric.as_str()),
+            ("instance", &format!("node-{}", i / 8)),
+            ("zone", ["east", "west"][i % 2]),
+        ]);
+        let is_counter = i % 2 == 0;
+        let rate = 1.0 + vg.next_unit() * 50.0;
+        specs.push((labels, is_counter, rate, vg.next_unit() * 100.0));
+    }
+    let started = Instant::now();
+    for step in 0..steps {
+        let ts = (step as i64 + 1) * 15_000;
+        for (labels, is_counter, rate, level) in specs.iter_mut() {
+            let value = if *is_counter {
+                *level += (*rate * 15.0).round();
+                *level
+            } else {
+                *level + (step as f64 * 0.1).sin() * *rate
+            };
+            store
+                .append(labels.clone(), Sample::new(ts, value))
+                .expect("in-order append");
+        }
+    }
+    (store, started.elapsed().as_secs_f64())
+}
+
+fn engine(store: &MetricStore, kind: ExecutorKind) -> Engine {
+    Engine::with_options(
+        store.clone(),
+        EngineOptions {
+            max_samples: 0,
+            executor: kind,
+            ..EngineOptions::default()
+        },
+    )
+}
+
+/// Fingerprint a value with floats as raw bits so "identical" means
+/// byte-identical, NaNs included.
+fn fingerprint(v: &Value) -> String {
+    match v {
+        Value::Scalar(x) => format!("s{:016x}", x.to_bits()),
+        Value::Str(s) => format!("t{s}"),
+        Value::Vector(samples) => samples
+            .iter()
+            .map(|s| format!("{:?}={:016x};", s.labels, s.value.to_bits()))
+            .collect(),
+        Value::Matrix(series) => series
+            .iter()
+            .map(|s| {
+                let pts: String = s
+                    .samples
+                    .iter()
+                    .map(|p| format!("{}@{:016x},", p.timestamp_ms, p.value.to_bits()))
+                    .collect();
+                format!("{:?}=[{pts}];", s.labels)
+            })
+            .collect(),
+    }
+}
+
+/// Best-of-`reps` wall time for one range query (one unmeasured warmup
+/// pass first), plus the result fingerprint.
+fn time_range(
+    engine: &Engine,
+    query: &str,
+    start: i64,
+    end: i64,
+    step: i64,
+    reps: usize,
+) -> (f64, String) {
+    let run = || {
+        engine
+            .range_query(query, start, end, step)
+            .unwrap_or_else(|e| panic!("range query `{query}` failed: {e}"))
+    };
+    let result = run(); // warmup: decode chunks into the page cache
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = run();
+        best = best.min(t0.elapsed().as_secs_f64());
+        std::hint::black_box(&r);
+    }
+    let mut fp = String::new();
+    for series in &result {
+        fp.push_str(&format!("{:?}=[", series.labels));
+        for p in &series.points {
+            fp.push_str(&format!("{}@{:016x},", p.timestamp_ms, p.value.to_bits()));
+        }
+        fp.push_str("];");
+    }
+    (best, fp)
+}
+
+/// The shared range-query measurement protocol: evaluation window,
+/// step, and repetitions per query.
+#[derive(Clone, Copy)]
+struct Protocol {
+    start: i64,
+    end: i64,
+    step: i64,
+    reps: usize,
+}
+
+/// Diff one panel of range queries through both executors, asserting
+/// byte-identical results and returning grouped timings.
+fn run_panel(
+    name: &str,
+    panel: &[&str],
+    interp: &Engine,
+    vectorized: &Engine,
+    proto: Protocol,
+) -> ScanResult {
+    let Protocol { start, end, step, reps } = proto;
+    let n_steps = ((end - start) / step) as usize + 1;
+    eprintln!("{name}: {} queries x {} steps…", panel.len(), n_steps);
+    let mut per_query = Vec::new();
+    let (mut interp_total, mut vec_total) = (0.0, 0.0);
+    for &query in panel {
+        let (iw, ifp) = time_range(interp, query, start, end, step, reps);
+        let (vw, vfp) = time_range(vectorized, query, start, end, step, reps);
+        assert_eq!(ifp, vfp, "range results diverged for `{query}`");
+        interp_total += iw;
+        vec_total += vw;
+        per_query.push(QueryTiming {
+            query: query.to_string(),
+            steps: n_steps,
+            interpreter_seconds: iw,
+            vectorized_seconds: vw,
+            speedup: iw / vw.max(1e-9),
+            identical: true,
+        });
+    }
+    let result = ScanResult {
+        queries: panel.len(),
+        interpreter_seconds: interp_total,
+        vectorized_seconds: vec_total,
+        speedup: interp_total / vec_total.max(1e-9),
+        per_query,
+    };
+    eprintln!(
+        "{name}: interpreter {:.2}s, vectorized {:.2}s — {:.1}x",
+        result.interpreter_seconds, result.vectorized_seconds, result.speedup
+    );
+    result
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let seed: u64 = flag_value("seed")
+        .map(|s| s.parse().expect("--seed=N"))
+        .unwrap_or(0x75db);
+
+    let (series_count, steps) = if quick { (240, 500) } else { (1200, 900) };
+    eprintln!(
+        "ingesting {} series x {} steps ({} samples, {})…",
+        series_count,
+        steps,
+        series_count * steps,
+        if quick { "quick" } else { "full" }
+    );
+    let (store, ingest_wall) = build_store(series_count, steps, seed);
+    let samples = store.sample_count();
+    assert_eq!(samples, series_count * steps);
+    if !quick {
+        assert!(samples >= 1_000_000, "full mode must ingest ≥1M samples");
+    }
+    let compressed = store.compressed_bytes();
+    let sealed: usize = store
+        .iter()
+        .map(|s| s.chunks().iter().map(|c| c.len()).sum::<usize>())
+        .sum();
+    let raw = sealed * 16;
+    let ratio = raw as f64 / compressed.max(1) as f64;
+    let ingest = IngestResult {
+        series: series_count,
+        samples,
+        wall_seconds: ingest_wall,
+        samples_per_second: samples as f64 / ingest_wall.max(1e-9),
+        raw_bytes: raw,
+        compressed_bytes: compressed,
+        sealed_samples: sealed,
+        compression_ratio: ratio,
+        bytes_per_sample: compressed as f64 / sealed.max(1) as f64,
+    };
+    eprintln!(
+        "ingest: {:.0} samples/s, {:.2}x compression ({:.2} B/sample sealed)",
+        ingest.samples_per_second, ingest.compression_ratio, ingest.bytes_per_sample
+    );
+
+    let interp = engine(&store, ExecutorKind::Interpreter);
+    let vectorized = engine(&store, ExecutorKind::Vectorized);
+
+    let end = steps as i64 * 15_000;
+    let start = end / 4;
+    let step = 60_000;
+    let reps = if quick { 2 } else { 3 };
+
+    // Range-scan panel: matrix-window kernels, the tentpole's 10x gate.
+    let scan_panel = [
+        "rate(bench_metric_0[5m])",
+        "rate(bench_metric_1[30m])",
+        "increase(bench_metric_2[10m])",
+        "max_over_time(bench_metric_3[10m])",
+        "avg_over_time(bench_metric_4[15m])",
+        "delta(bench_metric_5[10m])",
+        // Raw series panels — no kernel at all, pure scan throughput.
+        "bench_metric_6",
+        "bench_metric_7{zone=\"east\"}",
+    ];
+    let proto = Protocol { start, end, step, reps };
+    let range_scan = run_panel("range scan", &scan_panel, &interp, &vectorized, proto);
+
+    // Aggregation panel: grouped reductions on top of the scans. Both
+    // executors share the aggregation code (that is the byte-identity
+    // guarantee), so the speedup here is bounded by the scan share.
+    let agg_panel = [
+        "sum(rate(bench_metric_0[5m]))",
+        "sum by (instance) (rate(bench_metric_1[5m]))",
+        "avg by (zone) (bench_metric_2)",
+        "sum(rate(bench_metric_4[5m])) / sum(rate(bench_metric_0[5m]))",
+        "topk(3, sum by (instance) (rate(bench_metric_5[5m])))",
+    ];
+    let aggregation = run_panel("aggregation", &agg_panel, &interp, &vectorized, proto);
+
+    eprintln!("instant queries…");
+    let iters = if quick { 10 } else { 40 };
+    let mut per_instant = Vec::new();
+    let (mut i_total, mut v_total) = (0.0, 0.0);
+    for query in scan_panel.iter().chain(&agg_panel) {
+        let ifp = fingerprint(&interp.instant_query(query, end).expect("instant"));
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(interp.instant_query(query, end).expect("instant"));
+        }
+        let iw = t0.elapsed().as_secs_f64();
+        let vfp = fingerprint(&vectorized.instant_query(query, end).expect("instant"));
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(vectorized.instant_query(query, end).expect("instant"));
+        }
+        let vw = t0.elapsed().as_secs_f64();
+        assert_eq!(ifp, vfp, "instant results diverged for `{query}`");
+        i_total += iw;
+        v_total += vw;
+        per_instant.push(QueryTiming {
+            query: query.to_string(),
+            steps: iters,
+            interpreter_seconds: iw,
+            vectorized_seconds: vw,
+            speedup: iw / vw.max(1e-9),
+            identical: true,
+        });
+    }
+    let instant = ScanResult {
+        queries: per_instant.len(),
+        interpreter_seconds: i_total,
+        vectorized_seconds: v_total,
+        speedup: i_total / v_total.max(1e-9),
+        per_query: per_instant,
+    };
+    eprintln!(
+        "instant: interpreter {:.3}s, vectorized {:.3}s — {:.1}x",
+        instant.interpreter_seconds, instant.vectorized_seconds, instant.speedup
+    );
+
+    let artifact = TsdbArtifact {
+        bench: "tsdb".to_string(),
+        quick,
+        seed,
+        ingest: ingest.clone(),
+        range_scan: range_scan.clone(),
+        aggregation,
+        instant,
+    };
+    // Write the artifact before gating so a failed run still leaves
+    // its evidence on disk.
+    std::fs::create_dir_all("results").expect("create results/");
+    let path = "results/BENCH_tsdb.json";
+    std::fs::write(path, serde_json::to_string_pretty(&artifact).unwrap()).expect("write artifact");
+    eprintln!("wrote {path}");
+    println!("{}", serde_json::to_string_pretty(&artifact).unwrap());
+
+    // Floors: CI runs --quick on shared hardware, so the quick gates
+    // are deliberately conservative; the full run must hit the
+    // tentpole's ≥10x range-scan target.
+    let min_speedup = if quick { 3.0 } else { 10.0 };
+    assert!(
+        range_scan.speedup >= min_speedup,
+        "range-scan speedup {:.2}x below the {:.1}x floor",
+        range_scan.speedup,
+        min_speedup
+    );
+    // Quick mode seals fewer, shorter chunk runs (more codec headers
+    // per sample), so its compression floor is lower.
+    let min_ratio = if quick { 2.0 } else { 2.5 };
+    assert!(
+        ingest.compression_ratio >= min_ratio,
+        "compression ratio {:.2}x below the {:.1}x floor",
+        ingest.compression_ratio,
+        min_ratio
+    );
+    assert!(
+        ingest.samples_per_second >= 100_000.0,
+        "write throughput {:.0} samples/s below the 100k floor",
+        ingest.samples_per_second
+    );
+}

@@ -468,7 +468,7 @@ impl Cluster {
                 .get_mut(&primary)
                 .expect("primary copy exists");
             for sample in series.samples() {
-                copy.append_local(series.labels().clone(), *sample)
+                copy.append_local(series.labels().clone(), sample)
                     .map_err(|e| ClusterError::Io(e.to_string()))?
                     .map_err(ClusterError::Rejected)?;
                 loaded += 1;
@@ -872,9 +872,10 @@ impl Cluster {
         for family in families {
             for (_, store) in stores {
                 for series in store.series_for(family) {
-                    for sample in series.samples() {
-                        let _ = merged.append(series.labels().clone(), *sample);
-                    }
+                    // Sealed chunks move compressed — no decode on the
+                    // gather path; overlapping replicas merge per
+                    // sample with duplicates skipped.
+                    let _ = merged.adopt_series(series.clone());
                 }
             }
         }
@@ -1025,9 +1026,7 @@ impl StoreResolver for Cluster {
             let mut merged = MetricStore::new();
             for store in stores {
                 for series in store.iter() {
-                    for sample in series.samples() {
-                        let _ = merged.append(series.labels().clone(), *sample);
-                    }
+                    let _ = merged.adopt_series(series.clone());
                 }
             }
             return Ok(Arc::new(merged));
@@ -1129,7 +1128,7 @@ mod tests {
                 let found = store
                     .series_for(f)
                     .iter()
-                    .flat_map(|s| s.samples().iter())
+                    .flat_map(|s| s.samples())
                     .any(|s| s.timestamp_ms == *ts && s.value == *v);
                 assert!(found, "acked sample {f}@{ts} lost after killing node {victim}");
             }

@@ -262,7 +262,7 @@ mod tests {
         )]);
         let total: f64 = sel
             .iter()
-            .filter_map(|s| s.samples().last())
+            .filter_map(|s| s.samples().last().copied())
             .map(|s| s.value)
             .sum();
         assert_eq!(total, r.snapshot().total("dio_llm_model_calls_total"));

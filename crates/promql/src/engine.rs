@@ -3,10 +3,25 @@
 use crate::ast::Expr;
 use crate::error::EvalError;
 use crate::eval::Evaluator;
+use crate::exec::ExecCtx;
 use crate::parser::parse;
+use crate::plan;
 use crate::value::Value;
 use dio_tsdb::{Labels, MetricStore, Sample, DEFAULT_LOOKBACK_MS};
 use serde::{Deserialize, Serialize};
+
+/// Which evaluation engine runs a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ExecutorKind {
+    /// Plan the AST into batch operators and execute over decoded
+    /// column batches (the default; scans are memoised across range
+    /// steps).
+    #[default]
+    Vectorized,
+    /// Walk the AST per step. Kept as the differential-testing oracle;
+    /// results are byte-identical to the vectorized engine.
+    Interpreter,
+}
 
 /// Engine configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -17,6 +32,9 @@ pub struct EngineOptions {
     pub max_samples: usize,
     /// Maximum steps a range query may evaluate.
     pub max_range_steps: usize,
+    /// Evaluation engine (vectorized unless overridden).
+    #[serde(default)]
+    pub executor: ExecutorKind,
 }
 
 impl Default for EngineOptions {
@@ -25,6 +43,7 @@ impl Default for EngineOptions {
             lookback_ms: DEFAULT_LOOKBACK_MS,
             max_samples: 0,
             max_range_steps: 11_000,
+            executor: ExecutorKind::Vectorized,
         }
     }
 }
@@ -35,6 +54,32 @@ pub struct QueryStats {
     /// Samples touched during evaluation.
     pub samples_visited: usize,
 }
+
+/// Multiply-shift hasher for pointer keys: on the per-sample
+/// accumulation path the default SipHash costs more than the lookup it
+/// guards, and the keys are already well-distributed addresses.
+#[derive(Default, Clone, Copy)]
+struct PtrHasher(u64);
+
+impl std::hash::Hasher for PtrHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_usize(&mut self, n: usize) {
+        let mut h = (n as u64 ^ 0x9E37_79B9_7F4A_7C15).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 31;
+        self.0 = h;
+    }
+}
+
+type PtrMap = std::collections::HashMap<usize, usize, std::hash::BuildHasherDefault<PtrHasher>>;
 
 /// One series of a range-query result.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -115,14 +160,35 @@ impl Engine {
         expr: &Expr,
         ts: i64,
     ) -> Result<(Value, QueryStats), EvalError> {
-        let ev = Evaluator::new(&self.store, self.options.lookback_ms, self.options.max_samples);
-        let value = ev.eval(expr, ts)?;
-        Ok((
-            value,
-            QueryStats {
-                samples_visited: ev.samples_visited(),
-            },
-        ))
+        match self.options.executor {
+            ExecutorKind::Vectorized => {
+                let plan = plan::plan(expr);
+                let ctx = ExecCtx::new(
+                    &self.store,
+                    &plan,
+                    self.options.lookback_ms,
+                    self.options.max_samples,
+                );
+                let value = ctx.eval(ts)?;
+                Ok((
+                    value,
+                    QueryStats {
+                        samples_visited: ctx.samples_visited(),
+                    },
+                ))
+            }
+            ExecutorKind::Interpreter => {
+                let ev =
+                    Evaluator::new(&self.store, self.options.lookback_ms, self.options.max_samples);
+                let value = ev.eval(expr, ts)?;
+                Ok((
+                    value,
+                    QueryStats {
+                        samples_visited: ev.samples_visited(),
+                    },
+                ))
+            }
+        }
     }
 
     /// Evaluate over `[start, end]` at `step` intervals — Prometheus
@@ -152,11 +218,49 @@ impl Engine {
         }
         let expr = parse(query).map_err(|e| EvalError::Other(e.to_string()))?;
 
+        // Plan once; the execution context memoises selector scans, so
+        // every series is matched and decoded a single time no matter
+        // how many steps follow.
+        let compiled = match self.options.executor {
+            ExecutorKind::Vectorized => Some(plan::plan(&expr)),
+            ExecutorKind::Interpreter => None,
+        };
+        let ctx = compiled.as_ref().map(|p| {
+            ExecCtx::new(
+                &self.store,
+                p,
+                self.options.lookback_ms,
+                self.options.max_samples,
+            )
+        });
+
+        // Fused-kernel roots (`rate(m[5m])` panels) take a whole-range
+        // fast path that accumulates per-series points directly.
+        if let Some(ctx) = &ctx {
+            let grid = crate::exec::StepGrid {
+                start,
+                steps,
+                step_ms,
+            };
+            if let Some(result) = ctx.eval_range(grid) {
+                return result;
+            }
+        }
+
         let mut series: Vec<RangeResult> = Vec::new();
         let mut index: std::collections::HashMap<Labels, usize> = std::collections::HashMap::new();
+        let mut by_ptr: PtrMap = PtrMap::default();
         for k in 0..steps {
             let ts = start + k as i64 * step_ms;
-            let (value, _) = self.instant_query_expr(&expr, ts)?;
+            let value = match &ctx {
+                Some(ctx) => {
+                    // The sample budget is per step, as with the
+                    // interpreter's per-step evaluators.
+                    ctx.reset_samples();
+                    ctx.eval(ts)?
+                }
+                None => self.instant_query_expr(&expr, ts)?.0,
+            };
             let samples: Vec<(Labels, f64)> = match value {
                 Value::Scalar(v) => vec![(Labels::empty(), v)],
                 Value::Vector(v) => v.into_iter().map(|s| (s.labels, s.value)).collect(),
@@ -168,16 +272,32 @@ impl Engine {
                 }
             };
             for (labels, v) in samples {
-                let idx = match index.get(&labels) {
+                // Pointer fast path: the vectorized executor emits the
+                // same shared `Labels` allocation every step, so equal
+                // pointers prove equal content without hashing the
+                // strings. Fresh allocations (the interpreter path)
+                // fall back to the content map.
+                let idx = match by_ptr.get(&labels.ptr_id()) {
                     Some(&i) => i,
-                    None => {
-                        index.insert(labels.clone(), series.len());
-                        series.push(RangeResult {
-                            labels,
-                            points: Vec::new(),
-                        });
-                        series.len() - 1
-                    }
+                    None => match index.get(&labels) {
+                        // Same content in a different allocation (the
+                        // interpreter mints fresh labels per step);
+                        // registering its transient pointer would risk
+                        // a reused address aliasing, so don't.
+                        Some(&i) => i,
+                        None => {
+                            let i = series.len();
+                            // Pinned for the query's lifetime by the
+                            // clone stored in `series` below.
+                            by_ptr.insert(labels.ptr_id(), i);
+                            index.insert(labels.clone(), i);
+                            series.push(RangeResult {
+                                labels,
+                                points: Vec::new(),
+                            });
+                            i
+                        }
+                    },
                 };
                 series[idx].points.push(Sample::new(ts, v));
             }

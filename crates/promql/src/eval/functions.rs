@@ -2,10 +2,10 @@
 
 use crate::ast::Expr;
 use crate::error::EvalError;
-use crate::eval::aggregate::quantile;
+use crate::eval::kernels::{ParamPos, RangeKernel};
 use crate::eval::{drop_names, scalar_to_vector, sort_vector, Evaluator};
 use crate::value::{RangeVector, Value, VectorSample};
-use dio_tsdb::{MatchOp, Labels, Sample};
+use dio_tsdb::{MatchOp, Labels};
 
 /// Evaluate a function call.
 pub fn eval_call(
@@ -14,88 +14,13 @@ pub fn eval_call(
     args: &[Expr],
     ts: i64,
 ) -> Result<Value, EvalError> {
+    // The range-vector family — rate, *_over_time, predict_linear, … —
+    // dispatches through the shared column kernels (the same code the
+    // vectorized executor runs).
+    if let Some(kernel) = RangeKernel::from_name(func) {
+        return eval_range_kernel(ev, kernel, args, ts);
+    }
     match func {
-        // ---- range-vector functions ----
-        "rate" => range_fn(ev, func, args, ts, |s| counter_increase(s).map(|(inc, secs)| inc / secs)),
-        "increase" => range_fn(ev, func, args, ts, |s| counter_increase(s).map(|(inc, _)| inc)),
-        "irate" => range_fn(ev, func, args, ts, |s| {
-            let n = s.len();
-            if n < 2 {
-                return None;
-            }
-            let (a, b) = (s[n - 2], s[n - 1]);
-            let secs = (b.timestamp_ms - a.timestamp_ms) as f64 / 1000.0;
-            if secs <= 0.0 {
-                return None;
-            }
-            let inc = if b.value >= a.value { b.value - a.value } else { b.value };
-            Some(inc / secs)
-        }),
-        "delta" => range_fn(ev, func, args, ts, |s| {
-            if s.len() < 2 {
-                return None;
-            }
-            Some(s[s.len() - 1].value - s[0].value)
-        }),
-        "idelta" => range_fn(ev, func, args, ts, |s| {
-            let n = s.len();
-            if n < 2 {
-                return None;
-            }
-            Some(s[n - 1].value - s[n - 2].value)
-        }),
-        "resets" => range_fn(ev, func, args, ts, |s| {
-            if s.is_empty() {
-                return None;
-            }
-            Some(s.windows(2).filter(|w| w[1].value < w[0].value).count() as f64)
-        }),
-        "changes" => range_fn(ev, func, args, ts, |s| {
-            if s.is_empty() {
-                return None;
-            }
-            Some(s.windows(2).filter(|w| w[1].value != w[0].value).count() as f64)
-        }),
-        "deriv" => range_fn(ev, func, args, ts, |s| lsq_slope(s).map(|(slope, _)| slope)),
-        "avg_over_time" => range_fn(ev, func, args, ts, |s| {
-            nonempty(s).map(|s| s.iter().map(|p| p.value).sum::<f64>() / s.len() as f64)
-        }),
-        "sum_over_time" => range_fn(ev, func, args, ts, |s| {
-            nonempty(s).map(|s| s.iter().map(|p| p.value).sum())
-        }),
-        "min_over_time" => range_fn(ev, func, args, ts, |s| {
-            nonempty(s).map(|s| s.iter().map(|p| p.value).fold(f64::INFINITY, f64::min))
-        }),
-        "max_over_time" => range_fn(ev, func, args, ts, |s| {
-            nonempty(s).map(|s| s.iter().map(|p| p.value).fold(f64::NEG_INFINITY, f64::max))
-        }),
-        "count_over_time" => range_fn(ev, func, args, ts, |s| nonempty(s).map(|s| s.len() as f64)),
-        "last_over_time" => range_fn(ev, func, args, ts, |s| s.last().map(|p| p.value)),
-        "present_over_time" => range_fn(ev, func, args, ts, |s| nonempty(s).map(|_| 1.0)),
-        "stddev_over_time" => range_fn(ev, func, args, ts, |s| {
-            nonempty(s).map(|s| pop_variance(s).sqrt())
-        }),
-        "stdvar_over_time" => range_fn(ev, func, args, ts, |s| nonempty(s).map(pop_variance)),
-        "quantile_over_time" => {
-            expect_args(func, args, 2)?;
-            let phi = scalar_arg(ev, func, &args[0], ts)?;
-            let matrix = matrix_arg(ev, func, &args[1], ts)?;
-            Ok(Value::Vector(apply_over_matrix(matrix, |s| {
-                nonempty(s).map(|s| {
-                    let vals: Vec<f64> = s.iter().map(|p| p.value).collect();
-                    quantile(phi, &vals)
-                })
-            })))
-        }
-        "predict_linear" => {
-            expect_args(func, args, 2)?;
-            let matrix = matrix_arg(ev, func, &args[0], ts)?;
-            let horizon = scalar_arg(ev, func, &args[1], ts)?;
-            Ok(Value::Vector(apply_over_matrix(matrix, move |s| {
-                lsq_slope(s).map(|(slope, last)| last + slope * horizon)
-            })))
-        }
-
         // ---- simple math on instant vectors ----
         "abs" => math_fn(ev, func, args, ts, f64::abs),
         "ceil" => math_fn(ev, func, args, ts, f64::ceil),
@@ -445,14 +370,54 @@ fn string_arg(ev: &Evaluator<'_>, func: &str, arg: &Expr, ts: i64) -> Result<Str
     }
 }
 
-fn apply_over_matrix<F>(matrix: RangeVector, f: F) -> Vec<VectorSample>
-where
-    F: Fn(&[Sample]) -> Option<f64>,
-{
+/// Evaluate a range-family call: resolve arguments in the same order
+/// Prometheus (and our error messages) expect, then run the kernel
+/// over every series window.
+fn eval_range_kernel(
+    ev: &Evaluator<'_>,
+    kernel: RangeKernel,
+    args: &[Expr],
+    ts: i64,
+) -> Result<Value, EvalError> {
+    let func = kernel.name();
+    let (param, matrix) = match kernel.param_pos() {
+        None => {
+            expect_args(func, args, 1)?;
+            (0.0, matrix_arg(ev, func, &args[0], ts)?)
+        }
+        Some(ParamPos::BeforeMatrix) => {
+            expect_args(func, args, 2)?;
+            let p = scalar_arg(ev, func, &args[0], ts)?;
+            (p, matrix_arg(ev, func, &args[1], ts)?)
+        }
+        Some(ParamPos::AfterMatrix) => {
+            expect_args(func, args, 2)?;
+            let m = matrix_arg(ev, func, &args[0], ts)?;
+            (scalar_arg(ev, func, &args[1], ts)?, m)
+        }
+    };
+    Ok(Value::Vector(apply_kernel_over_matrix(
+        matrix, kernel, param,
+    )))
+}
+
+/// Run `kernel` over every series of a materialised range vector,
+/// dropping the metric name from surviving series and sorting — the
+/// interpreter half of the shared-kernel contract.
+pub(crate) fn apply_kernel_over_matrix(
+    matrix: RangeVector,
+    kernel: RangeKernel,
+    param: f64,
+) -> Vec<VectorSample> {
     let mut out: Vec<VectorSample> = matrix
         .into_iter()
         .filter_map(|series| {
-            f(&series.samples).map(|value| VectorSample {
+            let (ts_col, vals): (Vec<i64>, Vec<f64>) = series
+                .samples
+                .iter()
+                .map(|s| (s.timestamp_ms, s.value))
+                .unzip();
+            kernel.apply(param, &ts_col, &vals).map(|value| VectorSample {
                 labels: series.labels.drop_name(),
                 value,
             })
@@ -460,21 +425,6 @@ where
         .collect();
     sort_vector(&mut out);
     out
-}
-
-fn range_fn<F>(
-    ev: &Evaluator<'_>,
-    func: &str,
-    args: &[Expr],
-    ts: i64,
-    f: F,
-) -> Result<Value, EvalError>
-where
-    F: Fn(&[Sample]) -> Option<f64>,
-{
-    expect_args(func, args, 1)?;
-    let matrix = matrix_arg(ev, func, &args[0], ts)?;
-    Ok(Value::Vector(apply_over_matrix(matrix, f)))
 }
 
 fn math_fn<F>(
@@ -508,68 +458,6 @@ where
             other.type_name()
         ))),
     }
-}
-
-fn nonempty(s: &[Sample]) -> Option<&[Sample]> {
-    if s.is_empty() {
-        None
-    } else {
-        Some(s)
-    }
-}
-
-/// Counter increase over a window with reset detection; returns the
-/// total increase and the covered seconds. `None` with <2 samples.
-///
-/// Deliberate divergence from Prometheus: no boundary extrapolation —
-/// both generated and reference queries run through this same engine,
-/// so execution-accuracy comparisons stay exact (see crate docs).
-fn counter_increase(s: &[Sample]) -> Option<(f64, f64)> {
-    if s.len() < 2 {
-        return None;
-    }
-    let secs = (s[s.len() - 1].timestamp_ms - s[0].timestamp_ms) as f64 / 1000.0;
-    if secs <= 0.0 {
-        return None;
-    }
-    let mut inc = 0.0;
-    for w in s.windows(2) {
-        if w[1].value >= w[0].value {
-            inc += w[1].value - w[0].value;
-        } else {
-            // Counter reset: the new value is the increase since reset.
-            inc += w[1].value;
-        }
-    }
-    Some((inc, secs))
-}
-
-/// Population variance of sample values.
-fn pop_variance(s: &[Sample]) -> f64 {
-    let n = s.len() as f64;
-    let mean = s.iter().map(|p| p.value).sum::<f64>() / n;
-    s.iter().map(|p| (p.value - mean) * (p.value - mean)).sum::<f64>() / n
-}
-
-/// Least-squares slope (per second) and last value.
-fn lsq_slope(s: &[Sample]) -> Option<(f64, f64)> {
-    if s.len() < 2 {
-        return None;
-    }
-    let n = s.len() as f64;
-    let t0 = s[0].timestamp_ms;
-    let xs: Vec<f64> = s.iter().map(|p| (p.timestamp_ms - t0) as f64 / 1000.0).collect();
-    let ys: Vec<f64> = s.iter().map(|p| p.value).collect();
-    let sx: f64 = xs.iter().sum();
-    let sy: f64 = ys.iter().sum();
-    let sxx: f64 = xs.iter().map(|x| x * x).sum();
-    let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| x * y).sum();
-    let denom = n * sxx - sx * sx;
-    if denom == 0.0 {
-        return None;
-    }
-    let slope = (n * sxy - sx * sy) / denom;
-    Some((slope, *ys.last().unwrap()))
 }
 
 /// `histogram_quantile` over `<basename>_bucket`-style series with `le`
@@ -697,7 +585,7 @@ fn match_with_capture(pattern: &str, text: &str) -> (bool, String) {
 mod tests {
     use super::*;
     use crate::parser::parse;
-    use dio_tsdb::MetricStore;
+    use dio_tsdb::{MetricStore, Sample};
 
     /// Store with a counter (60/min) and a gauge.
     fn store() -> MetricStore {

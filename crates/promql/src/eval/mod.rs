@@ -3,6 +3,7 @@
 pub mod aggregate;
 pub mod binop;
 pub mod functions;
+pub mod kernels;
 
 use crate::ast::Expr;
 use crate::error::EvalError;
@@ -30,6 +31,23 @@ impl<'a> Evaluator<'a> {
             lookback_ms,
             max_samples,
             samples_visited: Cell::new(0),
+        }
+    }
+
+    /// An evaluator whose sample counter starts at `visited` — used by
+    /// the vectorized executor's interpreter fallback so a shared
+    /// budget trips at exactly the same total either way.
+    pub(crate) fn with_visited(
+        store: &'a MetricStore,
+        lookback_ms: i64,
+        max_samples: usize,
+        visited: usize,
+    ) -> Self {
+        Evaluator {
+            store,
+            lookback_ms,
+            max_samples,
+            samples_visited: Cell::new(visited),
         }
     }
 
@@ -138,8 +156,9 @@ impl<'a> Evaluator<'a> {
         let all = Self::full_matchers(name, matchers);
         let at = ts - offset_ms;
         let mut out = Vec::new();
+        let cache = self.store.page_cache();
         for series in self.store.select(&all) {
-            if let Some(sample) = series.sample_at(at, self.lookback_ms) {
+            if let Some(sample) = series.sample_at_cached(at, self.lookback_ms, cache) {
                 self.charge(1)?;
                 out.push(VectorSample {
                     labels: series.labels().clone(),
@@ -172,13 +191,14 @@ impl<'a> Evaluator<'a> {
         let all = Self::full_matchers(name, matchers);
         let at = ts - offset_ms;
         let mut out = Vec::new();
+        let cache = self.store.page_cache();
         for series in self.store.select(&all) {
-            let window = series.window(at, range_ms);
+            let window = series.window_cached(at, range_ms, cache);
             if !window.is_empty() {
                 self.charge(window.len())?;
                 out.push(RangeSeries {
                     labels: series.labels().clone(),
-                    samples: window.to_vec(),
+                    samples: window,
                 });
             }
         }

@@ -43,17 +43,23 @@
 //! ```
 
 pub mod ast;
+pub mod batch;
 pub mod engine;
 pub mod error;
+pub mod exec;
 pub mod explain;
 pub mod eval;
 pub mod lexer;
 pub mod parser;
+pub mod plan;
 pub mod printer;
 pub mod value;
 
 pub use ast::Expr;
-pub use engine::{Engine, EngineOptions, QueryStats, RangeResult};
+pub use batch::SeriesBatch;
+pub use engine::{Engine, EngineOptions, ExecutorKind, QueryStats, RangeResult};
+pub use exec::ExecCtx;
+pub use plan::{PhysicalPlan, PlanNode, ScanSpec};
 pub use error::{EvalError, ParseError};
 pub use explain::explain_query;
 pub use parser::parse;

@@ -1,0 +1,332 @@
+//! Immutable sealed chunks: the unit of compression, caching, and
+//! persistence.
+//!
+//! A [`Chunk`] holds a fixed-size run of one series' samples as two
+//! independently compressed columns — delta-of-delta timestamps and
+//! XOR floats (see [`crate::compress`]). Once sealed a chunk never
+//! changes, which is what makes the decoded-chunk page cache sound:
+//! every chunk carries a process-unique id assigned at seal (or
+//! decode) time, and clones share the id because they share the bytes.
+//!
+//! On-the-wire layout of [`Chunk::to_bytes`] (inside a `dio-faults`
+//! CRC frame, so bit flips and truncation are caught before the codecs
+//! ever run):
+//!
+//! ```text
+//! u32  sample count          (little endian)
+//! u32  ts column byte length
+//! u32  value column byte length
+//! [ts column bytes] [value column bytes]
+//! ```
+
+use crate::compress::{float, int, BitReader, BitWriter, CodecError};
+use crate::sample::Sample;
+use dio_faults::{decode_all, encode_record};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Samples per sealed chunk. 256 keeps decode latency tiny while
+/// amortising the codec headers; Prometheus TSDB seals at ~120.
+pub const CHUNK_SIZE: usize = 256;
+
+static NEXT_CHUNK_ID: AtomicU64 = AtomicU64::new(1);
+
+fn next_chunk_id() -> u64 {
+    NEXT_CHUNK_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Structured chunk decode failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChunkError {
+    /// The CRC frame around the chunk was damaged or truncated.
+    Frame {
+        /// Corrupt (checksum-failed) frames seen.
+        corrupt_frames: usize,
+        /// The bytes ended mid-frame.
+        truncated_tail: bool,
+    },
+    /// The frame was intact but did not hold exactly one record.
+    BadFrameCount(usize),
+    /// The chunk header was too short or internally inconsistent.
+    BadHeader,
+    /// A column failed to decode.
+    Codec(CodecError),
+    /// Timestamps decoded but were not strictly increasing.
+    UnsortedTimestamps,
+}
+
+impl std::fmt::Display for ChunkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChunkError::Frame {
+                corrupt_frames,
+                truncated_tail,
+            } => write!(
+                f,
+                "chunk frame damaged (corrupt={corrupt_frames}, truncated={truncated_tail})"
+            ),
+            ChunkError::BadFrameCount(n) => write!(f, "expected 1 chunk record, found {n}"),
+            ChunkError::BadHeader => write!(f, "chunk header malformed"),
+            ChunkError::Codec(e) => write!(f, "column decode failed: {e}"),
+            ChunkError::UnsortedTimestamps => write!(f, "decoded timestamps not increasing"),
+        }
+    }
+}
+
+impl std::error::Error for ChunkError {}
+
+impl From<CodecError> for ChunkError {
+    fn from(e: CodecError) -> Self {
+        ChunkError::Codec(e)
+    }
+}
+
+/// A sealed, immutable, compressed run of samples.
+#[derive(Debug, Clone)]
+pub struct Chunk {
+    id: u64,
+    count: u32,
+    min_ts: i64,
+    max_ts: i64,
+    ts_bytes: Vec<u8>,
+    val_bytes: Vec<u8>,
+}
+
+/// A chunk decoded back into columns. Cached (behind `Arc`) by the
+/// page cache; never mutated after construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedChunk {
+    /// Timestamp column, strictly increasing.
+    pub ts: Vec<i64>,
+    /// Value column, bit-exact with what was sealed.
+    pub vals: Vec<f64>,
+}
+
+impl DecodedChunk {
+    /// Approximate heap footprint, used for cache accounting.
+    pub fn byte_size(&self) -> usize {
+        self.ts.len() * 8 + self.vals.len() * 8
+    }
+}
+
+impl Chunk {
+    /// Seal a run of samples (strictly increasing timestamps) into a
+    /// compressed chunk.
+    ///
+    /// # Panics
+    /// On an empty run — callers seal only full or flushed non-empty
+    /// heads.
+    pub fn seal(samples: &[Sample]) -> Chunk {
+        assert!(!samples.is_empty(), "cannot seal an empty chunk");
+        let ts: Vec<i64> = samples.iter().map(|s| s.timestamp_ms).collect();
+        let vals: Vec<f64> = samples.iter().map(|s| s.value).collect();
+        let mut tw = BitWriter::new();
+        int::encode_timestamps(&ts, &mut tw);
+        let mut vw = BitWriter::new();
+        float::encode_values(&vals, &mut vw);
+        Chunk {
+            id: next_chunk_id(),
+            count: samples.len() as u32,
+            min_ts: ts[0],
+            max_ts: *ts.last().expect("non-empty"),
+            ts_bytes: tw.into_bytes(),
+            val_bytes: vw.into_bytes(),
+        }
+    }
+
+    /// Process-unique id (page-cache key).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Number of samples sealed in.
+    pub fn len(&self) -> usize {
+        self.count as usize
+    }
+
+    /// Sealed chunks are never empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest (first) timestamp.
+    pub fn min_ts(&self) -> i64 {
+        self.min_ts
+    }
+
+    /// Largest (last) timestamp.
+    pub fn max_ts(&self) -> i64 {
+        self.max_ts
+    }
+
+    /// Compressed payload size in bytes (both columns, no framing).
+    pub fn compressed_bytes(&self) -> usize {
+        self.ts_bytes.len() + self.val_bytes.len()
+    }
+
+    /// Decompress both columns. Errors instead of panicking on
+    /// damaged bytes.
+    pub fn decode(&self) -> Result<DecodedChunk, ChunkError> {
+        let mut tr = BitReader::new(&self.ts_bytes);
+        let ts = int::decode_timestamps(&mut tr, self.count as usize)?;
+        if ts.windows(2).any(|w| w[1] <= w[0]) {
+            return Err(ChunkError::UnsortedTimestamps);
+        }
+        let mut vr = BitReader::new(&self.val_bytes);
+        let vals = float::decode_values(&mut vr, self.count as usize)?;
+        Ok(DecodedChunk { ts, vals })
+    }
+
+    /// The chunk serialized *without* framing — for embedding inside a
+    /// larger CRC-protected record (snapshots, shard transfers).
+    /// [`Chunk::from_payload`] inverts it.
+    pub fn payload(&self) -> Vec<u8> {
+        let mut payload =
+            Vec::with_capacity(12 + self.ts_bytes.len() + self.val_bytes.len());
+        payload.extend_from_slice(&self.count.to_le_bytes());
+        payload.extend_from_slice(&(self.ts_bytes.len() as u32).to_le_bytes());
+        payload.extend_from_slice(&(self.val_bytes.len() as u32).to_le_bytes());
+        payload.extend_from_slice(&self.ts_bytes);
+        payload.extend_from_slice(&self.val_bytes);
+        payload
+    }
+
+    /// Serialize into a CRC-framed blob (see module docs for layout).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        encode_record(&self.payload())
+    }
+
+    /// Parse a CRC-framed blob back into a chunk, validating the frame,
+    /// the header, and both columns (a full decode) before accepting.
+    /// The returned chunk keeps the *compressed* columns and gets a
+    /// fresh cache id.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Chunk, ChunkError> {
+        let scan = decode_all(bytes);
+        if scan.corrupt_frames() > 0 || scan.truncated_tail {
+            return Err(ChunkError::Frame {
+                corrupt_frames: scan.corrupt_frames(),
+                truncated_tail: scan.truncated_tail,
+            });
+        }
+        if scan.records.len() != 1 {
+            return Err(ChunkError::BadFrameCount(scan.records.len()));
+        }
+        Chunk::from_payload(&scan.records[0])
+    }
+
+    /// Parse an *unframed* chunk payload (the caller already stripped
+    /// and verified the CRC frame, e.g. snapshot fsck).
+    pub fn from_payload(payload: &[u8]) -> Result<Chunk, ChunkError> {
+        if payload.len() < 12 {
+            return Err(ChunkError::BadHeader);
+        }
+        let count = u32::from_le_bytes(payload[0..4].try_into().expect("4 bytes"));
+        let ts_len = u32::from_le_bytes(payload[4..8].try_into().expect("4 bytes")) as usize;
+        let val_len = u32::from_le_bytes(payload[8..12].try_into().expect("4 bytes")) as usize;
+        if count == 0 || payload.len() != 12 + ts_len + val_len {
+            return Err(ChunkError::BadHeader);
+        }
+        let ts_bytes = payload[12..12 + ts_len].to_vec();
+        let val_bytes = payload[12 + ts_len..].to_vec();
+        let mut chunk = Chunk {
+            id: next_chunk_id(),
+            count,
+            min_ts: 0,
+            max_ts: 0,
+            ts_bytes,
+            val_bytes,
+        };
+        // Validate eagerly: recovery wants structured errors now, not
+        // a surprise at first query.
+        let decoded = chunk.decode()?;
+        chunk.min_ts = decoded.ts[0];
+        chunk.max_ts = *decoded.ts.last().expect("count > 0");
+        Ok(chunk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples(n: usize) -> Vec<Sample> {
+        (0..n)
+            .map(|i| Sample::new(1_000 + i as i64 * 15_000, (i as f64 * 0.25).sin() * 10.0))
+            .collect()
+    }
+
+    #[test]
+    fn seal_decode_roundtrip() {
+        let s = samples(CHUNK_SIZE);
+        let chunk = Chunk::seal(&s);
+        assert_eq!(chunk.len(), CHUNK_SIZE);
+        assert_eq!(chunk.min_ts(), s[0].timestamp_ms);
+        assert_eq!(chunk.max_ts(), s.last().unwrap().timestamp_ms);
+        let d = chunk.decode().unwrap();
+        for (i, smp) in s.iter().enumerate() {
+            assert_eq!(d.ts[i], smp.timestamp_ms);
+            assert_eq!(d.vals[i].to_bits(), smp.value.to_bits());
+        }
+    }
+
+    #[test]
+    fn compresses_regular_series_well() {
+        // Counter-shaped values: integral steps leave long runs of zero
+        // mantissa bits for the XOR codec.
+        let s: Vec<Sample> = (0..CHUNK_SIZE)
+            .map(|i| Sample::new(1_000 + i as i64 * 15_000, (i * 7) as f64))
+            .collect();
+        let chunk = Chunk::seal(&s);
+        let raw = s.len() * 16;
+        assert!(
+            chunk.compressed_bytes() * 2 < raw,
+            "compressed {} vs raw {raw}",
+            chunk.compressed_bytes()
+        );
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let chunk = Chunk::seal(&samples(100));
+        let bytes = chunk.to_bytes();
+        let back = Chunk::from_bytes(&bytes).unwrap();
+        assert_ne!(back.id(), chunk.id(), "re-parsed chunks get fresh ids");
+        assert_eq!(back.decode().unwrap(), chunk.decode().unwrap());
+        assert_eq!(back.min_ts(), chunk.min_ts());
+        assert_eq!(back.max_ts(), chunk.max_ts());
+    }
+
+    #[test]
+    fn truncated_bytes_are_structured_errors() {
+        let bytes = Chunk::seal(&samples(64)).to_bytes();
+        for cut in 0..bytes.len() {
+            let err = Chunk::from_bytes(&bytes[..cut]).expect_err("must fail");
+            match err {
+                ChunkError::Frame { .. } | ChunkError::BadFrameCount(_) => {}
+                other => panic!("cut at {cut}: unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flips_are_structured_errors() {
+        let bytes = Chunk::seal(&samples(64)).to_bytes();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x10;
+            // Every single-byte flip must surface as an error or —
+            // never — a wrong silent success (the CRC catches payload
+            // flips; header flips break framing).
+            if let Ok(chunk) = Chunk::from_bytes(&bad) {
+                panic!("flip at byte {i} silently accepted chunk {:?}", chunk.id());
+            }
+        }
+    }
+
+    #[test]
+    fn clones_share_cache_identity() {
+        let chunk = Chunk::seal(&samples(8));
+        assert_eq!(chunk.clone().id(), chunk.id());
+        let other = Chunk::seal(&samples(8));
+        assert_ne!(other.id(), chunk.id());
+    }
+}

@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// The reserved label carrying the metric name, as in Prometheus.
 pub const NAME_LABEL: &str = "__name__";
@@ -11,14 +12,31 @@ pub const NAME_LABEL: &str = "__name__";
 /// An immutable, sorted set of `name=value` label pairs.
 ///
 /// Invariants: names are unique and pairs are kept sorted by name, so
-/// equality, hashing, and display are canonical.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
-pub struct Labels(Vec<(String, String)>);
+/// equality, hashing, and display are canonical. The pairs live behind
+/// an [`Arc`], so cloning — which query engines do once per series per
+/// evaluation step — is a reference-count bump, not a deep copy of
+/// every string. Comparison, hashing, and serde all see through the
+/// pointer to the content.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Labels(Arc<Vec<(String, String)>>);
+
+impl Serialize for Labels {
+    fn to_value(&self) -> serde::Value {
+        self.0.as_slice().to_value()
+    }
+}
+
+impl<'de> Deserialize<'de> for Labels {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let pairs = <Vec<(String, String)> as Deserialize>::from_value(value)?;
+        Ok(Labels(Arc::new(pairs)))
+    }
+}
 
 impl Labels {
     /// Empty label set.
     pub fn empty() -> Self {
-        Labels(Vec::new())
+        Labels(Arc::new(Vec::new()))
     }
 
     /// Build from pairs; later duplicates overwrite earlier ones.
@@ -37,29 +55,29 @@ impl Labels {
 
     /// A label set containing only the metric name.
     pub fn name_only(name: &str) -> Self {
-        Labels(vec![(NAME_LABEL.to_string(), name.to_string())])
+        Labels(Arc::new(vec![(NAME_LABEL.to_string(), name.to_string())]))
     }
 
     /// Return a copy with `name=value` set (replacing any existing value).
     pub fn with(&self, name: impl Into<String>, value: impl Into<String>) -> Self {
         let (name, value) = (name.into(), value.into());
-        let mut pairs = self.0.clone();
+        let mut pairs = (*self.0).clone();
         match pairs.binary_search_by(|(n, _)| n.as_str().cmp(name.as_str())) {
             Ok(i) => pairs[i].1 = value,
             Err(i) => pairs.insert(i, (name, value)),
         }
-        Labels(pairs)
+        Labels(Arc::new(pairs))
     }
 
     /// Return a copy with `name` removed (no-op when absent).
     pub fn without(&self, name: &str) -> Self {
-        Labels(
+        Labels(Arc::new(
             self.0
                 .iter()
                 .filter(|(n, _)| n != name)
                 .cloned()
                 .collect(),
-        )
+        ))
     }
 
     /// Value of a label, if present.
@@ -84,25 +102,25 @@ impl Labels {
     /// Keep only the listed label names (always drops `__name__` unless
     /// listed) — PromQL `by (…)` semantics.
     pub fn keep_only(&self, names: &[&str]) -> Self {
-        Labels(
+        Labels(Arc::new(
             self.0
                 .iter()
                 .filter(|(n, _)| names.contains(&n.as_str()))
                 .cloned()
                 .collect(),
-        )
+        ))
     }
 
     /// Drop the listed label names and `__name__` — PromQL
     /// `without (…)` semantics.
     pub fn drop_listed_and_name(&self, names: &[&str]) -> Self {
-        Labels(
+        Labels(Arc::new(
             self.0
                 .iter()
                 .filter(|(n, _)| n != NAME_LABEL && !names.contains(&n.as_str()))
                 .cloned()
                 .collect(),
-        )
+        ))
     }
 
     /// Iterate `(name, value)` pairs in sorted order.
@@ -118,6 +136,14 @@ impl Labels {
     /// True when there are no labels.
     pub fn is_empty(&self) -> bool {
         self.0.is_empty()
+    }
+
+    /// Address of the shared pair list — equal pointers imply equal
+    /// content (the converse is false). Lets hot accumulation paths
+    /// skip content hashing when the same `Labels` clone flows through
+    /// every evaluation step.
+    pub fn ptr_id(&self) -> usize {
+        Arc::as_ptr(&self.0) as usize
     }
 
     /// A stable 64-bit signature of the full label set.

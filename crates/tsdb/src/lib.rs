@@ -19,23 +19,29 @@
 //! The PromQL engine in `dio-promql` evaluates against
 //! [`MetricStore`] through these two lookups.
 
+pub mod chunk;
+pub mod compress;
 pub mod durable;
 pub mod generator;
 pub mod labels;
 pub mod matchers;
+pub mod page_cache;
 pub mod sample;
 pub mod series;
 pub mod snapshot;
 pub mod storage;
 pub mod wal;
 
+pub use chunk::{Chunk, ChunkError, DecodedChunk, CHUNK_SIZE};
+pub use compress::CodecError;
 pub use durable::{DurableError, DurableStore, RecoveryReport};
 pub use generator::{SeriesShape, SeriesSpec, SynthConfig, Synthesizer};
 pub use labels::Labels;
 pub use matchers::{MatchOp, Matcher};
+pub use page_cache::{PageCache, PageCacheStats, DEFAULT_PAGE_CACHE_BYTES};
 pub use sample::Sample;
-pub use series::Series;
-pub use snapshot::{fsck_snapshot, write_snapshot, FsckReport};
+pub use series::{Series, SeriesCols};
+pub use snapshot::{fsck_snapshot, write_snapshot, FsckReport, SNAPSHOT_VERSION};
 pub use storage::MetricStore;
 pub use wal::{Wal, WalRecord, WalRecovery};
 

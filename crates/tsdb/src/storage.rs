@@ -2,27 +2,50 @@
 
 use crate::labels::Labels;
 use crate::matchers::{all_match, Matcher};
+use crate::page_cache::PageCache;
 use crate::sample::Sample;
 use crate::series::{AppendError, Series};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// In-memory store of all series.
 ///
 /// Series are indexed by metric name for fast selection (the common case
 /// is a selector with an exact `__name__`), with a full scan fallback
-/// for name-pattern selectors.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+/// for name-pattern selectors. Sealed chunks decode through a page
+/// cache shared across clones of the store, so the interpreter oracle
+/// and the vectorized engine warm it for each other.
+#[derive(Debug, Clone)]
 pub struct MetricStore {
     series: Vec<Series>,
     by_name: HashMap<String, Vec<usize>>,
-    by_signature: HashMap<u64, usize>,
+    /// Signature → candidate series ids. A `Vec` because 64-bit label
+    /// signatures can collide: every candidate is probed against the
+    /// full label set before a hit is declared.
+    by_signature: HashMap<u64, Vec<usize>>,
+    page_cache: Arc<PageCache>,
+}
+
+impl Default for MetricStore {
+    fn default() -> Self {
+        MetricStore {
+            series: Vec::new(),
+            by_name: HashMap::new(),
+            by_signature: HashMap::new(),
+            page_cache: Arc::new(PageCache::new()),
+        }
+    }
 }
 
 impl MetricStore {
     /// An empty store.
     pub fn new() -> Self {
         MetricStore::default()
+    }
+
+    /// The shared decoded-chunk cache.
+    pub fn page_cache(&self) -> &PageCache {
+        &self.page_cache
     }
 
     /// Total number of series.
@@ -33,6 +56,11 @@ impl MetricStore {
     /// Total number of samples across all series.
     pub fn sample_count(&self) -> usize {
         self.series.iter().map(|s| s.len()).sum()
+    }
+
+    /// Compressed bytes across all sealed chunks.
+    pub fn compressed_bytes(&self) -> usize {
+        self.series.iter().map(|s| s.compressed_bytes()).sum()
     }
 
     /// Distinct metric names, sorted.
@@ -47,14 +75,32 @@ impl MetricStore {
         self.by_name.contains_key(name)
     }
 
+    /// True when a series with exactly these labels exists.
+    pub fn has_series(&self, labels: &Labels) -> bool {
+        self.by_signature
+            .get(&labels.signature())
+            .is_some_and(|ids| ids.iter().any(|&id| self.series[id].labels() == labels))
+    }
+
     /// Get or create the series with exactly these labels, returning its
     /// internal id.
     pub fn ensure_series(&mut self, labels: Labels) -> usize {
         let sig = labels.signature();
-        if let Some(&id) = self.by_signature.get(&sig) {
-            // Signature collision check: verify labels actually match.
-            if self.series[id].labels() == &labels {
-                return id;
+        self.ensure_series_with_signature(sig, labels)
+    }
+
+    /// [`MetricStore::ensure_series`] with the signature supplied by
+    /// the caller. Real `DefaultHasher` collisions cannot be forced in
+    /// a test, so the collision regression test injects them here.
+    fn ensure_series_with_signature(&mut self, sig: u64, labels: Labels) -> usize {
+        // Probe every candidate sharing this signature: a collision
+        // must not alias two distinct label sets onto one series, nor
+        // evict the earlier one from the index.
+        if let Some(ids) = self.by_signature.get(&sig) {
+            for &id in ids {
+                if self.series[id].labels() == &labels {
+                    return id;
+                }
             }
         }
         let id = self.series.len();
@@ -64,7 +110,7 @@ impl MetricStore {
                 .or_default()
                 .push(id);
         }
-        self.by_signature.insert(sig, id);
+        self.by_signature.entry(sig).or_default().push(id);
         self.series.push(Series::new(labels));
         id
     }
@@ -76,11 +122,42 @@ impl MetricStore {
         self.series[id].append(sample)
     }
 
+    /// Merge a whole series in. When the store has no series with these
+    /// labels the incoming series is adopted wholesale — its sealed
+    /// chunks move without a decode (how cluster shards ship data).
+    /// Otherwise the incoming samples are decoded and appended
+    /// individually; out-of-order duplicates are skipped and counted.
+    /// Returns the number of samples skipped.
+    pub fn adopt_series(&mut self, incoming: Series) -> usize {
+        let id = self.ensure_series(incoming.labels().clone());
+        let target = &mut self.series[id];
+        if target.is_empty() {
+            *target = incoming;
+            return 0;
+        }
+        let mut skipped = 0;
+        for sample in incoming.samples() {
+            if target.append(sample).is_err() {
+                skipped += 1;
+            }
+        }
+        skipped
+    }
+
     /// All series whose labels satisfy every matcher.
     ///
     /// An `Eq` matcher on `__name__` narrows the scan to that name's
     /// postings list.
     pub fn select(&self, matchers: &[Matcher]) -> Vec<&Series> {
+        self.select_indices(matchers)
+            .into_iter()
+            .map(|i| &self.series[i])
+            .collect()
+    }
+
+    /// Ids of series whose labels satisfy every matcher, in storage
+    /// order. The vectorized executor memoises on these ids.
+    pub fn select_indices(&self, matchers: &[Matcher]) -> Vec<usize> {
         use crate::matchers::MatchOp;
         let name_eq = matchers
             .iter()
@@ -91,9 +168,16 @@ impl MetricStore {
         };
         candidates
             .into_iter()
-            .map(|i| &self.series[i])
-            .filter(|s| all_match(matchers, s.labels()))
+            .filter(|&i| all_match(matchers, self.series[i].labels()))
             .collect()
+    }
+
+    /// The series with internal id `id`.
+    ///
+    /// # Panics
+    /// When `id` did not come from this store.
+    pub fn series_at(&self, id: usize) -> &Series {
+        &self.series[id]
     }
 
     /// All series for a metric name.
@@ -207,6 +291,32 @@ mod tests {
     }
 
     #[test]
+    fn signature_collisions_probe_instead_of_aliasing() {
+        // Two distinct label sets forced onto ONE signature. Before the
+        // probing fix, the second `ensure_series` fell through the
+        // labels-differ check and *overwrote* `by_signature[sig]`,
+        // so a third call with the first label set minted a duplicate
+        // series and split its samples across two ids.
+        let mut st = MetricStore::new();
+        let a = Labels::from_pairs([(NAME_LABEL, "m"), ("instance", "a")]);
+        let b = Labels::from_pairs([(NAME_LABEL, "m"), ("instance", "b")]);
+        const SIG: u64 = 0xDEAD_BEEF;
+        let id_a = st.ensure_series_with_signature(SIG, a.clone());
+        let id_b = st.ensure_series_with_signature(SIG, b.clone());
+        assert_ne!(id_a, id_b, "colliding labels must not alias one series");
+        // Re-resolving either label set finds its original id — no
+        // duplicate series minted, no samples split.
+        assert_eq!(st.ensure_series_with_signature(SIG, a), id_a);
+        assert_eq!(st.ensure_series_with_signature(SIG, b), id_b);
+        assert_eq!(st.series_count(), 2);
+        // A third distinct label set on the same signature still probes.
+        let c = Labels::from_pairs([(NAME_LABEL, "m"), ("instance", "c")]);
+        let id_c = st.ensure_series_with_signature(SIG, c.clone());
+        assert_eq!(st.ensure_series_with_signature(SIG, c), id_c);
+        assert_eq!(st.series_count(), 3);
+    }
+
+    #[test]
     fn append_routes_to_same_series() {
         let st = store();
         let s = st.series_for("auth_req");
@@ -242,6 +352,33 @@ mod tests {
         )
         .unwrap();
         assert_eq!(st.sample_count(), 2);
+    }
+
+    #[test]
+    fn adopt_series_moves_chunks_or_merges() {
+        use crate::chunk::CHUNK_SIZE;
+        let mut src = Series::new(Labels::name_only("adopted"));
+        for i in 0..(CHUNK_SIZE + 3) as i64 {
+            src.append(Sample::new(1_000 + i * 100, i as f64)).unwrap();
+        }
+        let chunk_id = src.chunks()[0].id();
+        let mut st = MetricStore::new();
+        // Fresh adoption: the sealed chunk moves, not its samples.
+        assert_eq!(st.adopt_series(src.clone()), 0);
+        let got = &st.series_for("adopted")[0];
+        assert_eq!(got.chunks()[0].id(), chunk_id);
+        assert_eq!(got.len(), CHUNK_SIZE + 3);
+        // Re-adopting the same series: every sample is a duplicate.
+        assert_eq!(st.adopt_series(src.clone()), CHUNK_SIZE + 3);
+        // Adopting newer samples into an existing series appends them.
+        let mut newer = Series::new(Labels::name_only("adopted"));
+        let last = src.last_timestamp().unwrap();
+        newer.append(Sample::new(last + 1, 42.0)).unwrap();
+        assert_eq!(st.adopt_series(newer), 0);
+        assert_eq!(
+            st.series_for("adopted")[0].last_timestamp(),
+            Some(last + 1)
+        );
     }
 
     #[test]
