@@ -1,0 +1,839 @@
+//! The batching model front-end: a [`FoundationModel`] that accumulates
+//! concurrent completion requests and answers K of them with **one**
+//! upstream call.
+//!
+//! ## Flush triggers
+//!
+//! A queued request carries a *due* instant — the earliest of
+//! `enqueue + max_delay` (bounded delay) and, when the request has a
+//! `timeout_ms`, `deadline - min_slack` (deadline pressure). The queue
+//! flushes when it reaches `max_batch` items (**full**), when the
+//! oldest due instant passes (**due**), or when the passing due instant
+//! was deadline-derived (**deadline**). A request whose hard deadline
+//! has already lapsed while queued is *never* sent upstream: it fails
+//! locally with a transient error so the serving tier's deadline abort
+//! machinery — not a late answer — handles it.
+//!
+//! ## Cost attribution
+//!
+//! The combined call is billed once; [`BatchLayout::attribute`] splits
+//! the combined prompt bill into per-item shares (own suffix + an equal
+//! slice of the shared prefix and framing), so each item's
+//! [`Completion::usage`] reconciles with the single upstream bill and
+//! the [`CostLedger`] records the prefix exactly once per batch.
+//!
+//! ## Fault domain
+//!
+//! The gateway sits *above* whatever fault injection wraps the
+//! upstream (`FaultyModel<BatchExpander<SimulatedModel>>` in tests):
+//! one injected fault corrupts one combined attempt. A whole-call
+//! `Unavailable` fails every item transiently (each item's own
+//! `RecoveryPolicy` retries through a fresh batch); a corrupted
+//! combined *completion* degrades only the items whose answer blocks
+//! were damaged, because [`split_batch`] recovers every block whose
+//! markers survive.
+
+use dio_llm::{
+    compose_batch, count_tokens, Completion, CompletionRequest, CostLedger, FoundationModel,
+    ModelError, Pricing, TokenUsage,
+};
+use dio_obs::{Buckets, Counter, Histogram, Registry, SpanContext, Tracer};
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Batching policy. (Not serde-derived: the vendored serde stand-in
+/// has no `Duration` impls; benches report the fields individually.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Maximum items per combined call.
+    pub max_batch: usize,
+    /// Maximum time a request may wait for companions.
+    pub max_delay: Duration,
+    /// Slack reserved before a request's hard deadline: a request is
+    /// flushed no later than `deadline - min_slack` so the upstream
+    /// call (and the caller's parse/repair work) fits before the
+    /// deadline.
+    pub min_slack: Duration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_batch: 4,
+            max_delay: Duration::from_millis(3),
+            min_slack: Duration::from_millis(200),
+        }
+    }
+}
+
+/// Why a flush fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub enum FlushTrigger {
+    /// The queue reached `max_batch`.
+    Full,
+    /// The oldest bounded-delay due instant passed.
+    Due,
+    /// A deadline-derived due instant passed.
+    Deadline,
+}
+
+impl FlushTrigger {
+    /// Metric label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FlushTrigger::Full => "full",
+            FlushTrigger::Due => "due",
+            FlushTrigger::Deadline => "deadline",
+        }
+    }
+}
+
+/// Audit record of one flush, retained (bounded) for tests and the
+/// bench's deadline audit.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct FlushRecord {
+    /// Items in the combined call.
+    pub size: usize,
+    /// What fired the flush.
+    pub trigger: FlushTrigger,
+    /// Longest queue wait among the flushed items, µs.
+    pub waited_micros: u64,
+    /// Whether every flushed item still had its hard deadline ahead of
+    /// it when the flush started.
+    pub within_deadline: bool,
+    /// Items failed locally because their deadline lapsed in the queue
+    /// (these were *not* sent upstream).
+    pub lapsed: usize,
+}
+
+/// Retain at most this many flush records.
+const FLUSH_LOG_CAP: usize = 4096;
+
+struct Slot {
+    id: u64,
+    request: CompletionRequest,
+    ctx: Option<SpanContext>,
+    enqueued: Instant,
+    due: Instant,
+    hard_deadline: Option<Instant>,
+    deadline_driven: bool,
+}
+
+struct BatchState {
+    next_id: u64,
+    queue: Vec<Slot>,
+    results: HashMap<u64, Result<Completion, ModelError>>,
+    flushing: bool,
+}
+
+/// The shared gateway core. [`GatewayHandle`]s clone the `Arc`.
+pub struct ModelGateway {
+    upstream: Mutex<Box<dyn FoundationModel>>,
+    config: BatchConfig,
+    // Upstream identity snapshotted at construction (`FoundationModel`
+    // hands out borrowed strs; the handle needs owned copies).
+    name: String,
+    window: usize,
+    pricing: Pricing,
+    state: Mutex<BatchState>,
+    cv: Condvar,
+    ledger: Mutex<CostLedger>,
+    flush_log: Mutex<Vec<FlushRecord>>,
+    tracer: Option<Tracer>,
+    upstream_calls: Counter,
+    flush_full: Counter,
+    flush_due: Counter,
+    flush_deadline: Counter,
+    lapsed_total: Counter,
+    batch_size: Histogram,
+    prefix_saved: Counter,
+}
+
+impl std::fmt::Debug for ModelGateway {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelGateway")
+            .field("name", &self.name)
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ModelGateway {
+    /// A gateway over `upstream`, instrumented into `registry`. Pass a
+    /// tracer to get `batch_flush` spans and per-item `batched` events
+    /// threaded under the callers' span contexts.
+    pub fn new(
+        upstream: Box<dyn FoundationModel>,
+        config: BatchConfig,
+        registry: &Registry,
+        tracer: Option<Tracer>,
+    ) -> Arc<Self> {
+        assert!(config.max_batch >= 1, "max_batch must be at least 1");
+        let name = format!("gateway({})", upstream.name());
+        let window = upstream.context_window();
+        let pricing = upstream.pricing();
+        Arc::new(ModelGateway {
+            upstream: Mutex::new(upstream),
+            config,
+            name,
+            window,
+            pricing,
+            state: Mutex::new(BatchState {
+                next_id: 0,
+                queue: Vec::new(),
+                results: HashMap::new(),
+                flushing: false,
+            }),
+            cv: Condvar::new(),
+            ledger: Mutex::new(CostLedger::new()),
+            flush_log: Mutex::new(Vec::new()),
+            tracer,
+            upstream_calls: registry.counter(
+                "dio_gateway_upstream_calls_total",
+                "Combined model calls the gateway sent upstream.",
+            ),
+            flush_full: registry.counter_with(
+                "dio_gateway_batch_flush_total",
+                "Batch flushes, by trigger.",
+                &[("trigger", "full")],
+            ),
+            flush_due: registry.counter_with(
+                "dio_gateway_batch_flush_total",
+                "Batch flushes, by trigger.",
+                &[("trigger", "due")],
+            ),
+            flush_deadline: registry.counter_with(
+                "dio_gateway_batch_flush_total",
+                "Batch flushes, by trigger.",
+                &[("trigger", "deadline")],
+            ),
+            lapsed_total: registry.counter(
+                "dio_gateway_queue_lapsed_total",
+                "Requests failed locally because their deadline lapsed in the gateway queue.",
+            ),
+            batch_size: registry.histogram(
+                "dio_gateway_batch_size",
+                "Items per combined upstream call.",
+                &Buckets::linear(1.0, 1.0, 8),
+            ),
+            prefix_saved: registry.counter(
+                "dio_gateway_prefix_tokens_saved_total",
+                "Shared-prefix tokens amortized away by batching.",
+            ),
+        })
+    }
+
+    /// The batching policy in force.
+    pub fn config(&self) -> BatchConfig {
+        self.config
+    }
+
+    /// Snapshot of the gateway's cost ledger.
+    pub fn ledger(&self) -> CostLedger {
+        self.ledger.lock().unwrap().clone()
+    }
+
+    /// Snapshot of the (bounded) flush audit log.
+    pub fn flush_log(&self) -> Vec<FlushRecord> {
+        self.flush_log.lock().unwrap().clone()
+    }
+
+    /// A fresh per-caller handle. Each worker thread should hold its
+    /// own so its span context rides along without cross-talk.
+    pub fn handle(self: &Arc<Self>) -> GatewayHandle {
+        GatewayHandle {
+            core: Arc::clone(self),
+            ctx: Arc::new(Mutex::new(None)),
+        }
+    }
+
+    /// Enqueue, wait for a flush (ours or a companion's), return this
+    /// request's own result.
+    fn complete_with(
+        &self,
+        request: &CompletionRequest,
+        ctx: Option<SpanContext>,
+    ) -> Result<Completion, ModelError> {
+        let now = Instant::now();
+        let delay_due = now + self.config.max_delay;
+        let hard_deadline = request
+            .timeout_ms
+            .map(|ms| now + Duration::from_millis(ms));
+        let deadline_due =
+            hard_deadline.map(|hard| hard.checked_sub(self.config.min_slack).unwrap_or(now));
+        let (due, deadline_driven) = match deadline_due {
+            Some(d) if d < delay_due => (d, true),
+            _ => (delay_due, false),
+        };
+
+        let mut state = self.state.lock().unwrap();
+        let id = state.next_id;
+        state.next_id += 1;
+        state.queue.push(Slot {
+            id,
+            request: request.clone(),
+            ctx,
+            enqueued: now,
+            due,
+            hard_deadline,
+            deadline_driven,
+        });
+        if state.queue.len() >= self.config.max_batch {
+            self.cv.notify_all();
+        }
+
+        loop {
+            if let Some(result) = state.results.remove(&id) {
+                return result;
+            }
+            let now = Instant::now();
+            let trigger = if state.flushing {
+                None
+            } else if state.queue.len() >= self.config.max_batch {
+                Some(FlushTrigger::Full)
+            } else {
+                state
+                    .queue
+                    .iter()
+                    .filter(|s| s.due <= now)
+                    .max_by_key(|s| s.deadline_driven)
+                    .map(|s| {
+                        if s.deadline_driven {
+                            FlushTrigger::Deadline
+                        } else {
+                            FlushTrigger::Due
+                        }
+                    })
+            };
+            if let Some(trigger) = trigger {
+                if !state.queue.is_empty() {
+                    state.flushing = true;
+                    let batch = take_batch(&mut state.queue, self.config.max_batch, self.window);
+                    drop(state);
+                    self.flush(batch, trigger);
+                    state = self.state.lock().unwrap();
+                    state.flushing = false;
+                    self.cv.notify_all();
+                    continue;
+                }
+            }
+            // Sleep until the earliest queued due instant (a flush in
+            // progress or an empty queue just waits a slice).
+            let wait = state
+                .queue
+                .iter()
+                .map(|s| s.due.saturating_duration_since(now))
+                .min()
+                .filter(|_| !state.flushing)
+                .unwrap_or(Duration::from_millis(1))
+                .clamp(Duration::from_micros(100), Duration::from_millis(50));
+            let (guard, _) = self.cv.wait_timeout(state, wait).unwrap();
+            state = guard;
+        }
+    }
+
+    /// Execute one combined call for `batch` and publish per-item
+    /// results. Runs with the state lock *released*; companions keep
+    /// waiting on the condvar meanwhile.
+    fn flush(&self, mut batch: Vec<Slot>, trigger: FlushTrigger) {
+        let start = Instant::now();
+        // Fail queue-lapsed items locally: a deadline already behind us
+        // must produce a deadline abort at the caller, never a late
+        // answer from upstream.
+        let mut lapsed: Vec<Slot> = Vec::new();
+        batch.retain_mut_into(&mut lapsed, |s| {
+            s.hard_deadline.map(|h| h <= start).unwrap_or(false)
+        });
+        let lapsed_count = lapsed.len();
+        let mut results: Vec<(u64, Result<Completion, ModelError>)> = lapsed
+            .into_iter()
+            .map(|s| {
+                (
+                    s.id,
+                    Err(ModelError::Unavailable(
+                        "gateway queue deadline lapsed before flush".to_string(),
+                    )),
+                )
+            })
+            .collect();
+        if lapsed_count > 0 {
+            self.lapsed_total.add(lapsed_count as f64);
+        }
+
+        let waited_micros = batch
+            .iter()
+            .map(|s| s.enqueued.elapsed().as_micros() as u64)
+            .max()
+            .unwrap_or(0);
+        let size = batch.len();
+
+        if !batch.is_empty() {
+            self.flush_trigger_counter(trigger).inc();
+            self.batch_size.observe(size as f64);
+            let outcome = self.call_upstream(&batch);
+            let prefix_tokens = outcome.prefix_tokens;
+            for (slot, result) in batch.iter().zip(outcome.results) {
+                results.push((slot.id, result));
+            }
+            if prefix_tokens > 0 && size > 1 {
+                self.prefix_saved
+                    .add((prefix_tokens * (size - 1)) as f64);
+            }
+            // Trace plumbing: one batch_flush span under the first
+            // item's context, a `batched` event under every item's.
+            if let Some(tracer) = &self.tracer {
+                let duration = dio_obs::micros_u64(start.elapsed());
+                let size_attr = size.to_string();
+                let prefix_attr = prefix_tokens.to_string();
+                if let Some(first_ctx) = batch.iter().find_map(|s| s.ctx) {
+                    let span = tracer.child_of(&first_ctx);
+                    let start_micros = tracer.clock_micros(&span).saturating_sub(duration);
+                    tracer.record_span(
+                        &span,
+                        "batch_flush",
+                        start_micros,
+                        duration,
+                        &[
+                            ("size", size_attr.as_str()),
+                            ("trigger", trigger.label()),
+                            ("prefix_tokens", prefix_attr.as_str()),
+                        ],
+                    );
+                }
+                for slot in &batch {
+                    if let Some(ctx) = &slot.ctx {
+                        tracer.event(
+                            ctx,
+                            "batched",
+                            &[
+                                ("size", size_attr.as_str()),
+                                ("trigger", trigger.label()),
+                            ],
+                        );
+                    }
+                }
+            }
+        }
+
+        {
+            let mut log = self.flush_log.lock().unwrap();
+            if log.len() < FLUSH_LOG_CAP {
+                log.push(FlushRecord {
+                    size,
+                    trigger,
+                    waited_micros,
+                    within_deadline: lapsed_count == 0,
+                    lapsed: lapsed_count,
+                });
+            }
+        }
+
+        let mut state = self.state.lock().unwrap();
+        state.results.extend(results);
+        drop(state);
+        self.cv.notify_all();
+    }
+
+    fn flush_trigger_counter(&self, trigger: FlushTrigger) -> &Counter {
+        match trigger {
+            FlushTrigger::Full => &self.flush_full,
+            FlushTrigger::Due => &self.flush_due,
+            FlushTrigger::Deadline => &self.flush_deadline,
+        }
+    }
+
+    /// One upstream call (combined when the batch has companions),
+    /// billed into the ledger with per-item attribution.
+    fn call_upstream(&self, batch: &[Slot]) -> UpstreamOutcome {
+        if batch.len() == 1 {
+            let result = {
+                let upstream = self.upstream.lock().unwrap();
+                self.upstream_calls.inc();
+                upstream.complete(&batch[0].request)
+            };
+            if let Ok(c) = &result {
+                self.ledger.lock().unwrap().record(c.usage, self.pricing);
+            }
+            return UpstreamOutcome {
+                prefix_tokens: 0,
+                results: vec![result],
+            };
+        }
+        let requests: Vec<CompletionRequest> =
+            batch.iter().map(|s| s.request.clone()).collect();
+        let (combined, layout) = match compose_batch(&requests) {
+            Ok(pair) => pair,
+            Err(_) => {
+                // Composition failed (malformed prompt sections):
+                // degrade to serial per-item calls rather than failing
+                // the batch.
+                let upstream = self.upstream.lock().unwrap();
+                let mut ledger = self.ledger.lock().unwrap();
+                let results = requests
+                    .iter()
+                    .map(|r| {
+                        self.upstream_calls.inc();
+                        let result = upstream.complete(r);
+                        if let Ok(c) = &result {
+                            ledger.record(c.usage, self.pricing);
+                        }
+                        result
+                    })
+                    .collect();
+                return UpstreamOutcome {
+                    prefix_tokens: 0,
+                    results,
+                };
+            }
+        };
+        let combined_result = {
+            let upstream = self.upstream.lock().unwrap();
+            self.upstream_calls.inc();
+            upstream.complete(&combined)
+        };
+        match combined_result {
+            Ok(c) => {
+                self.ledger.lock().unwrap().record_batch(
+                    c.usage,
+                    layout.prefix_tokens,
+                    batch.len(),
+                    self.pricing,
+                );
+                let prompt_shares = layout.attribute(c.usage.prompt_tokens);
+                let results = dio_llm::split_batch(&c.text, batch.len())
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, item)| {
+                        item.map(|text| {
+                            let usage = TokenUsage {
+                                prompt_tokens: prompt_shares[i],
+                                completion_tokens: count_tokens(&text),
+                            };
+                            Completion { text, usage }
+                        })
+                    })
+                    .collect();
+                UpstreamOutcome {
+                    prefix_tokens: layout.prefix_tokens,
+                    results,
+                }
+            }
+            Err(e) => UpstreamOutcome {
+                prefix_tokens: layout.prefix_tokens,
+                results: batch.iter().map(|_| Err(e.clone())).collect(),
+            },
+        }
+    }
+}
+
+struct UpstreamOutcome {
+    prefix_tokens: usize,
+    results: Vec<Result<Completion, ModelError>>,
+}
+
+/// Split `v` in place: elements matching `pred` move to `out`,
+/// preserving order of the survivors.
+trait RetainInto<T> {
+    fn retain_mut_into(&mut self, out: &mut Vec<T>, pred: impl Fn(&T) -> bool);
+}
+
+impl<T> RetainInto<T> for Vec<T> {
+    fn retain_mut_into(&mut self, out: &mut Vec<T>, pred: impl Fn(&T) -> bool) {
+        let mut i = 0;
+        while i < self.len() {
+            if pred(&self[i]) {
+                out.push(self.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Take a FIFO batch: up to `max_batch` items whose combined prompt
+/// tokens (plus framing overhead) fit the upstream window. Always takes
+/// at least one item.
+fn take_batch(queue: &mut Vec<Slot>, max_batch: usize, window: usize) -> Vec<Slot> {
+    const FRAMING_OVERHEAD: usize = 64;
+    let mut taken = Vec::new();
+    let mut tokens = FRAMING_OVERHEAD;
+    while !queue.is_empty() && taken.len() < max_batch {
+        let next_tokens = queue[0].request.prompt.tokens;
+        if !taken.is_empty() && tokens + next_tokens > window {
+            break;
+        }
+        tokens += next_tokens;
+        taken.push(queue.remove(0));
+    }
+    taken
+}
+
+/// A per-caller [`FoundationModel`] facade over a shared
+/// [`ModelGateway`]. The handle carries an optional span context cell
+/// the owning worker sets per job, so flush spans and `batched` events
+/// land under the right trace.
+pub struct GatewayHandle {
+    core: Arc<ModelGateway>,
+    ctx: Arc<Mutex<Option<SpanContext>>>,
+}
+
+impl std::fmt::Debug for GatewayHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GatewayHandle")
+            .field("name", &self.core.name)
+            .finish_non_exhaustive()
+    }
+}
+
+impl GatewayHandle {
+    /// Set (or clear) the span context attached to subsequent calls
+    /// through this handle.
+    pub fn set_span_ctx(&self, ctx: Option<SpanContext>) {
+        *self.ctx.lock().unwrap() = ctx;
+    }
+
+    /// The shared span-context cell, for workers that box the handle
+    /// but still need to update the context per job.
+    pub fn ctx_cell(&self) -> Arc<Mutex<Option<SpanContext>>> {
+        Arc::clone(&self.ctx)
+    }
+
+    /// The shared gateway core.
+    pub fn core(&self) -> &Arc<ModelGateway> {
+        &self.core
+    }
+}
+
+impl Clone for GatewayHandle {
+    /// Clones share the core but get a *fresh* context cell: contexts
+    /// are per-worker state, not gateway state.
+    fn clone(&self) -> Self {
+        self.core.handle()
+    }
+}
+
+impl FoundationModel for GatewayHandle {
+    fn name(&self) -> &str {
+        &self.core.name
+    }
+
+    fn context_window(&self) -> usize {
+        self.core.window
+    }
+
+    fn pricing(&self) -> Pricing {
+        self.core.pricing
+    }
+
+    fn complete(&self, request: &CompletionRequest) -> Result<Completion, ModelError> {
+        let ctx = *self.ctx.lock().unwrap();
+        self.core.complete_with(request, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dio_llm::{BatchExpander, ModelProfile, PromptBuilder, SimulatedModel, TaskKind};
+
+    fn request(question: &str) -> CompletionRequest {
+        let prompt = PromptBuilder::new()
+            .system("You are a 5G SA operator data analytics copilot.")
+            .question(question)
+            .task(TaskKind::AnswerDirectly)
+            .build(8192, 1000);
+        CompletionRequest::paper_defaults(prompt)
+    }
+
+    fn gateway(config: BatchConfig) -> Arc<ModelGateway> {
+        ModelGateway::new(
+            Box::new(BatchExpander::new(SimulatedModel::new(
+                ModelProfile::gpt4_sim(),
+            ))),
+            config,
+            &Registry::new(),
+            None,
+        )
+    }
+
+    #[test]
+    fn concurrent_requests_share_one_upstream_call() {
+        let gw = gateway(BatchConfig {
+            max_batch: 4,
+            max_delay: Duration::from_millis(50),
+            min_slack: Duration::from_millis(200),
+        });
+        let solo = SimulatedModel::new(ModelProfile::gpt4_sim());
+        let questions: Vec<String> =
+            (0..4).map(|i| format!("how many registrations happened on slice {i}?")).collect();
+        let expected: Vec<String> = questions
+            .iter()
+            .map(|q| solo.complete(&request(q)).unwrap().text)
+            .collect();
+        let mut handles = Vec::new();
+        for q in &questions {
+            let h = gw.handle();
+            let q = q.clone();
+            handles.push(std::thread::spawn(move || {
+                h.complete(&request(&q)).unwrap().text
+            }));
+        }
+        let got: Vec<String> = handles.into_iter().map(|t| t.join().unwrap()).collect();
+        // Byte-identical answers to the unbatched path: EX parity.
+        assert_eq!(got, expected);
+        let ledger = gw.ledger();
+        assert_eq!(ledger.queries(), 4);
+        assert_eq!(ledger.batches(), 1);
+        assert!(ledger.prefix_tokens_saved() > 0);
+        let log = gw.flush_log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].size, 4);
+        assert_eq!(log[0].trigger, FlushTrigger::Full);
+        assert!(log[0].within_deadline);
+    }
+
+    #[test]
+    fn a_lone_request_flushes_on_the_delay_bound() {
+        let gw = gateway(BatchConfig {
+            max_batch: 8,
+            max_delay: Duration::from_millis(5),
+            min_slack: Duration::from_millis(200),
+        });
+        let started = Instant::now();
+        let c = gw
+            .handle()
+            .complete(&request("how many handovers failed?"))
+            .unwrap();
+        assert!(!c.text.is_empty());
+        assert!(started.elapsed() >= Duration::from_millis(4));
+        let log = gw.flush_log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].size, 1);
+        assert_eq!(log[0].trigger, FlushTrigger::Due);
+    }
+
+    #[test]
+    fn a_tight_deadline_pulls_the_flush_forward() {
+        let gw = gateway(BatchConfig {
+            max_batch: 8,
+            max_delay: Duration::from_secs(5),
+            min_slack: Duration::from_millis(100),
+        });
+        let started = Instant::now();
+        let req = request("how many PDU sessions dropped?").with_timeout_ms(120);
+        gw.handle().complete(&req).unwrap();
+        // Flushed around deadline - slack (~20ms), nowhere near the 5s
+        // delay bound.
+        assert!(started.elapsed() < Duration::from_secs(1));
+        let log = gw.flush_log();
+        assert_eq!(log[0].trigger, FlushTrigger::Deadline);
+        assert!(log[0].within_deadline);
+    }
+
+    #[test]
+    fn a_lapsed_deadline_fails_locally_without_an_upstream_call() {
+        let registry = Registry::new();
+        let gw = ModelGateway::new(
+            Box::new(BatchExpander::new(SimulatedModel::new(
+                ModelProfile::gpt4_sim(),
+            ))),
+            BatchConfig {
+                max_batch: 8,
+                max_delay: Duration::from_millis(30),
+                min_slack: Duration::ZERO,
+            },
+            &registry,
+            None,
+        );
+        // With zero slack, `due == hard deadline`: the flush can only
+        // start *after* the deadline has lapsed, so the item must fail
+        // locally and never reach upstream.
+        let req = request("how many drops?").with_timeout_ms(1);
+        let err = gw.handle().complete(&req).unwrap_err();
+        assert!(err.is_transient(), "{err:?}");
+        assert_eq!(registry.snapshot().total("dio_gateway_upstream_calls_total"), 0.0);
+        assert_eq!(registry.snapshot().total("dio_gateway_queue_lapsed_total"), 1.0);
+        let log = gw.flush_log();
+        assert_eq!(log[0].lapsed, 1);
+        assert!(!log[0].within_deadline);
+    }
+
+    #[test]
+    fn per_item_attribution_reconciles_with_the_registry_bill() {
+        let gw = gateway(BatchConfig {
+            max_batch: 3,
+            max_delay: Duration::from_millis(50),
+            min_slack: Duration::from_millis(200),
+        });
+        let questions = [
+            "how many registrations succeeded?",
+            "what is the prb utilization?",
+            "how many paging requests were seen?",
+        ];
+        let mut handles = Vec::new();
+        for q in questions {
+            let h = gw.handle();
+            handles.push(std::thread::spawn(move || h.complete(&request(q)).unwrap()));
+        }
+        let completions: Vec<Completion> =
+            handles.into_iter().map(|t| t.join().unwrap()).collect();
+        let attributed: usize = completions.iter().map(|c| c.usage.prompt_tokens).sum();
+        let ledger = gw.ledger();
+        // The per-item prompt shares sum exactly to the combined bill.
+        assert_eq!(attributed, ledger.usage().prompt_tokens);
+        assert_eq!(ledger.batches(), 1);
+    }
+
+    #[test]
+    fn whole_call_unavailability_fails_every_item_transiently() {
+        struct DownModel;
+        impl FoundationModel for DownModel {
+            fn name(&self) -> &str {
+                "down"
+            }
+            fn context_window(&self) -> usize {
+                8192
+            }
+            fn pricing(&self) -> Pricing {
+                Pricing::gpt4()
+            }
+            fn complete(&self, _: &CompletionRequest) -> Result<Completion, ModelError> {
+                Err(ModelError::Unavailable("outage".into()))
+            }
+        }
+        let gw = ModelGateway::new(
+            Box::new(DownModel),
+            BatchConfig {
+                max_batch: 2,
+                max_delay: Duration::from_millis(50),
+                min_slack: Duration::from_millis(200),
+            },
+            &Registry::new(),
+            None,
+        );
+        let mut handles = Vec::new();
+        for q in ["a?", "b?"] {
+            let h = gw.handle();
+            handles.push(std::thread::spawn(move || h.complete(&request(q))));
+        }
+        for t in handles {
+            let err = t.join().unwrap().unwrap_err();
+            assert!(err.is_transient());
+        }
+        // One combined attempt, zero successful queries billed.
+        assert_eq!(gw.ledger().queries(), 0);
+    }
+
+    #[test]
+    fn handle_clones_do_not_share_span_context() {
+        let gw = gateway(BatchConfig::default());
+        let a = gw.handle();
+        let tracer = Tracer::new();
+        let ctx = tracer.begin_trace("t");
+        a.set_span_ctx(Some(ctx));
+        let b = a.clone();
+        assert!(b.ctx_cell().lock().unwrap().is_none());
+        assert!(a.ctx_cell().lock().unwrap().is_some());
+    }
+}

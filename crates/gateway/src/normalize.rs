@@ -1,0 +1,58 @@
+//! Cache-key normalization for natural-language questions.
+//!
+//! Operators phrase the same question many ways that differ only in
+//! whitespace and letter case ("What is the PRB utilization?" vs
+//! " what   is the prb utilization? "). The serve tier's answer cache
+//! and the gateway's singleflight coalescer both key on the normalized
+//! form — and they key on *this* function, so the two planes cannot
+//! drift: a question that hits the normalized answer cache is, by
+//! construction, the same key a concurrent duplicate coalesces on.
+//! (The function lives here, below `dio-serve` in the dependency
+//! order; serve re-exports it.)
+
+/// Normalize a question into its cache key: trim leading/trailing
+/// whitespace, collapse internal whitespace runs to a single space,
+/// and casefold via Unicode lowercasing.
+pub fn normalize_question(question: &str) -> String {
+    let mut out = String::with_capacity(question.len());
+    for word in question.split_whitespace() {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        for c in word.chars() {
+            out.extend(c.to_lowercase());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trims_collapses_and_casefolds() {
+        assert_eq!(
+            normalize_question("  What   is\tthe PRB\n utilization? "),
+            "what is the prb utilization?"
+        );
+    }
+
+    #[test]
+    fn empty_and_whitespace_only_normalize_to_empty() {
+        assert_eq!(normalize_question(""), "");
+        assert_eq!(normalize_question(" \t\n "), "");
+    }
+
+    #[test]
+    fn already_normal_is_unchanged() {
+        assert_eq!(normalize_question("a b c"), "a b c");
+    }
+
+    #[test]
+    fn unicode_lowercase_expansion() {
+        // U+0130 lowercases to a two-char sequence; must not panic or
+        // truncate.
+        assert_eq!(normalize_question("\u{130}stanbul"), "i\u{307}stanbul");
+    }
+}

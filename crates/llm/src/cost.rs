@@ -71,28 +71,103 @@ impl Pricing {
     }
 }
 
-/// Accumulates usage and cost over many queries.
+/// Accumulates usage and cost over many queries, keeping the prompt
+/// and completion sides of the bill separate.
+///
+/// The original meter folded everything into one lump `cost_usd`,
+/// which made per-batch prefix amortization unmeasurable: a gateway
+/// that prices a shared catalog+exemplar prefix once per batch changes
+/// only the *prompt* side of the bill, and a lump sum cannot show
+/// that. The ledger splits the running total into `prompt_usd` /
+/// `completion_usd` (their sum is the old `cost_usd`, kept as a field
+/// so serialized meters stay backward-compatible) and tracks the
+/// prefix-vs-suffix token split for batched calls.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
-pub struct CostMeter {
+pub struct CostLedger {
     usage: TokenUsage,
     queries: usize,
+    /// Lump-sum total, maintained as `prompt_usd + completion_usd` for
+    /// backward compatibility with consumers of the serialized form.
     cost_usd: f64,
+    /// Prompt-side spend in USD.
+    #[serde(default)]
+    prompt_usd: f64,
+    /// Completion-side spend in USD.
+    #[serde(default)]
+    completion_usd: f64,
+    /// Batched model calls recorded via [`CostLedger::record_batch`].
+    #[serde(default)]
+    batches: usize,
+    /// Shared-prefix tokens actually billed (once per batch).
+    #[serde(default)]
+    prefix_tokens_billed: usize,
+    /// Shared-prefix tokens *not* billed thanks to amortization: the
+    /// prefix re-sends that unbatched calls would have paid.
+    #[serde(default)]
+    prefix_tokens_saved: usize,
 }
 
-impl CostMeter {
-    /// A fresh meter.
+/// The historical name for the per-query cost aggregator. The ledger
+/// is a strict superset, so the old name stays as an alias.
+pub type CostMeter = CostLedger;
+
+impl CostLedger {
+    /// A fresh ledger.
     pub fn new() -> Self {
-        CostMeter::default()
+        CostLedger::default()
     }
 
     /// Record one query's usage at a pricing.
     pub fn record(&mut self, usage: TokenUsage, pricing: Pricing) {
         self.usage.add(usage);
         self.queries += 1;
-        self.cost_usd += pricing.cost_usd(usage);
+        let prompt = usage.prompt_tokens as f64 / 1000.0 * pricing.prompt_per_1k;
+        let completion = usage.completion_tokens as f64 / 1000.0 * pricing.completion_per_1k;
+        self.prompt_usd += prompt;
+        self.completion_usd += completion;
+        self.cost_usd += prompt + completion;
     }
 
-    /// Number of queries recorded.
+    /// Record one *batched* model call that answered `items` queries
+    /// with a shared prefix of `prefix_tokens` billed once. `combined`
+    /// is the usage actually billed for the single upstream call.
+    ///
+    /// Compared with sending each item alone, the batch avoided
+    /// re-sending the prefix `items - 1` times; that saving is
+    /// tracked in tokens so callers can price it at any tier.
+    pub fn record_batch(
+        &mut self,
+        combined: TokenUsage,
+        prefix_tokens: usize,
+        items: usize,
+        pricing: Pricing,
+    ) {
+        self.usage.add(combined);
+        self.queries += items;
+        self.batches += 1;
+        self.prefix_tokens_billed += prefix_tokens;
+        self.prefix_tokens_saved += prefix_tokens * items.saturating_sub(1);
+        let prompt = combined.prompt_tokens as f64 / 1000.0 * pricing.prompt_per_1k;
+        let completion = combined.completion_tokens as f64 / 1000.0 * pricing.completion_per_1k;
+        self.prompt_usd += prompt;
+        self.completion_usd += completion;
+        self.cost_usd += prompt + completion;
+    }
+
+    /// Fold another ledger into this one (e.g. per-worker ledgers into
+    /// a service total).
+    pub fn merge(&mut self, other: &CostLedger) {
+        self.usage.add(other.usage);
+        self.queries += other.queries;
+        self.cost_usd += other.cost_usd;
+        self.prompt_usd += other.prompt_usd;
+        self.completion_usd += other.completion_usd;
+        self.batches += other.batches;
+        self.prefix_tokens_billed += other.prefix_tokens_billed;
+        self.prefix_tokens_saved += other.prefix_tokens_saved;
+    }
+
+    /// Number of queries recorded (batched calls count each item).
     pub fn queries(&self) -> usize {
         self.queries
     }
@@ -105,6 +180,36 @@ impl CostMeter {
     /// Total cost in USD.
     pub fn total_usd(&self) -> f64 {
         self.cost_usd
+    }
+
+    /// Prompt-side spend in USD.
+    pub fn prompt_usd(&self) -> f64 {
+        self.prompt_usd
+    }
+
+    /// Completion-side spend in USD.
+    pub fn completion_usd(&self) -> f64 {
+        self.completion_usd
+    }
+
+    /// Batched calls recorded.
+    pub fn batches(&self) -> usize {
+        self.batches
+    }
+
+    /// Shared-prefix tokens billed once per batch.
+    pub fn prefix_tokens_billed(&self) -> usize {
+        self.prefix_tokens_billed
+    }
+
+    /// Prefix tokens amortization kept off the bill.
+    pub fn prefix_tokens_saved(&self) -> usize {
+        self.prefix_tokens_saved
+    }
+
+    /// The amortization saving priced at `pricing`'s prompt rate, USD.
+    pub fn prefix_saved_usd(&self, pricing: Pricing) -> f64 {
+        self.prefix_tokens_saved as f64 / 1000.0 * pricing.prompt_per_1k
     }
 
     /// Mean cost per query in US cents — the §4.2.5 metric.
@@ -174,5 +279,89 @@ mod tests {
     #[test]
     fn empty_meter_mean_is_zero() {
         assert_eq!(CostMeter::new().mean_cents_per_query(), 0.0);
+    }
+
+    #[test]
+    fn ledger_splits_prompt_and_completion_spend() {
+        let mut l = CostLedger::new();
+        l.record(
+            TokenUsage {
+                prompt_tokens: 1000,
+                completion_tokens: 500,
+            },
+            Pricing::gpt4(),
+        );
+        assert!((l.prompt_usd() - 0.03).abs() < 1e-12);
+        assert!((l.completion_usd() - 0.03).abs() < 1e-12);
+        // The lump sum stays the sum of the two sides.
+        assert!((l.total_usd() - (l.prompt_usd() + l.completion_usd())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_batch_amortizes_the_prefix() {
+        // Four items sharing a 900-token prefix with 100-token suffixes:
+        // billed once as 900 + 4*100 = 1300 prompt tokens.
+        let mut batched = CostLedger::new();
+        batched.record_batch(
+            TokenUsage {
+                prompt_tokens: 1300,
+                completion_tokens: 80,
+            },
+            900,
+            4,
+            Pricing::gpt4(),
+        );
+        assert_eq!(batched.queries(), 4);
+        assert_eq!(batched.batches(), 1);
+        assert_eq!(batched.prefix_tokens_billed(), 900);
+        assert_eq!(batched.prefix_tokens_saved(), 2700);
+        // Unbatched, the same four items each pay the prefix.
+        let mut solo = CostLedger::new();
+        for _ in 0..4 {
+            solo.record(
+                TokenUsage {
+                    prompt_tokens: 1000,
+                    completion_tokens: 20,
+                },
+                Pricing::gpt4(),
+            );
+        }
+        assert!(batched.total_usd() < solo.total_usd());
+        let saving = solo.prompt_usd() - batched.prompt_usd();
+        assert!((saving - batched.prefix_saved_usd(Pricing::gpt4())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_folds_every_field() {
+        let usage = TokenUsage {
+            prompt_tokens: 100,
+            completion_tokens: 10,
+        };
+        let mut a = CostLedger::new();
+        a.record(usage, Pricing::gpt4());
+        let mut b = CostLedger::new();
+        b.record_batch(usage, 40, 2, Pricing::gpt4());
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.queries(), 3);
+        assert_eq!(merged.batches(), 1);
+        assert_eq!(merged.prefix_tokens_saved(), 40);
+        assert!((merged.total_usd() - (a.total_usd() + b.total_usd())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ledger_serialization_keeps_cost_usd() {
+        let mut l = CostLedger::new();
+        l.record(
+            TokenUsage {
+                prompt_tokens: 1000,
+                completion_tokens: 0,
+            },
+            Pricing::gpt4(),
+        );
+        let json = serde_json::to_string(&l).unwrap();
+        assert!(json.contains("\"cost_usd\""), "{json}");
+        let back: CostLedger = serde_json::from_str(&json).unwrap();
+        assert!((back.total_usd() - l.total_usd()).abs() < 1e-12);
     }
 }

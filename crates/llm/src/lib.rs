@@ -30,6 +30,7 @@
 //! matching the paper's temperature-0 setting ("for repeatable answers
 //! to the same query").
 
+pub mod batch;
 pub mod cost;
 pub mod faults;
 pub mod model;
@@ -38,7 +39,8 @@ pub mod prompt;
 pub mod sim;
 pub mod tokens;
 
-pub use cost::{CostMeter, Pricing, TokenUsage};
+pub use batch::{batch_markers, compose_batch, is_batched, split_batch, BatchExpander, BatchLayout};
+pub use cost::{CostLedger, CostMeter, Pricing, TokenUsage};
 pub use faults::{FaultConfig, FaultEvent, FaultKind, FaultyModel};
 pub use model::{Completion, CompletionRequest, FoundationModel, ModelError, TaskKind};
 pub use obs::ObservedModel;

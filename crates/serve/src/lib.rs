@@ -46,7 +46,8 @@ pub use brownout::{BrownoutConfig, BrownoutController, BrownoutLevel};
 pub use cache::{CacheStats, TtlLru};
 pub use normalize::normalize_question;
 pub use service::{
-    QueryRequest, QueryService, ServeConfig, ServeOutcome, ServedAnswer, Shed, Ticket,
+    GatewayConfig, GatewayStats, QueryRequest, QueryService, ServeConfig, ServeOutcome,
+    ServedAnswer, Shed, Ticket,
 };
 pub use tenant::{tenant_class, RateLimiter, TenantPolicy, TENANT_CLASSES};
 

@@ -1,31 +1,20 @@
 //! Cache-key normalization for natural-language questions.
 //!
-//! Operators phrase the same question many ways that differ only in
-//! whitespace and letter case ("What is the PRB utilization?" vs
-//! " what   is the prb utilization? "). The answer cache keys on the
-//! normalized form so those all collapse to one entry, which is where
-//! most of the warm-path hit rate comes from.
+//! The normalizer itself lives in [`dio_gateway::normalize`], below
+//! this crate in the dependency order, because *two* planes key on it:
+//! the serve tier's `(eval_ts, normalized question)` answer cache and
+//! the gateway's singleflight coalescer. Re-exporting the one function
+//! (rather than keeping a copy here) makes drift impossible — a
+//! question that hits the normalized answer cache is, by construction,
+//! the same key a concurrent duplicate coalesces on.
 
-/// Normalize a question into its cache key: trim leading/trailing
-/// whitespace, collapse internal whitespace runs to a single space,
-/// and casefold via Unicode lowercasing.
-pub fn normalize_question(question: &str) -> String {
-    let mut out = String::with_capacity(question.len());
-    for word in question.split_whitespace() {
-        if !out.is_empty() {
-            out.push(' ');
-        }
-        for c in word.chars() {
-            out.extend(c.to_lowercase());
-        }
-    }
-    out
-}
+pub use dio_gateway::normalize_question;
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// The serve-tier contract the re-export must keep honoring.
     #[test]
     fn trims_collapses_and_casefolds() {
         assert_eq!(
@@ -34,21 +23,17 @@ mod tests {
         );
     }
 
+    /// Regression for the one-normalizer invariant: the key the answer
+    /// cache stores under and the key the singleflight coalescer joins
+    /// on are the *same function applied to the same string*, so a
+    /// coalesced follower always observes the leader's cache key.
     #[test]
-    fn empty_and_whitespace_only_normalize_to_empty() {
-        assert_eq!(normalize_question(""), "");
-        assert_eq!(normalize_question(" \t\n "), "");
-    }
-
-    #[test]
-    fn already_normal_is_unchanged() {
-        assert_eq!(normalize_question("a b c"), "a b c");
-    }
-
-    #[test]
-    fn unicode_lowercase_expansion() {
-        // U+0130 lowercases to a two-char sequence; must not panic or
-        // truncate.
-        assert_eq!(normalize_question("\u{130}stanbul"), "i\u{307}stanbul");
+    fn serve_and_gateway_share_one_normalizer() {
+        let leader = "How many PDU sessions dropped?";
+        let follower = "  how   many pdu sessions dropped? ";
+        let serve_key = normalize_question(follower);
+        let gateway_key = dio_gateway::normalize_question(follower);
+        assert_eq!(serve_key, gateway_key);
+        assert_eq!(serve_key, normalize_question(leader));
     }
 }

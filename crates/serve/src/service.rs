@@ -32,7 +32,11 @@ use crate::cache::{CacheStats, TtlLru};
 use crate::normalize::normalize_question;
 use crate::tenant::{tenant_class, RateLimiter, TenantPolicy, TENANT_CLASSES};
 use dio_copilot::{CopilotError, CopilotResponse, DegradationLevel, DioCopilot};
-use dio_llm::FoundationModel;
+use dio_gateway::{
+    BatchConfig, FlushRecord, FollowerOutcome, Join, ModelGateway, Probe, SemanticCache,
+    SemanticConfig, SemanticStats, Singleflight,
+};
+use dio_llm::{CostLedger, FoundationModel};
 use dio_obs::{Buckets, Budget, Counter, Gauge, Histogram, ObsHub, SpanContext, TraceStatus};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -78,6 +82,85 @@ impl Default for ServeConfig {
     }
 }
 
+/// Model-plane gateway policy for [`QueryService::spawn_gateway`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GatewayConfig {
+    /// Batching policy for the shared [`ModelGateway`].
+    pub batch: BatchConfig,
+    /// Semantic answer-cache policy; `None` disables the layer.
+    pub semantic: Option<SemanticConfig>,
+    /// Whether concurrent identical questions singleflight-coalesce.
+    pub coalesce: bool,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            batch: BatchConfig::default(),
+            semantic: Some(SemanticConfig::default()),
+            coalesce: true,
+        }
+    }
+}
+
+/// Snapshot of the gateway plane's counters and cost ledger.
+#[derive(Debug, Clone)]
+pub struct GatewayStats {
+    /// The gateway's cost ledger (batched upstream bills, prefix
+    /// amortization).
+    pub ledger: CostLedger,
+    /// Semantic-cache counters, when the layer is enabled.
+    pub semantic: Option<SemanticStats>,
+    /// Requests that led a singleflight epoch.
+    pub leaders: u64,
+    /// Requests that attached to another request's epoch.
+    pub followers: u64,
+    /// Follower waits that ended in a leader abandon.
+    pub abandoned: u64,
+    /// Follower waits that ran out of budget.
+    pub timeouts: u64,
+    /// The (bounded) per-flush audit log.
+    pub flush_log: Vec<FlushRecord>,
+}
+
+/// The per-service gateway plane: one singleflight map, one semantic
+/// cache, one shared batching model — all workers go through them.
+struct GatewayPlane {
+    flights: Singleflight<CopilotResponse>,
+    semantic: Option<SemanticCache<CopilotResponse>>,
+    model: Arc<ModelGateway>,
+    coalesce: bool,
+    role_leader: Counter,
+    role_follower: Counter,
+    role_abandoned: Counter,
+    role_timeout: Counter,
+}
+
+impl GatewayPlane {
+    fn new(obs: &ObsHub, config: &GatewayConfig, model: Arc<ModelGateway>) -> Self {
+        let r = obs.registry();
+        let role = |role: &str| {
+            r.counter_with(
+                "dio_gateway_singleflight_total",
+                "Singleflight joins at the serve tier, by role/outcome.",
+                &[("role", role)],
+            )
+        };
+        GatewayPlane {
+            flights: Singleflight::new(),
+            semantic: config
+                .semantic
+                .map(|sc| SemanticCache::new(r, sc)),
+            model,
+            coalesce: config.coalesce,
+            role_leader: role("leader"),
+            role_follower: role("follower"),
+            role_abandoned: role("abandoned"),
+            role_timeout: role("timeout"),
+        }
+    }
+}
+
 /// One tenant question bound to an evaluation timestamp.
 #[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct QueryRequest {
@@ -107,6 +190,12 @@ pub struct ServedAnswer {
     pub response: CopilotResponse,
     /// Whether the answer cache short-circuited the pipeline.
     pub answer_cache_hit: bool,
+    /// Whether a semantic-cache neighbor's answer was served (exact
+    /// caches missed but an embedding neighbor cleared the floor).
+    pub semantic_cache_hit: bool,
+    /// Whether this answer was coalesced off another in-flight
+    /// request's computation (singleflight follower).
+    pub coalesced: bool,
     /// Time spent queued before a worker picked the request up.
     pub queue_wait: Duration,
     /// Time the worker spent producing the response.
@@ -310,7 +399,13 @@ struct Core {
     brownout: Mutex<BrownoutController>,
     config: ServeConfig,
     obs: ObsHub,
+    gateway: Option<GatewayPlane>,
 }
+
+/// The span-context cell a gateway-backed worker shares with its boxed
+/// model handle (set per job so batch spans land under the right
+/// trace).
+type CtxCell = Arc<Mutex<Option<SpanContext>>>;
 
 /// The concurrent multi-tenant query service.
 pub struct QueryService {
@@ -329,6 +424,44 @@ impl QueryService {
     where
         F: FnMut() -> Box<dyn FoundationModel>,
     {
+        Self::spawn_inner(prototype, config, None, move |_| (make_model(), None))
+    }
+
+    /// Launch the service with the **model-plane gateway** between the
+    /// workers and `upstream`: every worker's pipeline calls route
+    /// through one shared [`ModelGateway`] (singleflight coalescing
+    /// and the semantic cache sit on the request path in front of it).
+    /// `upstream` is the one real model — typically a
+    /// `BatchExpander<SimulatedModel>`, optionally under a
+    /// `FaultyModel` — shared by all workers behind the gateway's
+    /// serialization.
+    pub fn spawn_gateway(
+        prototype: &DioCopilot,
+        upstream: Box<dyn FoundationModel>,
+        config: ServeConfig,
+        gateway: GatewayConfig,
+    ) -> Self {
+        let obs = prototype.obs().clone();
+        let model = ModelGateway::new(
+            upstream,
+            gateway.batch,
+            obs.registry(),
+            Some(obs.tracer().clone()),
+        );
+        let plane = GatewayPlane::new(&obs, &gateway, Arc::clone(&model));
+        Self::spawn_inner(prototype, config, Some(plane), move |_| {
+            let handle = model.handle();
+            let cell = handle.ctx_cell();
+            (Box::new(handle) as Box<dyn FoundationModel>, Some(cell))
+        })
+    }
+
+    fn spawn_inner(
+        prototype: &DioCopilot,
+        config: ServeConfig,
+        gateway: Option<GatewayPlane>,
+        mut make_worker: impl FnMut(usize) -> (Box<dyn FoundationModel>, Option<CtxCell>),
+    ) -> Self {
         let obs = prototype.obs().clone();
         let brownout = Mutex::new(BrownoutController::new(
             config.brownout,
@@ -351,14 +484,16 @@ impl QueryService {
             metrics: Metrics::register(&obs),
             config: config.clone(),
             obs,
+            gateway,
         });
         let workers = (0..config.workers.max(1))
             .map(|idx| {
-                let copilot = prototype.fork_with_model(make_model());
+                let (model, ctx_cell) = make_worker(idx);
+                let copilot = prototype.fork_with_model(model);
                 let core = Arc::clone(&core);
                 std::thread::Builder::new()
                     .name(format!("dio-serve-{idx}"))
-                    .spawn(move || worker_loop(core, copilot, idx))
+                    .spawn(move || worker_loop(core, copilot, idx, ctx_cell))
                     .expect("spawn dio-serve worker")
             })
             .collect();
@@ -497,6 +632,25 @@ impl QueryService {
         self.core.embeds.stats()
     }
 
+    /// Gateway-plane counters and cost ledger, when the service was
+    /// spawned with [`QueryService::spawn_gateway`].
+    pub fn gateway_stats(&self) -> Option<GatewayStats> {
+        self.core.gateway.as_ref().map(|gw| GatewayStats {
+            ledger: gw.model.ledger(),
+            semantic: gw.semantic.as_ref().map(|s| s.stats()),
+            leaders: gw.role_leader.value() as u64,
+            followers: gw.role_follower.value() as u64,
+            abandoned: gw.role_abandoned.value() as u64,
+            timeouts: gw.role_timeout.value() as u64,
+            flush_log: gw.model.flush_log(),
+        })
+    }
+
+    /// The shared batching gateway, when present.
+    pub fn gateway_model(&self) -> Option<Arc<ModelGateway>> {
+        self.core.gateway.as_ref().map(|gw| Arc::clone(&gw.model))
+    }
+
     /// Requests currently queued.
     pub fn queue_len(&self) -> usize {
         self.core.queue.len()
@@ -556,7 +710,12 @@ fn retry_hint(queue_len: usize, workers: usize, floor: Duration) -> Duration {
     floor.max(Duration::from_millis(backlog_ms.min(CAP_MS)))
 }
 
-fn worker_loop(core: Arc<Core>, mut copilot: DioCopilot, worker: usize) {
+fn worker_loop(
+    core: Arc<Core>,
+    mut copilot: DioCopilot,
+    worker: usize,
+    ctx_cell: Option<CtxCell>,
+) {
     // The full-fidelity knobs, restored whenever the ladder is at
     // normal; brownout levels shrink them per request.
     let base_knobs = (copilot.top_k(), copilot.max_repair_rounds());
@@ -609,11 +768,19 @@ fn worker_loop(core: Arc<Core>, mut copilot: DioCopilot, worker: usize) {
         }
         let reply = job.reply.clone();
         let root = job.ctx;
+        // Thread this job's trace context into the gateway handle so
+        // batch_flush spans and `batched` events parent correctly.
+        if let Some(cell) = &ctx_cell {
+            *cell.lock().unwrap() = Some(job.ctx);
+        }
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             serve_one(
                 &core, &mut copilot, &job, queue_wait, picked_up, worker, level, base_knobs,
             )
         }));
+        if let Some(cell) = &ctx_cell {
+            *cell.lock().unwrap() = None;
+        }
         match outcome {
             Ok(Ok(answer)) => {
                 core.metrics.answered.inc();
@@ -704,6 +871,8 @@ fn serve_one(
         return Ok(ServedAnswer {
             response,
             answer_cache_hit: true,
+            semantic_cache_hit: false,
+            coalesced: false,
             queue_wait,
             service_time,
             worker,
@@ -739,6 +908,170 @@ fn serve_one(
     if job.budget.expired() {
         return Err(deadline_shed(core));
     }
+    let mut semantic_cache_hit = false;
+    let mut coalesced = false;
+    let response = 'resp: {
+        // The gateway plane serves full-fidelity answers only: under a
+        // CacheOnly-or-worse brownout the request degrades below
+        // instead, and neither the semantic cache nor the coalescer
+        // should publish degraded results.
+        if let Some(gw) = core
+            .gateway
+            .as_ref()
+            .filter(|_| level < BrownoutLevel::CacheOnly)
+        {
+            // Semantic probe: serve a near-duplicate's answer when a
+            // cached neighbor clears the similarity floor.
+            if let Some(sem) = &gw.semantic {
+                let probe_ctx = tracer.child_of(&job.ctx);
+                let probe_start = tracer.clock_micros(&probe_ctx);
+                let probe_t0 = Instant::now();
+                let probe = sem.probe(job.req.ts, generation, &qvec);
+                let similarity = match &probe {
+                    Probe::Hit { similarity, .. } | Probe::Reject { similarity } => {
+                        format!("{similarity:.4}")
+                    }
+                    Probe::Miss => String::new(),
+                };
+                tracer.record_span(
+                    &probe_ctx,
+                    "semantic_probe",
+                    probe_start,
+                    dio_obs::micros_u64(probe_t0.elapsed()),
+                    &[("result", probe.event()), ("similarity", &similarity)],
+                );
+                if let Probe::Hit { value, .. } = probe {
+                    semantic_cache_hit = true;
+                    break 'resp value;
+                }
+            }
+            if job.budget.expired() {
+                return Err(deadline_shed(core));
+            }
+            if gw.coalesce {
+                // Singleflight: identical normalized questions at the
+                // same (generation, ts) share one pipeline run. The
+                // generation in the key means a knowledge bump opens a
+                // fresh epoch rather than sharing a stale answer.
+                let sf_key = format!("{}\u{1f}{}", generation, answer_key);
+                let mut rejoins = 0;
+                loop {
+                    match gw.flights.join(&sf_key) {
+                        Join::Leader(guard) => {
+                            gw.role_leader.inc();
+                            let response =
+                                run_pipeline(copilot, job, &qvec, level, base_knobs);
+                            // Deadline-aborted answers are never
+                            // shared: dropping the guard abandons the
+                            // epoch and followers recompute with their
+                            // own (possibly healthier) budgets.
+                            if matches!(
+                                response.error,
+                                Some(CopilotError::DeadlineExceeded { .. })
+                            ) {
+                                drop(guard);
+                            } else {
+                                guard.publish(response.clone());
+                            }
+                            break 'resp response;
+                        }
+                        Join::Follower(h) => {
+                            gw.role_follower.inc();
+                            let wait_ctx = tracer.child_of(&job.ctx);
+                            let wait_start = tracer.clock_micros(&wait_ctx);
+                            let wait_t0 = Instant::now();
+                            let out = h.wait(&job.budget);
+                            let outcome_label = match &out {
+                                FollowerOutcome::Ready(_) => "ready",
+                                FollowerOutcome::Abandoned => "abandoned",
+                                FollowerOutcome::TimedOut => "timeout",
+                            };
+                            tracer.record_span(
+                                &wait_ctx,
+                                "coalesce_wait",
+                                wait_start,
+                                dio_obs::micros_u64(wait_t0.elapsed()),
+                                &[("outcome", outcome_label)],
+                            );
+                            match out {
+                                FollowerOutcome::Ready(v) => {
+                                    coalesced = true;
+                                    break 'resp v;
+                                }
+                                FollowerOutcome::Abandoned => {
+                                    gw.role_abandoned.inc();
+                                    rejoins += 1;
+                                    if rejoins >= MAX_REJOINS {
+                                        // Pathological abandon churn:
+                                        // stop following, run solo.
+                                        break;
+                                    }
+                                }
+                                FollowerOutcome::TimedOut => {
+                                    gw.role_timeout.inc();
+                                    return Err(deadline_shed(core));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        run_pipeline(copilot, job, &qvec, level, base_knobs)
+    };
+    // Browned-out and deadline-aborted responses stay out of the
+    // answer cache: once pressure clears (or the client retries with
+    // budget to spare) the question deserves a full-fidelity answer.
+    // Coalesced and semantic hits skip insertion too — their leader or
+    // neighbor already populated both caches under the same keys.
+    let deadline_abort = matches!(response.error, Some(CopilotError::DeadlineExceeded { .. }));
+    if level < BrownoutLevel::CacheOnly && !deadline_abort && !coalesced && !semantic_cache_hit {
+        core.answers
+            .insert(answer_key, response.clone(), generation);
+        if let Some(sem) = core.gateway.as_ref().and_then(|gw| gw.semantic.as_ref()) {
+            // Only healthy answers become semantic neighbors: serving
+            // a paraphrase an *errored* answer would trade EX for
+            // latency in exactly the wrong direction.
+            if response.error.is_none() {
+                sem.insert(
+                    job.req.ts,
+                    generation,
+                    &job.key,
+                    Arc::clone(&qvec),
+                    response.clone(),
+                );
+            }
+        }
+    }
+    let service_time = picked_up.elapsed();
+    core.metrics
+        .duration_miss
+        .observe((queue_wait + service_time).as_micros() as f64);
+    Ok(ServedAnswer {
+        response,
+        answer_cache_hit: false,
+        semantic_cache_hit,
+        coalesced,
+        queue_wait,
+        service_time,
+        worker,
+    })
+}
+
+/// Bounded abandon-rejoin attempts before a follower gives up on
+/// coalescing and computes solo.
+const MAX_REJOINS: usize = 3;
+
+/// Run the pipeline under the brownout rung's knobs, restoring the
+/// worker's full-fidelity knobs afterwards. Shared by the solo path
+/// and the singleflight leader path.
+fn run_pipeline(
+    copilot: &mut DioCopilot,
+    job: &Job,
+    qvec: &Arc<dio_embed::Vector>,
+    level: BrownoutLevel,
+    base_knobs: (usize, usize),
+) -> CopilotResponse {
     // Apply the brownout rung: shrink retrieval, drop repair rounds,
     // or skip the model entirely — then restore the worker's
     // full-fidelity knobs for the next request.
@@ -753,7 +1086,7 @@ fn serve_one(
         copilot.ask_degraded(
             &job.req.question,
             job.req.ts,
-            Some(&qvec),
+            Some(qvec),
             Some(&job.ctx),
             &job.budget,
         )
@@ -761,32 +1094,14 @@ fn serve_one(
         copilot.ask_budgeted(
             &job.req.question,
             job.req.ts,
-            Some(&qvec),
+            Some(qvec),
             Some(&job.ctx),
             &job.budget,
         )
     };
     copilot.set_top_k(base_knobs.0);
     copilot.set_max_repair_rounds(base_knobs.1);
-    // Browned-out and deadline-aborted responses stay out of the
-    // answer cache: once pressure clears (or the client retries with
-    // budget to spare) the question deserves a full-fidelity answer.
-    let deadline_abort = matches!(response.error, Some(CopilotError::DeadlineExceeded { .. }));
-    if level < BrownoutLevel::CacheOnly && !deadline_abort {
-        core.answers
-            .insert(answer_key, response.clone(), generation);
-    }
-    let service_time = picked_up.elapsed();
-    core.metrics
-        .duration_miss
-        .observe((queue_wait + service_time).as_micros() as f64);
-    Ok(ServedAnswer {
-        response,
-        answer_cache_hit: false,
-        queue_wait,
-        service_time,
-        worker,
-    })
+    response
 }
 
 #[cfg(test)]

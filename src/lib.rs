@@ -23,6 +23,7 @@
 //! | [`baselines`] | `dio-baselines` | DIN-SQL-style and bare-model baselines |
 //! | [`benchmark`] | `dio-benchmark` | 200-question benchmark + EX evaluation |
 //! | [`serve`] | `dio-serve` | concurrent multi-tenant query service with admission control |
+//! | [`gateway`] | `dio-gateway` | model-plane gateway: singleflight coalescing, batched inference, semantic answer cache |
 //! | [`cluster`] | `dio-cluster` | sharded serving: hash-ring partitioning, WAL-shipped replicas, failover |
 //!
 //! ## Quickstart
@@ -48,6 +49,7 @@ pub use dio_dashboard as dashboard;
 pub use dio_embed as embed;
 pub use dio_faults as faults;
 pub use dio_feedback as feedback;
+pub use dio_gateway as gateway;
 pub use dio_llm as llm;
 pub use dio_obs as obs;
 pub use dio_promql as promql;
